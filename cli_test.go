@@ -1,0 +1,88 @@
+// CLI smoke tests: build and run each command end to end, asserting the
+// headline artifacts appear in the output. These pin the user-facing
+// surface of the reproduction (the tables and figures EXPERIMENTS.md
+// records).
+package tsspace_test
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+func runCmd(t *testing.T, args ...string) string {
+	t.Helper()
+	cmd := exec.Command("go", append([]string{"run"}, args...)...)
+	cmd.Dir = "."
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go run %v: %v\n%s", args, err, out)
+	}
+	return string(out)
+}
+
+func TestCLITsspace(t *testing.T) {
+	out := runCmd(t, "./cmd/tsspace", "-n", "16,64", "-advcap", "64")
+	for _, want := range []string{"E8", "E3/E4", "⌈2√n⌉", "16", "64"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("tsspace output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCLITscoverFigures(t *testing.T) {
+	out := runCmd(t, "./cmd/tscover", "-fig", "1", "-n", "50")
+	if !strings.Contains(out, "Figure 1") || !strings.Contains(out, "*") {
+		t.Errorf("figure 1 output malformed:\n%s", out)
+	}
+	out = runCmd(t, "./cmd/tscover", "-fig", "2")
+	if !strings.Contains(out, "Case 2") {
+		t.Errorf("figure 2 output missing Case 2:\n%s", out)
+	}
+}
+
+func TestCLITscoverConstructions(t *testing.T) {
+	out := runCmd(t, "./cmd/tscover", "-construct", "oneshot", "-n", "100")
+	if !strings.Contains(out, "Theorem 1.2") || !strings.Contains(out, "✓") {
+		t.Errorf("one-shot construction output malformed:\n%s", out)
+	}
+	out = runCmd(t, "./cmd/tscover", "-construct", "longlived", "-n", "30")
+	if !strings.Contains(out, "Theorem 1.1") || !strings.Contains(out, "⌊n/6⌋") {
+		t.Errorf("long-lived construction output malformed:\n%s", out)
+	}
+}
+
+func TestCLITscoverPhases(t *testing.T) {
+	out := runCmd(t, "./cmd/tscover", "-phases", "-n", "24")
+	if !strings.Contains(out, "Claim 6.13") || !strings.Contains(out, "phase") {
+		t.Errorf("phases output malformed:\n%s", out)
+	}
+}
+
+func TestCLITscheck(t *testing.T) {
+	out := runCmd(t, "./cmd/tscheck", "-n", "3", "-visits", "100", "-samples", "10", "-reps", "2")
+	if !strings.Contains(out, "all checks passed") {
+		t.Errorf("tscheck did not pass:\n%s", out)
+	}
+}
+
+func TestCLITstrace(t *testing.T) {
+	out := runCmd(t, "./cmd/tstrace", "-alg", "collect", "-n", "3", "-calls", "2", "-seed", "4")
+	for _, want := range []string{"p0", "timestamps returned", "verified ✓"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("tstrace output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCLIExamples(t *testing.T) {
+	for _, ex := range []string{"quickstart", "eventlog", "fcfs", "renaming", "phases"} {
+		out := runCmd(t, "./examples/"+ex)
+		if len(out) < 50 {
+			t.Errorf("example %s produced no meaningful output:\n%s", ex, out)
+		}
+		if strings.Contains(strings.ToLower(out), "violat") || strings.Contains(out, "panic") {
+			t.Errorf("example %s reported a problem:\n%s", ex, out)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+// Renaming: order-based renaming from one-shot timestamps — one of the
+// "inherently one-time" applications motivating the one-shot object (§1,
+// §3 of the paper; cf. Attiya–Fouren adaptive renaming). Each process with
+// a large original identifier takes one timestamp; its new name is the
+// rank of its timestamp among all issued ones.
+//
+// Because concurrent getTS() calls may receive equal timestamps (the
+// specification only constrains happens-before ordered pairs), ranks are
+// made unique by breaking ties with the original identifier — the standard
+// trick (also used by the bakery algorithm's (number, id) pairs).
+//
+// Run with:
+//
+//	go run ./examples/renaming
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"tsspace/internal/register"
+	"tsspace/internal/timestamp"
+	"tsspace/internal/timestamp/simple"
+)
+
+func main() {
+	const n = 10
+
+	// Processes arrive with sparse original ids from a huge namespace.
+	rng := rand.New(rand.NewSource(7))
+	origIDs := make([]int, n)
+	seen := map[int]bool{}
+	for i := range origIDs {
+		for {
+			id := rng.Intn(1 << 30)
+			if !seen[id] {
+				seen[id] = true
+				origIDs[i] = id
+				break
+			}
+		}
+	}
+
+	// The §5 simple one-shot object: ⌈n/2⌉ two-writer registers.
+	alg := simple.New(n)
+	mem := register.NewMeter(timestamp.NewMem(alg))
+	fmt.Printf("renaming %d processes through %d registers (⌈n/2⌉)\n\n", n, alg.Registers())
+
+	type slot struct {
+		orig int
+		ts   timestamp.Timestamp
+	}
+	slots := make([]slot, n)
+	var wg sync.WaitGroup
+	for p := 0; p < n; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			ts, err := alg.GetTS(mem, p, 0)
+			if err != nil {
+				log.Fatalf("p%d: %v", p, err)
+			}
+			slots[p] = slot{origIDs[p], ts}
+		}(p)
+	}
+	wg.Wait()
+
+	// New name = rank by (timestamp, original id).
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		sa, sb := slots[order[a]], slots[order[b]]
+		if alg.Compare(sa.ts, sb.ts) {
+			return true
+		}
+		if alg.Compare(sb.ts, sa.ts) {
+			return false
+		}
+		return sa.orig < sb.orig // concurrent tie: break by original id
+	})
+
+	names := make(map[int]int) // orig -> new name
+	for rank, idx := range order {
+		names[slots[idx].orig] = rank + 1
+	}
+
+	fmt.Println("orig id      → timestamp → new name")
+	for _, idx := range order {
+		s := slots[idx]
+		fmt.Printf("  %10d → %-8v → %d\n", s.orig, s.ts, names[s.orig])
+	}
+
+	// The target namespace is exactly [1, n]: tight renaming.
+	used := map[int]bool{}
+	for _, name := range names {
+		if name < 1 || name > n || used[name] {
+			log.Fatalf("renaming broken: name %d", name)
+		}
+		used[name] = true
+	}
+	fmt.Printf("\nall %d names unique in [1, %d]; registers written: %d\n",
+		n, n, mem.Report().Written)
+}

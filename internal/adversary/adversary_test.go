@@ -1,0 +1,141 @@
+package adversary
+
+import (
+	"fmt"
+	"testing"
+
+	"tsspace/internal/lowerbound"
+)
+
+func TestSequentialPhasesFormula(t *testing.T) {
+	// Phase costs: phase 1 costs 1 call, phase k ≥ 2 costs k calls
+	// (1 starter + k−1 invalidators), and any leftover call opens one more
+	// phase.
+	cases := []struct{ n, want int }{
+		{1, 1},  // one call: phase 1
+		{2, 2},  // second call starts phase 2
+		{3, 2},  // phase 2 completes (starter + 1 invalidator)... third call is turn (2,1)
+		{4, 3},  // 1 + 2 used; 4th call opens phase 3
+		{6, 3},  // phase 3 served fully at 1+2+3 = 6
+		{7, 4},  // 7th opens phase 4
+		{10, 4}, // 1+2+3+4 = 10
+		{11, 5},
+	}
+	for _, c := range cases {
+		if got := SequentialPhases(c.n); got != c.want {
+			t.Errorf("SequentialPhases(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestMeasureSequentialMatchesFormula(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 10, 16, 50, 100, 200} {
+		measured, err := MeasureSequential(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := SequentialPhases(n); measured != want {
+			t.Errorf("n=%d: measured %d phases, formula says %d", n, measured, want)
+		}
+	}
+}
+
+func TestStaleReleaseBeatsSequential(t *testing.T) {
+	for _, n := range []int{12, 30, 60, 120} {
+		res, err := StaleRelease(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Phases > res.Registers-1 {
+			t.Errorf("n=%d: %d phases exceed the budget %d (sentinel must stay ⊥)", n, res.Phases, res.Registers)
+		}
+		if res.Phases < res.Sequential {
+			t.Errorf("n=%d: adversary reached %d phases, below sequential %d", n, res.Phases, res.Sequential)
+		}
+		if len(res.Timestamps) != n {
+			t.Errorf("n=%d: %d timestamps returned, want %d", n, len(res.Timestamps), n)
+		}
+		t.Logf("n=%d: sequential %d phases, adversarial %d phases, budget %d",
+			n, res.Sequential, res.Phases, res.Registers)
+	}
+}
+
+// The adversarial series stays within the ⌈2√M⌉ upper bound and above the
+// √(2M)-ish sequential series — the E3 shape.
+func TestShapeAgainstBounds(t *testing.T) {
+	for _, n := range []int{25, 100, 225} {
+		res, err := StaleRelease(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		upper := lowerbound.OneShotUpper(n)
+		if res.Written >= upper {
+			t.Errorf("n=%d: wrote %d registers, must be < ⌈2√n⌉ = %d", n, res.Written, upper)
+		}
+	}
+}
+
+func TestStaleReleaseDeterministic(t *testing.T) {
+	a, err := StaleRelease(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := StaleRelease(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Phases != b.Phases || a.Steps != b.Steps {
+		t.Errorf("nondeterministic adversary: %+v vs %+v", a, b)
+	}
+}
+
+func BenchmarkStaleRelease(b *testing.B) {
+	for _, n := range []int{50, 200} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := StaleRelease(n); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func TestDoubleCrossMeasurements(t *testing.T) {
+	for _, n := range []int{12, 30, 60, 120, 240} {
+		res, err := DoubleCross(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Phases > res.Registers-1 {
+			t.Errorf("n=%d: %d phases exceed budget %d", n, res.Phases, res.Registers)
+		}
+		if len(res.Timestamps) != n {
+			t.Errorf("n=%d: %d timestamps, want %d", n, len(res.Timestamps), n)
+		}
+		t.Logf("n=%d: sequential %d, doublecross %d, budget %d",
+			n, res.Sequential, res.Phases, res.Registers)
+	}
+}
+
+// Edge cases: the adversaries must handle degenerate sizes.
+func TestAdversaryEdgeSizes(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4} {
+		if res, err := StaleRelease(n); err != nil {
+			t.Errorf("StaleRelease(%d): %v", n, err)
+		} else if len(res.Timestamps) != n {
+			t.Errorf("StaleRelease(%d): %d timestamps", n, len(res.Timestamps))
+		}
+		if res, err := DoubleCross(n); err != nil {
+			t.Errorf("DoubleCross(%d): %v", n, err)
+		} else if len(res.Timestamps) != n {
+			t.Errorf("DoubleCross(%d): %d timestamps", n, len(res.Timestamps))
+		}
+	}
+}
+
+func TestSequentialPhasesEdge(t *testing.T) {
+	if got := SequentialPhases(0); got != 0 {
+		t.Errorf("SequentialPhases(0) = %d", got)
+	}
+}

@@ -1,0 +1,186 @@
+// Package bitset provides a small dense bit set used to represent sets of
+// register indices and sets of process identifiers throughout the
+// lower-bound machinery.
+//
+// The zero value is an empty set. Sets grow automatically on Add; queries
+// beyond the current capacity return false rather than panicking, so a
+// freshly constructed set behaves like the empty set for every index.
+package bitset
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+const wordBits = 64
+
+// Set is a dense bit set over non-negative integers.
+type Set struct {
+	words []uint64
+}
+
+// New returns an empty set with capacity preallocated for indices [0, n).
+func New(n int) *Set {
+	if n < 0 {
+		n = 0
+	}
+	return &Set{words: make([]uint64, (n+wordBits-1)/wordBits)}
+}
+
+// Of returns a set containing exactly the given indices.
+func Of(indices ...int) *Set {
+	s := New(0)
+	for _, i := range indices {
+		s.Add(i)
+	}
+	return s
+}
+
+func (s *Set) grow(word int) {
+	for len(s.words) <= word {
+		s.words = append(s.words, 0)
+	}
+}
+
+// Add inserts i into the set. It panics if i is negative.
+func (s *Set) Add(i int) {
+	if i < 0 {
+		panic(fmt.Sprintf("bitset: negative index %d", i))
+	}
+	w := i / wordBits
+	s.grow(w)
+	s.words[w] |= 1 << (i % wordBits)
+}
+
+// Remove deletes i from the set. Removing an absent element is a no-op.
+func (s *Set) Remove(i int) {
+	if i < 0 {
+		return
+	}
+	w := i / wordBits
+	if w < len(s.words) {
+		s.words[w] &^= 1 << (i % wordBits)
+	}
+}
+
+// Contains reports whether i is in the set.
+func (s *Set) Contains(i int) bool {
+	if i < 0 {
+		return false
+	}
+	w := i / wordBits
+	return w < len(s.words) && s.words[w]&(1<<(i%wordBits)) != 0
+}
+
+// Len returns the number of elements in the set.
+func (s *Set) Len() int {
+	n := 0
+	for _, w := range s.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Empty reports whether the set has no elements.
+func (s *Set) Empty() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns an independent copy of the set.
+func (s *Set) Clone() *Set {
+	c := &Set{words: make([]uint64, len(s.words))}
+	copy(c.words, s.words)
+	return c
+}
+
+// Union returns a new set containing elements of s or t.
+func (s *Set) Union(t *Set) *Set {
+	u := s.Clone()
+	u.grow(len(t.words) - 1)
+	for i, w := range t.words {
+		u.words[i] |= w
+	}
+	return u
+}
+
+// Intersect returns a new set containing elements in both s and t.
+func (s *Set) Intersect(t *Set) *Set {
+	n := min(len(s.words), len(t.words))
+	u := &Set{words: make([]uint64, n)}
+	for i := 0; i < n; i++ {
+		u.words[i] = s.words[i] & t.words[i]
+	}
+	return u
+}
+
+// Diff returns a new set containing elements of s not in t.
+func (s *Set) Diff(t *Set) *Set {
+	u := s.Clone()
+	n := min(len(s.words), len(t.words))
+	for i := 0; i < n; i++ {
+		u.words[i] &^= t.words[i]
+	}
+	return u
+}
+
+// SubsetOf reports whether every element of s is in t.
+func (s *Set) SubsetOf(t *Set) bool {
+	for i, w := range s.words {
+		var tw uint64
+		if i < len(t.words) {
+			tw = t.words[i]
+		}
+		if w&^tw != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether s and t contain exactly the same elements.
+func (s *Set) Equal(t *Set) bool {
+	return s.SubsetOf(t) && t.SubsetOf(s)
+}
+
+// Elements returns the elements in increasing order.
+func (s *Set) Elements() []int {
+	out := make([]int, 0, s.Len())
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			out = append(out, wi*wordBits+b)
+			w &^= 1 << b
+		}
+	}
+	return out
+}
+
+// Min returns the smallest element, or -1 if the set is empty.
+func (s *Set) Min() int {
+	for wi, w := range s.words {
+		if w != 0 {
+			return wi*wordBits + bits.TrailingZeros64(w)
+		}
+	}
+	return -1
+}
+
+// String renders the set as "{a, b, c}".
+func (s *Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, e := range s.Elements() {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%d", e)
+	}
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,242 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroValueIsEmpty(t *testing.T) {
+	var s Set
+	if !s.Empty() {
+		t.Error("zero value should be empty")
+	}
+	if s.Len() != 0 {
+		t.Errorf("Len = %d, want 0", s.Len())
+	}
+	if s.Contains(0) || s.Contains(100) {
+		t.Error("zero value should contain nothing")
+	}
+	if s.Min() != -1 {
+		t.Errorf("Min = %d, want -1", s.Min())
+	}
+}
+
+func TestAddContainsRemove(t *testing.T) {
+	s := New(10)
+	indices := []int{0, 1, 63, 64, 65, 127, 128, 1000}
+	for _, i := range indices {
+		s.Add(i)
+	}
+	for _, i := range indices {
+		if !s.Contains(i) {
+			t.Errorf("Contains(%d) = false after Add", i)
+		}
+	}
+	if s.Len() != len(indices) {
+		t.Errorf("Len = %d, want %d", s.Len(), len(indices))
+	}
+	for _, i := range indices {
+		s.Remove(i)
+		if s.Contains(i) {
+			t.Errorf("Contains(%d) = true after Remove", i)
+		}
+	}
+	if !s.Empty() {
+		t.Error("set should be empty after removing all")
+	}
+}
+
+func TestAddNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Add(-1) should panic")
+		}
+	}()
+	New(0).Add(-1)
+}
+
+func TestRemoveAbsentAndNegative(t *testing.T) {
+	s := Of(3)
+	s.Remove(5)   // absent
+	s.Remove(-1)  // negative: no-op
+	s.Remove(999) // beyond capacity
+	if !s.Contains(3) || s.Len() != 1 {
+		t.Error("unrelated removes must not disturb the set")
+	}
+}
+
+func TestOfAndElements(t *testing.T) {
+	s := Of(5, 2, 9, 2)
+	got := s.Elements()
+	want := []int{2, 5, 9}
+	if len(got) != len(want) {
+		t.Fatalf("Elements = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Elements = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSetAlgebra(t *testing.T) {
+	a := Of(1, 2, 3, 64)
+	b := Of(3, 4, 64, 200)
+
+	if got := a.Union(b); got.Len() != 6 {
+		t.Errorf("Union len = %d, want 6 (%v)", got.Len(), got)
+	}
+	inter := a.Intersect(b)
+	if !inter.Equal(Of(3, 64)) {
+		t.Errorf("Intersect = %v, want {3, 64}", inter)
+	}
+	diff := a.Diff(b)
+	if !diff.Equal(Of(1, 2)) {
+		t.Errorf("Diff = %v, want {1, 2}", diff)
+	}
+}
+
+func TestSubsetEqual(t *testing.T) {
+	a := Of(1, 2)
+	b := Of(1, 2, 3)
+	if !a.SubsetOf(b) {
+		t.Error("a should be subset of b")
+	}
+	if b.SubsetOf(a) {
+		t.Error("b should not be subset of a")
+	}
+	if !a.Equal(a.Clone()) {
+		t.Error("clone should be equal")
+	}
+	// Different capacities, same contents.
+	c := New(1000)
+	c.Add(1)
+	c.Add(2)
+	if !a.Equal(c) {
+		t.Error("equality must ignore capacity")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := Of(1, 2)
+	c := a.Clone()
+	c.Add(3)
+	if a.Contains(3) {
+		t.Error("mutating clone must not affect original")
+	}
+}
+
+func TestMinString(t *testing.T) {
+	s := Of(70, 5, 12)
+	if s.Min() != 5 {
+		t.Errorf("Min = %d, want 5", s.Min())
+	}
+	if got := Of(1, 2).String(); got != "{1, 2}" {
+		t.Errorf("String = %q", got)
+	}
+	if got := New(0).String(); got != "{}" {
+		t.Errorf("empty String = %q", got)
+	}
+}
+
+// Property: Union/Intersect/Diff agree with map-based reference semantics.
+func TestQuickAlgebraAgainstReference(t *testing.T) {
+	f := func(xs, ys []uint16) bool {
+		a, b := New(0), New(0)
+		ma, mb := map[int]bool{}, map[int]bool{}
+		for _, x := range xs {
+			a.Add(int(x))
+			ma[int(x)] = true
+		}
+		for _, y := range ys {
+			b.Add(int(y))
+			mb[int(y)] = true
+		}
+		u, in, d := a.Union(b), a.Intersect(b), a.Diff(b)
+		for i := 0; i < 1<<16; i += 97 { // sampled probe
+			wantU := ma[i] || mb[i]
+			wantI := ma[i] && mb[i]
+			wantD := ma[i] && !mb[i]
+			if u.Contains(i) != wantU || in.Contains(i) != wantI || d.Contains(i) != wantD {
+				return false
+			}
+		}
+		// Exhaustive probe over the actual elements.
+		for i := range ma {
+			if u.Contains(i) != true {
+				return false
+			}
+			if in.Contains(i) != mb[i] {
+				return false
+			}
+			if d.Contains(i) != !mb[i] {
+				return false
+			}
+		}
+		return u.Len() == lenUnion(ma, mb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func lenUnion(a, b map[int]bool) int {
+	u := map[int]bool{}
+	for k := range a {
+		u[k] = true
+	}
+	for k := range b {
+		u[k] = true
+	}
+	return len(u)
+}
+
+// Property: Elements is sorted, duplicate-free, and round-trips through Of.
+func TestQuickElementsRoundTrip(t *testing.T) {
+	f := func(xs []uint16) bool {
+		s := New(0)
+		for _, x := range xs {
+			s.Add(int(x))
+		}
+		el := s.Elements()
+		for i := 1; i < len(el); i++ {
+			if el[i-1] >= el[i] {
+				return false
+			}
+		}
+		return Of(el...).Equal(s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: De Morgan-ish identity  a \ b == a \ (a ∩ b).
+func TestQuickDiffIdentity(t *testing.T) {
+	f := func(xs, ys []uint8) bool {
+		a, b := New(0), New(0)
+		for _, x := range xs {
+			a.Add(int(x))
+		}
+		for _, y := range ys {
+			b.Add(int(y))
+		}
+		return a.Diff(b).Equal(a.Diff(a.Intersect(b)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkAddContains(b *testing.B) {
+	s := New(4096)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < b.N; i++ {
+		x := rng.Intn(4096)
+		s.Add(x)
+		if !s.Contains(x) {
+			b.Fatal("missing element")
+		}
+	}
+}

@@ -1,0 +1,146 @@
+// Package clock implements the classical logical-clock timestamping
+// mechanisms the paper's introduction situates its results against:
+// Lamport's scalar logical clocks (Lamport 1978) and vector clocks
+// (Fidge 1988, Mattern 1989).
+//
+// These are *message-passing* timestamp mechanisms: every process keeps
+// local state and piggybacks clock values on messages. They are cheap but
+// presume cooperative stamping of every interaction — the shared-memory
+// timestamp objects of the paper solve the harder problem where the only
+// communication is through registers. The eventlog example contrasts the
+// two worlds.
+package clock
+
+import "fmt"
+
+// Lamport is a scalar logical clock for one process. The zero value is
+// ready. Lamport clocks guarantee e1 → e2 ⟹ L(e1) < L(e2); the converse
+// fails (incomparable events may have ordered stamps). Not safe for
+// concurrent use: each process owns its clock.
+type Lamport struct {
+	time uint64
+}
+
+// Tick records a local event and returns its timestamp.
+func (l *Lamport) Tick() uint64 {
+	l.time++
+	return l.time
+}
+
+// Send returns the timestamp to piggyback on an outgoing message.
+func (l *Lamport) Send() uint64 {
+	return l.Tick()
+}
+
+// Receive merges an incoming message's timestamp and returns the receive
+// event's timestamp: max(local, remote) + 1.
+func (l *Lamport) Receive(remote uint64) uint64 {
+	if remote > l.time {
+		l.time = remote
+	}
+	return l.Tick()
+}
+
+// Now returns the current clock value without advancing it.
+func (l *Lamport) Now() uint64 { return l.time }
+
+// Vector is a vector clock for process pid in an n-process system.
+// Vector clocks characterize causality exactly:
+// e1 → e2 ⟺ V(e1) < V(e2) (componentwise ≤, somewhere <).
+type Vector struct {
+	pid int
+	v   []uint64
+}
+
+// NewVector returns a vector clock for process pid of n.
+func NewVector(n, pid int) *Vector {
+	if pid < 0 || pid >= n {
+		panic(fmt.Sprintf("clock: pid %d out of range [0,%d)", pid, n))
+	}
+	return &Vector{pid: pid, v: make([]uint64, n)}
+}
+
+// Tick records a local event and returns its timestamp (a copy).
+func (c *Vector) Tick() []uint64 {
+	c.v[c.pid]++
+	return c.Snapshot()
+}
+
+// Send returns the timestamp to piggyback on an outgoing message.
+func (c *Vector) Send() []uint64 { return c.Tick() }
+
+// Receive merges an incoming timestamp (componentwise max) and returns the
+// receive event's timestamp.
+func (c *Vector) Receive(remote []uint64) []uint64 {
+	for i, r := range remote {
+		if i < len(c.v) && r > c.v[i] {
+			c.v[i] = r
+		}
+	}
+	return c.Tick()
+}
+
+// Snapshot returns a copy of the current vector.
+func (c *Vector) Snapshot() []uint64 {
+	out := make([]uint64, len(c.v))
+	copy(out, c.v)
+	return out
+}
+
+// Order is the outcome of comparing two vector timestamps.
+type Order int
+
+// Possible causal relations between two vector timestamps.
+const (
+	Equal Order = iota
+	Before
+	After
+	Concurrent
+)
+
+// String names the order.
+func (o Order) String() string {
+	switch o {
+	case Equal:
+		return "equal"
+	case Before:
+		return "before"
+	case After:
+		return "after"
+	default:
+		return "concurrent"
+	}
+}
+
+// CompareVec returns the causal relation between two vector timestamps.
+func CompareVec(a, b []uint64) Order {
+	less, greater := false, false
+	n := len(a)
+	if len(b) > n {
+		n = len(b)
+	}
+	at := func(v []uint64, i int) uint64 {
+		if i < len(v) {
+			return v[i]
+		}
+		return 0
+	}
+	for i := 0; i < n; i++ {
+		switch {
+		case at(a, i) < at(b, i):
+			less = true
+		case at(a, i) > at(b, i):
+			greater = true
+		}
+	}
+	switch {
+	case less && greater:
+		return Concurrent
+	case less:
+		return Before
+	case greater:
+		return After
+	default:
+		return Equal
+	}
+}

@@ -1,0 +1,138 @@
+package clock
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLamportMonotone(t *testing.T) {
+	var l Lamport
+	prev := uint64(0)
+	for i := 0; i < 10; i++ {
+		now := l.Tick()
+		if now <= prev {
+			t.Fatalf("clock not monotone: %d after %d", now, prev)
+		}
+		prev = now
+	}
+}
+
+func TestLamportReceiveJumps(t *testing.T) {
+	var l Lamport
+	l.Tick() // 1
+	got := l.Receive(10)
+	if got != 11 {
+		t.Errorf("Receive(10) = %d, want 11", got)
+	}
+	if l.Receive(3) != 12 {
+		t.Error("Receive with stale remote must still advance")
+	}
+	if l.Now() != 12 {
+		t.Errorf("Now = %d", l.Now())
+	}
+}
+
+// Lamport's property: message chains produce strictly increasing stamps.
+func TestLamportHappensBefore(t *testing.T) {
+	var a, b, c Lamport
+	t1 := a.Send()
+	t2 := b.Receive(t1)
+	t3 := b.Send()
+	t4 := c.Receive(t3)
+	if !(t1 < t2 && t2 < t3 && t3 < t4) {
+		t.Errorf("chain stamps not increasing: %d %d %d %d", t1, t2, t3, t4)
+	}
+}
+
+func TestVectorCausality(t *testing.T) {
+	a, b := NewVector(2, 0), NewVector(2, 1)
+	e1 := a.Tick()     // a's local event
+	m := a.Send()      // a sends
+	e2 := b.Receive(m) // b receives: e1 → e2
+	if CompareVec(e1, e2) != Before {
+		t.Errorf("e1 vs e2 = %v, want before", CompareVec(e1, e2))
+	}
+	if CompareVec(e2, e1) != After {
+		t.Errorf("e2 vs e1 = %v, want after", CompareVec(e2, e1))
+	}
+}
+
+func TestVectorConcurrency(t *testing.T) {
+	a, b := NewVector(2, 0), NewVector(2, 1)
+	e1 := a.Tick()
+	e2 := b.Tick()
+	if CompareVec(e1, e2) != Concurrent {
+		t.Errorf("independent events = %v, want concurrent", CompareVec(e1, e2))
+	}
+	if CompareVec(e1, e1) != Equal {
+		t.Error("identical timestamps must compare equal")
+	}
+}
+
+func TestCompareVecLengthMismatch(t *testing.T) {
+	if CompareVec([]uint64{1}, []uint64{1, 0}) != Equal {
+		t.Error("missing components are zero")
+	}
+	if CompareVec([]uint64{1}, []uint64{1, 2}) != Before {
+		t.Error("longer vector with extra positive component is after")
+	}
+}
+
+func TestOrderString(t *testing.T) {
+	for o, want := range map[Order]string{Equal: "equal", Before: "before", After: "after", Concurrent: "concurrent"} {
+		if o.String() != want {
+			t.Errorf("%d.String() = %q", o, o.String())
+		}
+	}
+}
+
+func TestNewVectorPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewVector(2, 5) should panic")
+		}
+	}()
+	NewVector(2, 5)
+}
+
+// Property: vector clocks characterize causality exactly on random
+// two-process message histories — Lamport clocks only one direction.
+func TestQuickVectorExactness(t *testing.T) {
+	f := func(script []bool) bool {
+		a, b := NewVector(2, 0), NewVector(2, 1)
+		var la, lb Lamport
+		type ev struct {
+			vec   []uint64
+			lam   uint64
+			cause int // index of causing event or -1
+		}
+		var events []ev
+		for _, send := range script {
+			if send {
+				// a sends to b: two events, causally ordered.
+				m := a.Send()
+				lm := la.Send()
+				events = append(events, ev{vec: m, lam: lm, cause: -1})
+				events = append(events, ev{vec: b.Receive(m), lam: lb.Receive(lm), cause: len(events) - 1})
+			} else {
+				events = append(events, ev{vec: a.Tick(), lam: la.Tick(), cause: -1})
+				events = append(events, ev{vec: b.Tick(), lam: lb.Tick(), cause: -1})
+			}
+		}
+		for _, e := range events {
+			if e.cause >= 0 {
+				c := events[e.cause]
+				if CompareVec(c.vec, e.vec) != Before {
+					return false
+				}
+				if c.lam >= e.lam { // Lamport preserves →
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

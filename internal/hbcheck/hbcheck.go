@@ -1,0 +1,113 @@
+// Package hbcheck validates the timestamp specification on executions.
+//
+// The specification (§2 of the paper) is the only correctness requirement a
+// timestamp object has: if getTS() instance g1 returning t1 happens before
+// getTS() instance g2 returning t2 (g1's response precedes g2's
+// invocation), then compare(t1, t2) = true and compare(t2, t1) = false.
+//
+// The recorder stamps invocations and responses with a global atomic clock;
+// a pair of events with e1.End < e2.Start is then a sound happens-before
+// witness in any execution of this process (real-concurrent or simulated:
+// a simulated execution is still a real execution, merely serialized).
+package hbcheck
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Event is one completed getTS() instance.
+type Event[T any] struct {
+	Pid   int    // process that performed the call
+	Seq   int    // per-process invocation number
+	Start uint64 // clock stamp taken before the invocation
+	End   uint64 // clock stamp taken after the response
+	Val   T      // the returned timestamp
+}
+
+// Recorder collects getTS() intervals with a global clock. It is safe for
+// concurrent use. The zero value is ready.
+type Recorder[T any] struct {
+	clock  atomic.Uint64
+	mu     sync.Mutex
+	events []Event[T]
+}
+
+// Begin stamps an invocation; pass the returned stamp to End.
+func (r *Recorder[T]) Begin() uint64 {
+	return r.clock.Add(1)
+}
+
+// End stamps the response and records the completed event.
+func (r *Recorder[T]) End(pid, seq int, start uint64, val T) {
+	end := r.clock.Add(1)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.events = append(r.events, Event[T]{Pid: pid, Seq: seq, Start: start, End: end, Val: val})
+}
+
+// Events returns a copy of the recorded events sorted by start stamp.
+func (r *Recorder[T]) Events() []Event[T] {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event[T], len(r.events))
+	copy(out, r.events)
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// Len returns the number of recorded events.
+func (r *Recorder[T]) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+// Violation describes a happens-before pair whose timestamps compare
+// inconsistently.
+type Violation[T any] struct {
+	First, Second Event[T]
+	// Forward is false if compare(t1, t2) returned false (it must be true);
+	// Backward is true if compare(t2, t1) returned true (it must be false).
+	Forward, Backward bool
+}
+
+// Error renders the violation.
+func (v Violation[T]) Error() string {
+	return fmt.Sprintf(
+		"hbcheck: p%d.getTS#%d → p%d.getTS#%d but compare(%v, %v) = %v and compare(%v, %v) = %v",
+		v.First.Pid, v.First.Seq, v.Second.Pid, v.Second.Seq,
+		v.First.Val, v.Second.Val, v.Forward,
+		v.Second.Val, v.First.Val, v.Backward,
+	)
+}
+
+// Check verifies the happens-before property over all ordered pairs of
+// events using compare, returning the first violation found (as an error)
+// or nil. It is O(k²) in the number of events; executions under test are
+// small by construction.
+func Check[T any](events []Event[T], compare func(a, b T) bool) error {
+	sorted := make([]Event[T], len(events))
+	copy(sorted, events)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].End < sorted[j].End })
+	for i, e1 := range sorted {
+		for _, e2 := range sorted[i+1:] {
+			if e1.End >= e2.Start {
+				continue // concurrent: no constraint
+			}
+			fwd := compare(e1.Val, e2.Val)
+			bwd := compare(e2.Val, e1.Val)
+			if !fwd || bwd {
+				return Violation[T]{First: e1, Second: e2, Forward: fwd, Backward: bwd}
+			}
+		}
+	}
+	return nil
+}
+
+// CheckRecorder is shorthand for Check(r.Events(), compare).
+func CheckRecorder[T any](r *Recorder[T], compare func(a, b T) bool) error {
+	return Check(r.Events(), compare)
+}

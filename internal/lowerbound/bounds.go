@@ -1,0 +1,67 @@
+package lowerbound
+
+import "math"
+
+// Analytic bounds from the paper, all as functions of the number of
+// processes n (or the call budget M where noted).
+
+// LongLivedLower is Theorem 1.1: any long-lived unbounded timestamp object
+// satisfying non-deterministic solo-termination uses at least n/6 − 1
+// registers. The construction actually covers ⌊⌊n/2⌋/3⌋ ≥ ⌊n/6⌋ registers;
+// we return ⌊n/6⌋, the count the constructed (3,⌊n/2⌋)-configuration
+// guarantees.
+func LongLivedLower(n int) int {
+	return n / 6
+}
+
+// LongLivedUpper is the matching upper bound cited from Ellen, Fatourou
+// and Ruppert: a wait-free long-lived algorithm with n − 1 registers.
+func LongLivedUpper(n int) int {
+	if n < 1 {
+		return 0
+	}
+	return n - 1
+}
+
+// OneShotM is m = ⌊√(2n)⌋, the grid width of the §4 construction.
+func OneShotM(n int) int {
+	return int(math.Sqrt(2 * float64(n)))
+}
+
+// OneShotLower is Theorem 1.2's construction guarantee: the adversary
+// reaches a configuration covering at least m − log₂n − 2 registers where
+// m = ⌊√(2n)⌋ (i.e. √(2n) − log n − O(1)). Values below 1 are clamped to
+// the trivial bound 1 (n ≥ 2 processes must write somewhere).
+func OneShotLower(n int) int {
+	if n < 2 {
+		return 0
+	}
+	b := OneShotM(n) - int(math.Ceil(math.Log2(float64(n)))) - 2
+	if b < 1 {
+		return 1
+	}
+	return b
+}
+
+// OneShotUpper is Theorem 1.3: the wait-free one-shot algorithm of §6 uses
+// ⌈2√n⌉ registers.
+func OneShotUpper(n int) int {
+	return int(math.Ceil(2 * math.Sqrt(float64(n))))
+}
+
+// SimpleUpper is the §5 algorithm: ⌈n/2⌉ registers.
+func SimpleUpper(n int) int {
+	return (n + 1) / 2
+}
+
+// SignatureSpace3K returns the number of distinct signatures over m
+// registers with every entry in {0,1,2,3}: the finiteness that powers the
+// pigeonhole in Lemma 3.1 (two configurations along any long enough
+// execution share a signature). The count is 4^m, capped at MaxInt for
+// large m.
+func SignatureSpace3K(m int) int {
+	if m >= 31 {
+		return math.MaxInt
+	}
+	return 1 << (2 * m)
+}

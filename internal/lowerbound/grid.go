@@ -1,0 +1,81 @@
+package lowerbound
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Grid renders the geometric representation of configurations used
+// throughout §4 (Figures 1 and 2): a grid of cells where column c (1-based)
+// has the lowest s_c cells shaded — each shaded cell is a process covering
+// the register that column corresponds to — together with the stepped
+// diagonal that starts at height ℓ−1 over column 1 and decreases by one
+// per column. A configuration is ℓ-constrained iff all shading stays below
+// the diagonal.
+//
+// Example (m = 6, ℓ = 6, ordered signature (5, 4, 1, 1, 0, 0)) — columns 1
+// and 2 reach the diagonal (s_c = ℓ−c) and are starred:
+//
+//	5 | *
+//	4 | # *
+//	3 | # # .
+//	2 | # #   .
+//	1 | # # # # .
+//	  +------------
+//	    1 2 3 4 5 6
+//
+// '#' is a covering process, '.' marks the stepped diagonal (height ℓ−c in
+// column c), and a '*' marks a cell that is both shaded and on the
+// diagonal — a column that reached the diagonal, the event driving the §4
+// construction.
+func Grid(o OrderedSignature, l int) string {
+	m := len(o)
+	height := l // rows 1..l-1 carry cells; include row for diagonal at l-1
+	if height < 2 {
+		height = 2
+	}
+	var b strings.Builder
+	for row := height - 1; row >= 1; row-- {
+		fmt.Fprintf(&b, "%3d |", row)
+		for c := 1; c <= m; c++ {
+			shaded := c-1 < len(o) && o[c-1] >= row
+			diag := l-c == row
+			switch {
+			case shaded && diag:
+				b.WriteString(" *")
+			case shaded:
+				b.WriteString(" #")
+			case diag:
+				b.WriteString(" .")
+			default:
+				b.WriteString("  ")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("    +")
+	b.WriteString(strings.Repeat("--", m))
+	b.WriteByte('\n')
+	b.WriteString("     ")
+	for c := 1; c <= m; c++ {
+		if c < 10 {
+			fmt.Fprintf(&b, "%2d", c)
+		} else {
+			fmt.Fprintf(&b, "%2d", c%10)
+		}
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// DiagonalColumn returns the lowest (1-based) column whose shading reaches
+// the stepped diagonal — s_c ≥ ℓ−c — or 0 if none does. In Figure 1 this
+// is the column j witnessing the (j, m−j)-full configuration.
+func DiagonalColumn(o OrderedSignature, l int) int {
+	for c := 1; c <= len(o); c++ {
+		if o[c-1] >= l-c {
+			return c
+		}
+	}
+	return 0
+}

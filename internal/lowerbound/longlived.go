@@ -1,0 +1,93 @@
+package lowerbound
+
+import "fmt"
+
+// LongLivedStep records one inductive step of the §3 construction
+// (Lemma 3.2): two fresh processes are dedicated, Lemma 3.1 finds two
+// similar (3,k−1)-configurations bracketing three block writes, Lemma 2.1
+// forces one of the fresh processes to cover a register outside R3, and
+// the result is a (3,k)-configuration.
+type LongLivedStep struct {
+	K          int       // the step number: a (3,K)-configuration is reached
+	Register   int       // register the new covering process was forced onto
+	Signature  Signature // signature after the step
+	R3Size     int       // |R3| before the step: registers needing block writes
+	BlockWrite int       // processes participating in the three block writes (3·|R3|)
+}
+
+// LongLivedReport is the outcome of replaying the §3 construction.
+type LongLivedReport struct {
+	N              int
+	K              int // final k = ⌊n/2⌋: a (3,k)-configuration was reached
+	Covered        int // registers covered in the final configuration
+	Bound          int // Theorem 1.1's guarantee: ⌊n/6⌋
+	ProcessesUsed  int // fresh processes dedicated (2 per step)
+	Steps          []LongLivedStep
+	SignatureSpace int // 4^m: the pigeonhole bound behind Lemma 3.1
+}
+
+// LongLivedConstruction replays the Theorem 1.1 construction for n
+// processes with the given placement policy. It drives the abstract
+// covering state through ⌊n/2⌋ inductive steps, checking after each that
+// the configuration is a (3,k)-configuration, and returns the trajectory.
+// The policy decides which (at most 2-covered) register each forced
+// process covers — Lemma 2.1 only guarantees it lies outside R3(C).
+func LongLivedConstruction(n int, policy Policy) (*LongLivedReport, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("lowerbound: need n ≥ 2, got %d", n)
+	}
+	kMax := n / 2
+	// The construction never needs more registers than kMax (each step
+	// covers a register with ≤ 2 coverers; in the worst spread every step
+	// opens a new register).
+	sig := make(Signature, kMax)
+	rep := &LongLivedReport{
+		N:              n,
+		Bound:          LongLivedLower(n),
+		SignatureSpace: SignatureSpace3K(kMax),
+	}
+
+	for k := 1; k <= kMax; k++ {
+		// Lemma 3.1 brackets the step with three block writes to R3(C0) by
+		// disjoint sets B0, B1, B2 — possible because every register in R3
+		// is covered by exactly 3 processes.
+		r3 := sig.R3()
+
+		// Lemma 2.1 forces one of the two fresh processes p_{2k-1}, p_{2k}
+		// to write outside R3(C0); it pauses covering a register with at
+		// most 2 coverers. The policy picks which.
+		var candidates []int
+		for i, c := range sig {
+			if c <= 2 {
+				candidates = append(candidates, i)
+			}
+		}
+		if len(candidates) == 0 {
+			return nil, fmt.Errorf("lowerbound: step %d: no register with ≤ 2 coverers (impossible: k ≤ ⌊n/2⌋ ≤ m·3)", k)
+		}
+		reg := policy.Pick(sig, candidates)
+		if sig[reg] > 2 {
+			return nil, fmt.Errorf("lowerbound: policy %s picked register %d with %d coverers", policy.Name(), reg, sig[reg])
+		}
+		sig[reg]++
+
+		if !sig.Is3K(k) {
+			return nil, fmt.Errorf("lowerbound: step %d did not produce a (3,%d)-configuration: %v", k, k, sig)
+		}
+		rep.ProcessesUsed += 2
+		rep.Steps = append(rep.Steps, LongLivedStep{
+			K:          k,
+			Register:   reg,
+			Signature:  sig.Clone(),
+			R3Size:     len(r3),
+			BlockWrite: 3 * len(r3),
+		})
+	}
+
+	rep.K = kMax
+	rep.Covered = sig.CoveredRegisters()
+	if rep.Covered < rep.Bound {
+		return nil, fmt.Errorf("lowerbound: construction covered %d registers, below the Theorem 1.1 bound %d", rep.Covered, rep.Bound)
+	}
+	return rep, nil
+}

@@ -1,0 +1,507 @@
+package lowerbound
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSignatureBasics(t *testing.T) {
+	sig := Signature{3, 1, 0, 2}
+	if sig.Sum() != 6 {
+		t.Errorf("Sum = %d", sig.Sum())
+	}
+	if sig.CoveredRegisters() != 3 {
+		t.Errorf("CoveredRegisters = %d", sig.CoveredRegisters())
+	}
+	if !sig.Is3K(6) || sig.Is3K(5) {
+		t.Error("Is3K misbehaves on count")
+	}
+	if (Signature{4, 1}).Is3K(5) {
+		t.Error("Is3K must reject entries > 3")
+	}
+	r3 := sig.R3()
+	if len(r3) != 1 || r3[0] != 0 {
+		t.Errorf("R3 = %v", r3)
+	}
+	if !sig.Equal(sig.Clone()) {
+		t.Error("clone not equal")
+	}
+	if sig.Equal(Signature{3, 1, 0}) {
+		t.Error("length mismatch must not be equal")
+	}
+}
+
+func TestOrderedSignature(t *testing.T) {
+	o := Signature{1, 5, 0, 3}.Ordered()
+	want := OrderedSignature{5, 3, 1, 0}
+	for i := range want {
+		if o[i] != want[i] {
+			t.Fatalf("Ordered = %v, want %v", o, want)
+		}
+	}
+	if o.String() != "(5, 3, 1, 0)" {
+		t.Errorf("String = %q", o.String())
+	}
+}
+
+func TestLConstrained(t *testing.T) {
+	// ℓ=4: need s1≤3, s2≤2, s3≤1, s4≤0.
+	if !(OrderedSignature{3, 2, 1, 0}).LConstrained(4) {
+		t.Error("boundary case should be ℓ-constrained")
+	}
+	if (OrderedSignature{4, 2, 1, 0}).LConstrained(4) {
+		t.Error("s1=4 > 3 must fail")
+	}
+	if (OrderedSignature{3, 2, 1, 1}).LConstrained(4) {
+		t.Error("s4=1 > 0 must fail")
+	}
+	// Short signatures: missing entries are 0.
+	if !(OrderedSignature{2}).LConstrained(4) {
+		t.Error("short signature should pass")
+	}
+}
+
+func TestJKFull(t *testing.T) {
+	o := OrderedSignature{5, 3, 3, 1}
+	if !o.JKFull(3, 3) || o.JKFull(3, 4) || o.JKFull(5, 1) || o.JKFull(0, 1) {
+		t.Error("JKFull misbehaves")
+	}
+}
+
+func TestGridRendering(t *testing.T) {
+	o := OrderedSignature{5, 4, 1, 1, 0, 0}
+	g := Grid(o, 6)
+	if !strings.Contains(g, "#") || !strings.Contains(g, ".") {
+		t.Fatalf("grid missing marks:\n%s", g)
+	}
+	// Column 2 has height 4 = ℓ−2: it touches the diagonal → a '*'.
+	if !strings.Contains(g, "*") {
+		t.Errorf("diagonal touch not starred:\n%s", g)
+	}
+	if DiagonalColumn(o, 6) != 1 {
+		// s1 = 5 = 6−1: column 1 reaches the diagonal.
+		t.Errorf("DiagonalColumn = %d, want 1", DiagonalColumn(o, 6))
+	}
+	if DiagonalColumn(OrderedSignature{1, 1}, 6) != 0 {
+		t.Error("no column should reach the diagonal")
+	}
+}
+
+func TestBoundFormulas(t *testing.T) {
+	cases := []struct {
+		n                     int
+		llLower, llUpper      int
+		osM, osLower, osUpper int
+		simple                int
+	}{
+		{n: 18, llLower: 3, llUpper: 17, osM: 6, osLower: 1, osUpper: 9, simple: 9},
+		{n: 100, llLower: 16, llUpper: 99, osM: 14, osLower: 5, osUpper: 20, simple: 50},
+		{n: 5000, llLower: 833, llUpper: 4999, osM: 100, osLower: 85, osUpper: 142, simple: 2500},
+	}
+	for _, c := range cases {
+		if got := LongLivedLower(c.n); got != c.llLower {
+			t.Errorf("LongLivedLower(%d) = %d, want %d", c.n, got, c.llLower)
+		}
+		if got := LongLivedUpper(c.n); got != c.llUpper {
+			t.Errorf("LongLivedUpper(%d) = %d, want %d", c.n, got, c.llUpper)
+		}
+		if got := OneShotM(c.n); got != c.osM {
+			t.Errorf("OneShotM(%d) = %d, want %d", c.n, got, c.osM)
+		}
+		if got := OneShotLower(c.n); got != c.osLower {
+			t.Errorf("OneShotLower(%d) = %d, want %d", c.n, got, c.osLower)
+		}
+		if got := OneShotUpper(c.n); got != c.osUpper {
+			t.Errorf("OneShotUpper(%d) = %d, want %d", c.n, got, c.osUpper)
+		}
+		if got := SimpleUpper(c.n); got != c.simple {
+			t.Errorf("SimpleUpper(%d) = %d, want %d", c.n, got, c.simple)
+		}
+	}
+	if SignatureSpace3K(3) != 64 {
+		t.Errorf("SignatureSpace3K(3) = %d", SignatureSpace3K(3))
+	}
+}
+
+// The asymptotic separation (the paper's headline): for large n the
+// one-shot upper bound is far below the long-lived lower bound.
+func TestGapAsymptotics(t *testing.T) {
+	for _, n := range []int{200, 2000, 20000} {
+		if OneShotUpper(n) >= LongLivedLower(n) {
+			t.Errorf("n=%d: one-shot upper %d not below long-lived lower %d",
+				n, OneShotUpper(n), LongLivedLower(n))
+		}
+	}
+}
+
+func TestLongLivedConstructionAllPolicies(t *testing.T) {
+	for _, n := range []int{2, 6, 7, 12, 50, 300} {
+		for _, pol := range Policies(42) {
+			t.Run(fmt.Sprintf("n=%d/%s", n, pol.Name()), func(t *testing.T) {
+				rep, err := LongLivedConstruction(n, pol)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if rep.K != n/2 {
+					t.Errorf("final k = %d, want %d", rep.K, n/2)
+				}
+				if rep.Covered < LongLivedLower(n) {
+					t.Errorf("covered %d < bound %d", rep.Covered, LongLivedLower(n))
+				}
+				if rep.ProcessesUsed != 2*(n/2) {
+					t.Errorf("processes used %d", rep.ProcessesUsed)
+				}
+				// Every step's signature is a (3,k)-configuration (checked
+				// internally too; re-verify from the record).
+				for _, st := range rep.Steps {
+					if !st.Signature.Is3K(st.K) {
+						t.Errorf("step %d signature %v not (3,%d)", st.K, st.Signature, st.K)
+					}
+				}
+			})
+		}
+	}
+}
+
+// The worst-case policy (fill each register to 3) yields exactly ⌈k/3⌉
+// covered registers — the construction's guaranteed minimum.
+func TestLongLivedWorstCaseExact(t *testing.T) {
+	n := 60
+	rep, err := LongLivedConstruction(n, FirstFit{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := n / 2
+	want := (k + 2) / 3
+	if rep.Covered != want {
+		t.Errorf("first-fit covered %d, want exactly ⌈k/3⌉ = %d", rep.Covered, want)
+	}
+}
+
+// The best-case policy (spread) covers k registers; the bound still holds.
+func TestLongLivedSpreadCoversK(t *testing.T) {
+	n := 40
+	rep, err := LongLivedConstruction(n, LowestFirst{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Covered != n/2 {
+		t.Errorf("lowest-first covered %d, want k = %d", rep.Covered, n/2)
+	}
+}
+
+func TestLongLivedRejectsTinyN(t *testing.T) {
+	if _, err := LongLivedConstruction(1, FirstFit{}); err == nil {
+		t.Error("n=1 should be rejected")
+	}
+}
+
+func TestOneShotConstructionAllPolicies(t *testing.T) {
+	for _, n := range []int{8, 18, 32, 72, 200, 1000, 5000} {
+		for _, pol := range Policies(7) {
+			t.Run(fmt.Sprintf("n=%d/%s", n, pol.Name()), func(t *testing.T) {
+				rep, err := OneShotConstruction(n, pol)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if rep.FinalJ < rep.Bound {
+					t.Errorf("final j = %d < bound %d (m=%d)", rep.FinalJ, rep.Bound, rep.M)
+				}
+				if rep.Covered() < rep.FinalJ {
+					t.Errorf("covered %d < full registers %d", rep.Covered(), rep.FinalJ)
+				}
+				if rep.IdleLeft < 1 {
+					t.Errorf("idle exhausted: %d", rep.IdleLeft)
+				}
+				t.Logf("n=%d m=%d: j_last=%d ℓ_last=%d case2=%d steps=%d consumed=%d",
+					n, rep.M, rep.FinalJ, rep.FinalL, rep.Case2Count, len(rep.Steps), rep.Consumed)
+			})
+		}
+	}
+}
+
+// Figure 1: the initial configuration has a column reaching the diagonal.
+func TestFigure1Reproduction(t *testing.T) {
+	rep, err := OneShotConstruction(200, LowestFirst{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := rep.Steps[0]
+	o := first.Ordered()
+	col := DiagonalColumn(o, rep.M)
+	if col == 0 {
+		t.Fatalf("step 1 reached no diagonal column: %v", o)
+	}
+	g := Grid(o, rep.M)
+	if !strings.Contains(g, "*") {
+		t.Errorf("Figure 1 grid has no diagonal touch:\n%s", g)
+	}
+	t.Logf("Figure 1 (n=200, m=%d): j1=%d\n%s", rep.M, first.J, g)
+}
+
+// Figure 2: along the construction both Case 1 and Case 2 steps occur (for
+// a policy that exercises both), and Case 2 halves the idle pool at most
+// log n times.
+func TestFigure2Cases(t *testing.T) {
+	seenCase2 := false
+	for _, pol := range Policies(3) {
+		rep, err := OneShotConstruction(1000, pol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, st := range rep.Steps[1:] {
+			if st.Case == 2 {
+				seenCase2 = true
+				if st.Nu != 1 || st.BlockWrites != 2 {
+					t.Errorf("Case 2 step with ν=%d bw=%d", st.Nu, st.BlockWrites)
+				}
+			}
+		}
+	}
+	if !seenCase2 {
+		t.Log("no Case 2 steps observed under the standard policies (Case 2 requires ν=1 after two block writes)")
+	}
+}
+
+func TestOneShotRejectsTinyN(t *testing.T) {
+	if _, err := OneShotConstruction(2, FirstFit{}); err == nil {
+		t.Error("n=2 should be rejected")
+	}
+}
+
+// Property: for random n, the construction succeeds for every policy and
+// respects the bound.
+func TestQuickOneShotBound(t *testing.T) {
+	f := func(seed int64, raw uint16) bool {
+		n := int(raw)%3000 + 3
+		rep, err := OneShotConstruction(n, NewRandomPolicy(seed))
+		if err != nil {
+			t.Logf("n=%d: %v", n, err)
+			return false
+		}
+		return rep.FinalJ >= rep.Bound
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ordered signatures are permutations: Sum preserved, sorted.
+func TestQuickOrderedIsSortedPermutation(t *testing.T) {
+	f := func(raw []uint8) bool {
+		sig := make(Signature, len(raw))
+		for i, v := range raw {
+			sig[i] = int(v % 7)
+		}
+		o := sig.Ordered()
+		sum := 0
+		for i, v := range o {
+			sum += v
+			if i > 0 && o[i-1] < v {
+				return false
+			}
+		}
+		return sum == sig.Sum()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkOneShotConstruction(b *testing.B) {
+	for _, n := range []int{100, 10000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := OneShotConstruction(n, LowestFirst{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// Case 2 of the §4 construction (Figure 2, right panel) requires a finely
+// tuned implementation: the diagonal must be reached at column j+1 (ν = 1)
+// only after the second block write. No oblivious policy produces it, so we
+// script one: n = 32 gives m = 8; step 1 piles two columns to height 6
+// (ν = 2, j = 2, ℓ = 8); step 2 makes nine "safe" staircase placements
+// (4, 3, 2 on three fresh columns — never feasible for any ν), which
+// exhausts half the idle budget and triggers the second block write, and
+// the tenth placement spikes the height-4 column to 5 = ℓ−j−1: ν = 1 after
+// two block writes — Case 2, decrementing ℓ.
+func TestFigure2Case2Scripted(t *testing.T) {
+	script := &Scripted{
+		Moves: []int{
+			0, 0, 0, 0, 0, 0, // step 1: col 0 → height 6
+			1, 1, 1, 1, 1, 1, // step 1: col 1 → height 6, triggers ν=2
+			2, 2, 2, 2, // step 2: col 2 → height 4 (safe: < ℓ−j−1 = 5)
+			3, 3, 3, // col 3 → height 3
+			4, 4, // col 4 → height 2; 9 placements ≥ ⌊budget/2⌋ → block write 2
+			2, // spike col 2 → height 5 = ℓ−j−1: ν=1 after 2 block writes
+		},
+		Fallback: HighestFirst{},
+	}
+	rep, err := OneShotConstructionQ(32, script, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Case2Count == 0 {
+		t.Fatalf("scripted run produced no Case 2 step: %+v", stepsSummary(rep))
+	}
+	var c2 *OneShotStep
+	for i := range rep.Steps {
+		if rep.Steps[i].Case == 2 {
+			c2 = &rep.Steps[i]
+			break
+		}
+	}
+	if c2.Nu != 1 || c2.BlockWrites != 2 {
+		t.Errorf("Case 2 step has ν=%d bw=%d, want 1 and 2", c2.Nu, c2.BlockWrites)
+	}
+	// ℓ dropped by exactly the number of Case 2 steps.
+	if rep.FinalL != rep.M-rep.Case2Count {
+		t.Errorf("ℓ_last = %d, want m−δ = %d", rep.FinalL, rep.M-rep.Case2Count)
+	}
+	// The bound survives Case 2.
+	if rep.FinalJ < rep.Bound {
+		t.Errorf("final j = %d < bound %d", rep.FinalJ, rep.Bound)
+	}
+	t.Logf("Case 2 at step %d (j=%d, ℓ=%d)\n%s", c2.K, c2.J, c2.L, Grid(c2.Ordered(), c2.L))
+}
+
+func stepsSummary(rep *OneShotReport) []string {
+	var out []string
+	for _, st := range rep.Steps {
+		out = append(out, fmt.Sprintf("k=%d bw=%d placed=%d nu=%d case=%d j=%d l=%d",
+			st.K, st.BlockWrites, st.Placed, st.Nu, st.Case, st.J, st.L))
+	}
+	return out
+}
+
+// Golden rendering: the exact grid for the package-documented example.
+func TestGridGolden(t *testing.T) {
+	got := Grid(OrderedSignature{5, 4, 1, 1, 0, 0}, 6)
+	want := "" +
+		"  5 | *          \n" +
+		"  4 | # *        \n" +
+		"  3 | # # .      \n" +
+		"  2 | # #   .    \n" +
+		"  1 | # # # # .  \n" +
+		"    +------------\n" +
+		"      1 2 3 4 5 6\n"
+	if got != want {
+		t.Errorf("grid mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// Property: DiagonalColumn agrees with a direct scan of the definition.
+func TestQuickDiagonalColumn(t *testing.T) {
+	f := func(raw []uint8, lRaw uint8) bool {
+		o := make(OrderedSignature, len(raw))
+		for i, v := range raw {
+			o[i] = int(v % 12)
+		}
+		// Sort non-increasing to be a valid ordered signature.
+		for a := 0; a < len(o); a++ {
+			for b := a + 1; b < len(o); b++ {
+				if o[b] > o[a] {
+					o[a], o[b] = o[b], o[a]
+				}
+			}
+		}
+		l := int(lRaw%12) + 1
+		got := DiagonalColumn(o, l)
+		want := 0
+		for c := 1; c <= len(o); c++ {
+			if o[c-1] >= l-c {
+				want = c
+				break
+			}
+		}
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The two Q-selection rules both respect the Theorem 1.2 bound.
+func TestOneShotSmallQBound(t *testing.T) {
+	for _, n := range []int{32, 200, 2000} {
+		for _, pol := range Policies(13) {
+			rep, err := OneShotConstructionQ(n, pol, true)
+			if err != nil {
+				t.Fatalf("n=%d %s smallQ: %v", n, pol.Name(), err)
+			}
+			if rep.FinalJ < rep.Bound {
+				t.Errorf("n=%d %s smallQ: j=%d < bound %d", n, pol.Name(), rep.FinalJ, rep.Bound)
+			}
+		}
+	}
+}
+
+// LongLivedConstruction trajectory invariants: R3 size grows ⌊k/3⌋-ish and
+// block-writer counts are 3·|R3|.
+func TestLongLivedBlockWriteAccounting(t *testing.T) {
+	rep, err := LongLivedConstruction(30, FirstFit{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range rep.Steps {
+		if st.BlockWrite != 3*st.R3Size {
+			t.Errorf("step %d: block writers %d != 3·|R3| = %d", st.K, st.BlockWrite, 3*st.R3Size)
+		}
+	}
+}
+
+// Lemma 3.1's pigeonhole engine, executable: along any sequence of
+// (3,k)-configurations over m registers, two equal signatures appear
+// within 4^m + 1 steps, because signatures with entries in {0,1,2,3} are
+// only 4^m strong. We drive a random signature walk and verify the
+// repetition bound.
+func TestLemma31PigeonholeRepetition(t *testing.T) {
+	const m = 5 // 4^5 = 1024 signatures
+	space := SignatureSpace3K(m)
+	rng := newDetRand(99)
+	sig := make(Signature, m)
+	seen := map[string]int{}
+	key := func(s Signature) string {
+		out := make([]byte, m)
+		for i, c := range s {
+			out[i] = byte('0' + c)
+		}
+		return string(out)
+	}
+	for step := 0; step <= space; step++ {
+		if prev, ok := seen[key(sig)]; ok {
+			t.Logf("signature repeated: steps %d and %d (space 4^m = %d)", prev, step, space)
+			return
+		}
+		seen[key(sig)] = step
+		// Random (3,·)-preserving mutation.
+		r := rng.Intn(m)
+		if sig[r] < 3 && rng.Intn(2) == 0 {
+			sig[r]++
+		} else if sig[r] > 0 {
+			sig[r]--
+		}
+	}
+	t.Fatalf("no repetition within 4^m + 1 = %d steps: pigeonhole broken", space+1)
+}
+
+func newDetRand(seed int64) *detRand { return &detRand{state: uint64(seed)} }
+
+// detRand is a tiny splitmix64 generator (keeps the test free of
+// math/rand's global state).
+type detRand struct{ state uint64 }
+
+func (r *detRand) Intn(n int) int {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return int(z % uint64(n))
+}

@@ -1,0 +1,314 @@
+package lowerbound
+
+import (
+	"fmt"
+	"math"
+)
+
+// OneShotStep records one application of Lemma 4.1 in the §4 construction.
+type OneShotStep struct {
+	K           int   // construction step (R_K is produced)
+	BlockWrites int   // block writes executed before Q formed (0, 1 or 2)
+	Placed      int   // idle processes consumed by placements this step
+	Nu          int   // |Q|: registers newly added to the full set
+	Case        int   // 1 or 2 (paper's case analysis); step 1 is Case 1
+	J           int   // j_K after the step
+	L           int   // ℓ_K after the step
+	Heights     []int // covering counts per register after the step
+	Idle        int   // idle processes remaining after the step
+}
+
+// Ordered returns the ordered signature after the step.
+func (s *OneShotStep) Ordered() OrderedSignature {
+	return Signature(s.Heights).Ordered()
+}
+
+// OneShotReport is the outcome of replaying the Theorem 1.2 construction.
+type OneShotReport struct {
+	N, M       int // processes; grid width m = ⌊√(2n)⌋
+	Steps      []OneShotStep
+	FinalJ     int // j_last: registers guaranteed covered
+	FinalL     int // ℓ_last
+	Case2Count int // δ: times Case 2 occurred (≤ log₂ n)
+	IdleLeft   int
+	// Consumed is the number of distinct processes that left the idle set
+	// (each was run solo until poised). Block writers are drawn from these,
+	// so Consumed + IdleLeft = N always.
+	Consumed int
+	// BlockWriterSteps counts the single steps taken by block-writing
+	// processes across all block writes (each such process is consumed for
+	// good: it takes no further steps, which is what makes the §7 remark
+	// about historyless objects go through).
+	BlockWriterSteps int
+	Bound            int // Theorem 1.2 guarantee: m − log₂n − 2
+}
+
+// Covered returns the number of registers covered in the final
+// configuration (full registers plus any other register with a poised
+// process).
+func (r *OneShotReport) Covered() int {
+	if len(r.Steps) == 0 {
+		return 0
+	}
+	return Signature(r.Steps[len(r.Steps)-1].Heights).CoveredRegisters()
+}
+
+// oneShotState carries the construction state between steps.
+type oneShotState struct {
+	m       int
+	l       int
+	heights []int // heights[i]: processes covering register i
+	full    []bool
+	j       int
+	idle    int
+	policy  Policy
+	// smallQ selects the smallest feasible Q instead of the largest when
+	// several qualify. The paper fixes neither choice; large Q advances j
+	// fastest (and empirically avoids Case 2 entirely), small Q advances
+	// one register at a time and exercises the Case 2 branch of the proof.
+	smallQ bool
+}
+
+// findQ looks for a non-empty Q ⊆ R̄ such that every register of Q is
+// covered by at least l − j − |Q| processes (§4). It returns the chosen
+// registers (the |Q| highest columns outside the full set, preferring the
+// largest feasible |Q|) or nil.
+func (s *oneShotState) findQ() []int {
+	// Candidates: registers outside the full set, sorted by height desc.
+	var cand []int
+	for i := 0; i < s.m; i++ {
+		if !s.full[i] {
+			cand = append(cand, i)
+		}
+	}
+	// Selection sort by height descending (m is tiny).
+	for a := 0; a < len(cand); a++ {
+		for b := a + 1; b < len(cand); b++ {
+			if s.heights[cand[b]] > s.heights[cand[a]] {
+				cand[a], cand[b] = cand[b], cand[a]
+			}
+		}
+	}
+	// |Q| is capped at ℓ−j−1 so the threshold ℓ−j−|Q| stays ≥ 1: every
+	// register entering the full set has at least one coverer, which is
+	// what makes "every register in R_last is covered" true at the end.
+	maxNu := s.l - s.j - 1
+	if maxNu > len(cand) {
+		maxNu = len(cand)
+	}
+	feasible := func(nu int) bool {
+		for i := 0; i < nu; i++ {
+			if s.heights[cand[i]] < s.l-s.j-nu {
+				return false
+			}
+		}
+		return true
+	}
+	if s.smallQ {
+		for nu := 1; nu <= maxNu; nu++ {
+			if feasible(nu) {
+				return cand[:nu]
+			}
+		}
+		return nil
+	}
+	for nu := maxNu; nu >= 1; nu-- {
+		if feasible(nu) {
+			return cand[:nu]
+		}
+	}
+	return nil
+}
+
+// place runs one idle process solo until it covers a register outside the
+// full set (Lemma 4.1 participants), with the policy choosing the column.
+func (s *oneShotState) place() error {
+	var candidates []int
+	for i := 0; i < s.m; i++ {
+		if !s.full[i] {
+			candidates = append(candidates, i)
+		}
+	}
+	if len(candidates) == 0 {
+		return fmt.Errorf("lowerbound: no register outside the full set (j = m)")
+	}
+	reg := s.policy.Pick(s.heights, candidates)
+	if s.full[reg] {
+		return fmt.Errorf("lowerbound: policy %s placed inside the full set", s.policy.Name())
+	}
+	s.heights[reg]++
+	s.idle--
+	return nil
+}
+
+// blockWrite performs one block write to the full set: each full register
+// loses one covering process (the writer takes its step and is consumed).
+func (s *oneShotState) blockWrite() int {
+	n := 0
+	for i := 0; i < s.m; i++ {
+		if s.full[i] {
+			if s.heights[i] <= 0 {
+				panic("lowerbound: block write on uncovered register")
+			}
+			s.heights[i]--
+			n++
+		}
+	}
+	return n
+}
+
+// poisedOutside counts processes covering registers outside the full set.
+func (s *oneShotState) poisedOutside() int {
+	total := 0
+	for i := 0; i < s.m; i++ {
+		if !s.full[i] {
+			total += s.heights[i]
+		}
+	}
+	return total
+}
+
+// checkInvariant verifies construction invariant (c) of §4:
+// |poised(C, R̄)| + |idle| − 1 ≥ Σ_{c=j+1}^m (m − c).
+func (s *oneShotState) checkInvariant() error {
+	rhs := 0
+	for c := s.j + 1; c <= s.m; c++ {
+		rhs += s.m - c
+	}
+	if s.poisedOutside()+s.idle-1 < rhs {
+		return fmt.Errorf("lowerbound: invariant (c) violated: poised %d + idle %d − 1 < %d (j=%d)",
+			s.poisedOutside(), s.idle, rhs, s.j)
+	}
+	return nil
+}
+
+// checkFull verifies invariant (e): every full register is covered by at
+// least ℓ − j processes.
+func (s *oneShotState) checkFull() error {
+	for i := 0; i < s.m; i++ {
+		if s.full[i] && s.heights[i] < s.l-s.j {
+			return fmt.Errorf("lowerbound: invariant (e) violated: register %d covered by %d < ℓ−j = %d",
+				i, s.heights[i], s.l-s.j)
+		}
+	}
+	return nil
+}
+
+// OneShotConstruction replays the Theorem 1.2 construction for n processes
+// with the given placement policy, checking the construction invariants at
+// every step. It returns the full trajectory; the final configuration
+// covers FinalJ ≥ m − log₂n − 2 registers.
+func OneShotConstruction(n int, policy Policy) (*OneShotReport, error) {
+	return OneShotConstructionQ(n, policy, false)
+}
+
+// OneShotConstructionQ is OneShotConstruction with explicit control over
+// the Q-selection rule (smallQ true picks the smallest feasible Q each
+// step, exercising the proof's Case 2 branch).
+func OneShotConstructionQ(n int, policy Policy, smallQ bool) (*OneShotReport, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("lowerbound: need n ≥ 3, got %d", n)
+	}
+	m := OneShotM(n)
+	st := &oneShotState{
+		m:       m,
+		l:       m,
+		heights: make([]int, m),
+		full:    make([]bool, m),
+		idle:    n,
+		policy:  policy,
+		smallQ:  smallQ,
+	}
+	rep := &OneShotReport{N: n, M: m, Bound: OneShotLower(n)}
+	consumed := 0
+
+	for k := 1; ; k++ {
+		if k > 1 && (st.l-st.j < 3 || st.idle < 2) {
+			break
+		}
+		if k > 10*m+10 {
+			return nil, fmt.Errorf("lowerbound: construction did not terminate after %d steps", k)
+		}
+
+		step := OneShotStep{K: k}
+		// Up to two block writes bracket the placements (none on step 1,
+		// where the B sets are empty).
+		maxBW := 2
+		if st.j == 0 {
+			maxBW = 0
+		}
+		// Placements available this step: Lemma 4.1 consumes at most
+		// |U| − 1 of the idle processes.
+		budget := st.idle - 1
+
+		q := st.findQ() // Q may already exist at the step's start (empty prefix)
+		for q == nil {
+			if step.BlockWrites < maxBW &&
+				(step.BlockWrites == 0 || step.Placed >= budget/2) {
+				// The paper's schedule is βσβ′σ′: the first block write
+				// comes first; the second comes after σ's ⌊|U|/2⌋
+				// placements.
+				rep.BlockWriterSteps += st.blockWrite()
+				step.BlockWrites++
+				q = st.findQ()
+				continue
+			}
+			if step.Placed >= budget {
+				return nil, fmt.Errorf("lowerbound: step %d exhausted its %d placements without forming Q (invariant (c) should prevent this)", k, budget)
+			}
+			if err := st.place(); err != nil {
+				return nil, err
+			}
+			step.Placed++
+			consumed++
+			q = st.findQ()
+		}
+
+		// Update R, j, ℓ per the case analysis.
+		step.Nu = len(q)
+		for _, r := range q {
+			st.full[r] = true
+		}
+		st.j += step.Nu
+		if step.Nu == 1 && step.BlockWrites == 2 {
+			step.Case = 2
+			st.l--
+			rep.Case2Count++
+		} else {
+			step.Case = 1
+		}
+		step.J, step.L = st.j, st.l
+		step.Heights = append([]int(nil), st.heights...)
+		step.Idle = st.idle
+		rep.Steps = append(rep.Steps, step)
+
+		if err := st.checkFull(); err != nil {
+			return nil, fmt.Errorf("step %d: %w", k, err)
+		}
+		if err := st.checkInvariant(); err != nil {
+			return nil, fmt.Errorf("step %d: %w", k, err)
+		}
+		if !Signature(st.heights).Ordered().LConstrained(st.l + 1) {
+			// Columns may touch the ℓ-diagonal exactly when Q forms; the
+			// configuration stays (ℓ+1)-constrained throughout.
+			return nil, fmt.Errorf("step %d: configuration not (ℓ+1)-constrained: %v (ℓ=%d)", k, st.heights, st.l)
+		}
+	}
+
+	rep.FinalJ = st.j
+	rep.FinalL = st.l
+	rep.IdleLeft = st.idle
+	rep.Consumed = consumed
+
+	// Theorem 1.2's accounting: δ ≤ log₂ n and j_last ≥ m − δ − 2.
+	if limit := int(math.Ceil(math.Log2(float64(n)))) + 1; rep.Case2Count > limit {
+		return nil, fmt.Errorf("lowerbound: Case 2 occurred %d times, exceeding log₂(%d) ≈ %d", rep.Case2Count, n, limit)
+	}
+	if st.idle <= 1 && st.l-st.j >= 3 {
+		return nil, fmt.Errorf("lowerbound: construction ran out of idle processes (idle=%d), contradicting §4's counting", st.idle)
+	}
+	if rep.FinalJ < rep.Bound {
+		return nil, fmt.Errorf("lowerbound: final j = %d below Theorem 1.2 bound %d (m=%d, δ=%d)", rep.FinalJ, rep.Bound, rep.M, rep.Case2Count)
+	}
+	return rep, nil
+}

@@ -1,0 +1,116 @@
+package lowerbound
+
+import "math/rand"
+
+// Policy models the one degree of freedom the lower-bound constructions
+// leave to the implementation under attack: when a process is run solo
+// until it is poised to write outside the protected register set R
+// (Lemma 2.1 / Lemma 4.1), the *implementation* determines which register
+// it covers. The theorems hold for every such choice; the replays verify
+// their accounting against several adversarial policies.
+type Policy interface {
+	Name() string
+	// Pick returns one element of candidates (register indices outside R,
+	// never empty). heights[i] is the current number of processes covering
+	// register i.
+	Pick(heights []int, candidates []int) int
+}
+
+// LowestFirst places each process on the least-covered candidate register
+// (ties to the lowest index): the placement that delays full sets the
+// longest and consumes the most processes — the worst case the proofs are
+// shaped around.
+type LowestFirst struct{}
+
+// Name implements Policy.
+func (LowestFirst) Name() string { return "lowest-first" }
+
+// Pick implements Policy.
+func (LowestFirst) Pick(heights []int, candidates []int) int {
+	best := candidates[0]
+	for _, c := range candidates[1:] {
+		if heights[c] < heights[best] {
+			best = c
+		}
+	}
+	return best
+}
+
+// HighestFirst piles processes on the most-covered candidate, reaching
+// full sets with as few placements as possible.
+type HighestFirst struct{}
+
+// Name implements Policy.
+func (HighestFirst) Name() string { return "highest-first" }
+
+// Pick implements Policy.
+func (HighestFirst) Pick(heights []int, candidates []int) int {
+	best := candidates[0]
+	for _, c := range candidates[1:] {
+		if heights[c] > heights[best] {
+			best = c
+		}
+	}
+	return best
+}
+
+// FirstFit always picks the lowest-indexed candidate.
+type FirstFit struct{}
+
+// Name implements Policy.
+func (FirstFit) Name() string { return "first-fit" }
+
+// Pick implements Policy.
+func (FirstFit) Pick(heights []int, candidates []int) int { return candidates[0] }
+
+// RandomPolicy picks uniformly with a deterministic seed.
+type RandomPolicy struct {
+	rng *rand.Rand
+}
+
+// NewRandomPolicy returns a seeded random placement policy.
+func NewRandomPolicy(seed int64) *RandomPolicy {
+	return &RandomPolicy{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Name implements Policy.
+func (*RandomPolicy) Name() string { return "random" }
+
+// Pick implements Policy.
+func (p *RandomPolicy) Pick(heights []int, candidates []int) int {
+	return candidates[p.rng.Intn(len(candidates))]
+}
+
+// Policies returns the standard policy suite used by tests and the
+// benchmark harness.
+func Policies(seed int64) []Policy {
+	return []Policy{LowestFirst{}, HighestFirst{}, FirstFit{}, NewRandomPolicy(seed)}
+}
+
+// Scripted plays a fixed sequence of register choices, then delegates to a
+// fallback policy. It lets tests steer the construction into specific proof
+// branches (notably Case 2, which no oblivious policy reaches).
+type Scripted struct {
+	Moves    []int
+	Fallback Policy
+	pos      int
+}
+
+// Name implements Policy.
+func (s *Scripted) Name() string { return "scripted" }
+
+// Pick implements Policy.
+func (s *Scripted) Pick(heights []int, candidates []int) int {
+	if s.pos < len(s.Moves) {
+		move := s.Moves[s.pos]
+		s.pos++
+		for _, c := range candidates {
+			if c == move {
+				return c
+			}
+		}
+		// The scripted register is no longer available (it became full);
+		// fall through to the fallback for this pick.
+	}
+	return s.Fallback.Pick(heights, candidates)
+}

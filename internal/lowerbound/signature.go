@@ -1,0 +1,144 @@
+// Package lowerbound makes the covering arguments of Sections 3 and 4 of
+// the paper executable.
+//
+// The package has three layers:
+//
+//   - vocabulary: configuration signatures, ordered signatures, the
+//     (3,k)-configuration predicate of §3 and the ℓ-constrained /
+//     (j,k)-full predicates of §4, plus the stepped-diagonal grid rendering
+//     that reproduces Figures 1 and 2;
+//   - analytic bounds: the exact formulas of Theorems 1.1–1.3 and of the
+//     constructions that prove them;
+//   - construction replay: deterministic state machines that perform the
+//     §3 induction and the §4 Case 1/Case 2 construction step by step,
+//     checking every construction invariant as they go, for any adversary
+//     "placement policy" (the implementation's choice of which register a
+//     process covers, which the theorems quantify over).
+package lowerbound
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Signature is sig(C): entry i is the number of processes covering
+// register i (§3). Unlike the paper we use 0-based register indices.
+type Signature []int
+
+// Sum returns the total number of covering processes.
+func (s Signature) Sum() int {
+	total := 0
+	for _, c := range s {
+		total += c
+	}
+	return total
+}
+
+// CoveredRegisters returns the number of registers covered by at least one
+// process.
+func (s Signature) CoveredRegisters() int {
+	n := 0
+	for _, c := range s {
+		if c > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Is3K reports whether a configuration with this signature is a
+// (3,k)-configuration: k processes cover registers and no register is
+// covered by more than three of them (§3).
+func (s Signature) Is3K(k int) bool {
+	if s.Sum() != k {
+		return false
+	}
+	for _, c := range s {
+		if c > 3 {
+			return false
+		}
+	}
+	return true
+}
+
+// R3 returns the (0-based) indices of registers covered by exactly three
+// processes: the set R3(C) of §3.
+func (s Signature) R3() []int {
+	var out []int
+	for i, c := range s {
+		if c == 3 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Equal reports whether two signatures are identical.
+func (s Signature) Equal(t Signature) bool {
+	if len(s) != len(t) {
+		return false
+	}
+	for i := range s {
+		if s[i] != t[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns an independent copy.
+func (s Signature) Clone() Signature {
+	c := make(Signature, len(s))
+	copy(c, s)
+	return c
+}
+
+// Ordered returns ordSig(C): the signature sorted non-increasingly (§4).
+func (s Signature) Ordered() OrderedSignature {
+	o := make(OrderedSignature, len(s))
+	copy(o, s)
+	sort.Sort(sort.Reverse(sort.IntSlice(o)))
+	return o
+}
+
+// OrderedSignature is a signature reordered non-increasingly; column c
+// (1-based in the paper, 0-based here) holds the c-th largest cover count.
+type OrderedSignature []int
+
+// LConstrained reports whether the configuration is ℓ-constrained:
+// s_c ≤ ℓ − c for every 1 ≤ c ≤ ℓ (paper indexing; entries beyond the
+// signature length count as 0).
+func (o OrderedSignature) LConstrained(l int) bool {
+	for c := 1; c <= l; c++ {
+		sc := 0
+		if c-1 < len(o) {
+			sc = o[c-1]
+		}
+		if sc > l-c {
+			return false
+		}
+	}
+	return true
+}
+
+// JKFull reports whether the configuration is (j,k)-full: at least j
+// registers are covered by at least k processes each, i.e. s_j ≥ k in the
+// ordered signature (paper indexing, j ≥ 1).
+func (o OrderedSignature) JKFull(j, k int) bool {
+	if j < 1 || j > len(o) {
+		return false
+	}
+	return o[j-1] >= k
+}
+
+// String renders the ordered signature as "(s1, s2, …)".
+func (o OrderedSignature) String() string {
+	out := "("
+	for i, v := range o {
+		if i > 0 {
+			out += ", "
+		}
+		out += fmt.Sprint(v)
+	}
+	return out + ")"
+}

@@ -1,0 +1,46 @@
+package mutex
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tsspace/internal/timestamp/collect"
+)
+
+// With k = n and a non-trivial critical section, real concurrency must be
+// observable (the lock admits everyone immediately).
+func TestKExclusionConcurrencyObservable(t *testing.T) {
+	const n = 8
+	m := NewK(collect.New(n), n, n)
+	var inside, maxInside atomic.Int32
+	var wg sync.WaitGroup
+	for pid := 0; pid < n; pid++ {
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			for it := 0; it < 20; it++ {
+				if err := m.Lock(pid); err != nil {
+					t.Error(err)
+					return
+				}
+				cur := inside.Add(1)
+				for {
+					prev := maxInside.Load()
+					if cur <= prev || maxInside.CompareAndSwap(prev, cur) {
+						break
+					}
+				}
+				time.Sleep(time.Millisecond)
+				inside.Add(-1)
+				m.Unlock(pid)
+			}
+		}(pid)
+	}
+	wg.Wait()
+	if maxInside.Load() < 2 {
+		t.Errorf("no concurrency observed with k=n: max inside %d", maxInside.Load())
+	}
+	t.Logf("k=n=%d: max inside %d", n, maxInside.Load())
+}

@@ -1,0 +1,206 @@
+package mutex
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"tsspace/internal/timestamp"
+	"tsspace/internal/timestamp/collect"
+	"tsspace/internal/timestamp/dense"
+	"tsspace/internal/timestamp/fas"
+)
+
+func algs(n int) []timestamp.Algorithm {
+	return []timestamp.Algorithm{collect.New(n), dense.New(n), fas.New(n)}
+}
+
+// Mutual exclusion: a non-atomic critical-section counter incremented under
+// the lock must end exactly at the number of entries, and at most one
+// process may ever be inside.
+func TestMutualExclusion(t *testing.T) {
+	const n, iters = 6, 200
+	for _, alg := range algs(n) {
+		t.Run(alg.Name(), func(t *testing.T) {
+			m := New(alg, n)
+			var inside atomic.Int32
+			counter := 0 // deliberately unsynchronized; the lock must protect it
+			var wg sync.WaitGroup
+			for pid := 0; pid < n; pid++ {
+				wg.Add(1)
+				go func(pid int) {
+					defer wg.Done()
+					for k := 0; k < iters; k++ {
+						if err := m.Lock(pid); err != nil {
+							t.Error(err)
+							return
+						}
+						if got := inside.Add(1); got != 1 {
+							t.Errorf("mutual exclusion violated: %d inside", got)
+						}
+						counter++
+						inside.Add(-1)
+						m.Unlock(pid)
+					}
+				}(pid)
+			}
+			wg.Wait()
+			if counter != n*iters {
+				t.Errorf("counter = %d, want %d (lost updates: exclusion broken)", counter, n*iters)
+			}
+		})
+	}
+}
+
+// FCFS fairness: if process A completes its doorway before process B begins
+// its doorway, A enters the critical section before B. We approximate the
+// doorway order by the drawn timestamps: entries into the critical section
+// must be observed in timestamp order among hb-ordered doorways. Here we
+// test the strongest observable consequence under sequential contention:
+// with processes queueing one by one, service order equals arrival order.
+func TestFCFSSequentialArrivals(t *testing.T) {
+	const n = 4
+	m := New(collect.New(n), n)
+
+	// p0 takes the lock and holds it.
+	if err := m.Lock(0); err != nil {
+		t.Fatal(err)
+	}
+	// p1, p2, p3 arrive in order: each completes its doorway before the
+	// next starts. Start each contender only after the previous one is
+	// provably inside its waiting loop — we use the announce register as
+	// the doorway-completion witness.
+	order := make(chan int, n)
+	var wg sync.WaitGroup
+	for _, pid := range []int{1, 2, 3} {
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			if err := m.Lock(pid); err != nil {
+				t.Error(err)
+				return
+			}
+			order <- pid
+			m.Unlock(pid)
+		}(pid)
+		// Wait for pid's doorway to complete (announcement published).
+		for m.announce.Read(pid) == nil {
+		}
+	}
+	m.Unlock(0)
+	wg.Wait()
+	close(order)
+	var got []int
+	for pid := range order {
+		got = append(got, pid)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("service order %v, want %v (FCFS violated)", got, want)
+		}
+	}
+}
+
+func TestRejectsOneShot(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("one-shot algorithm must be rejected")
+		}
+	}()
+	// simple is one-shot; constructing a lock over it is a programming
+	// error.
+	New(&oneShotStub{}, 2)
+}
+
+type oneShotStub struct{ timestamp.Algorithm }
+
+func (*oneShotStub) OneShot() bool { return true }
+func (*oneShotStub) Name() string  { return "stub" }
+
+func TestInvalidN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("n=0 must be rejected")
+		}
+	}()
+	New(collect.New(1), 0)
+}
+
+func BenchmarkLockUnlock(b *testing.B) {
+	for _, n := range []int{2, 8} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			m := New(collect.New(n), n)
+			var next atomic.Int64
+			b.RunParallel(func(pb *testing.PB) {
+				pid := int(next.Add(1)-1) % n
+				for pb.Next() {
+					if err := m.Lock(pid); err != nil {
+						b.Fatal(err)
+					}
+					m.Unlock(pid)
+				}
+			})
+		})
+	}
+}
+
+// k-exclusion: at most k processes inside simultaneously, and with enough
+// capacity genuine concurrency occurs.
+func TestKExclusion(t *testing.T) {
+	const n, iters = 8, 100
+	for _, k := range []int{1, 2, 3, 8} {
+		t.Run(fmt.Sprintf("k=%d", k), func(t *testing.T) {
+			m := NewK(collect.New(n), n, k)
+			var inside, maxInside atomic.Int32
+			var wg sync.WaitGroup
+			for pid := 0; pid < n; pid++ {
+				wg.Add(1)
+				go func(pid int) {
+					defer wg.Done()
+					for it := 0; it < iters; it++ {
+						if err := m.Lock(pid); err != nil {
+							t.Error(err)
+							return
+						}
+						cur := inside.Add(1)
+						if cur > int32(k) {
+							t.Errorf("k-exclusion violated: %d inside with k=%d", cur, k)
+						}
+						for {
+							prev := maxInside.Load()
+							if cur <= prev || maxInside.CompareAndSwap(prev, cur) {
+								break
+							}
+						}
+						inside.Add(-1)
+						m.Unlock(pid)
+					}
+				}(pid)
+			}
+			wg.Wait()
+			if k >= n && maxInside.Load() != int32(n) {
+				// With k = n the lock never blocks; under this much traffic
+				// full concurrency should be observed at least once. (Not a
+				// hard guarantee, but with 100 iterations it is effectively
+				// certain; a failure here suggests over-serialization.)
+				t.Logf("note: max concurrency observed %d of %d", maxInside.Load(), n)
+			}
+			t.Logf("k=%d: max inside %d", k, maxInside.Load())
+		})
+	}
+}
+
+func TestNewKValidation(t *testing.T) {
+	for _, bad := range [][2]int{{2, 0}, {2, 3}, {0, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewK(n=%d, k=%d) should panic", bad[0], bad[1])
+				}
+			}()
+			NewK(collect.New(2), bad[0], bad[1])
+		}()
+	}
+}

@@ -1,0 +1,84 @@
+package register
+
+import "fmt"
+
+// WriteQuorum restricts which processes may write which registers,
+// validating register-sharing disciplines such as Algorithm 2's
+// "multi-reader/2-writer registers: register R[i] is written by processes
+// 2i and 2i+1" (§5). Violations panic, because they indicate a broken
+// algorithm rather than a recoverable runtime condition.
+//
+// All operations must go through PerProcess handles so that writes carry
+// the writer's identity.
+type WriteQuorum struct {
+	inner   Mem
+	writers [][]int // writers[i] = pids allowed to write register i; nil = anyone
+}
+
+// NewWriteQuorum wraps mem with a write-permission table. writers[i] lists
+// the pids allowed to write register i; a nil entry permits all writers.
+func NewWriteQuorum(mem Mem, writers [][]int) *WriteQuorum {
+	if len(writers) != mem.Size() {
+		panic(fmt.Sprintf("register: quorum table size %d != memory size %d", len(writers), mem.Size()))
+	}
+	return &WriteQuorum{inner: mem, writers: writers}
+}
+
+// TwoWriterTable returns the Algorithm 2 discipline for n processes over
+// ⌈n/2⌉ registers: register i (0-based) is writable by processes 2i and
+// 2i+1 (0-based pids). Pids ≥ n are excluded.
+func TwoWriterTable(n int) [][]int {
+	m := (n + 1) / 2
+	table := make([][]int, m)
+	for i := range table {
+		ws := []int{2 * i}
+		if 2*i+1 < n {
+			ws = append(ws, 2*i+1)
+		}
+		table[i] = ws
+	}
+	return table
+}
+
+// SWMRTable returns a single-writer discipline over n registers: register i
+// is writable only by process i.
+func SWMRTable(n int) [][]int {
+	table := make([][]int, n)
+	for i := range table {
+		table[i] = []int{i}
+	}
+	return table
+}
+
+// Handle returns a Mem bound to process pid; writes through it are checked
+// against the permission table.
+func (q *WriteQuorum) Handle(pid int) Mem {
+	return &quorumHandle{q: q, pid: pid}
+}
+
+type quorumHandle struct {
+	q   *WriteQuorum
+	pid int
+}
+
+var _ Mem = (*quorumHandle)(nil)
+
+func (h *quorumHandle) Size() int        { return h.q.inner.Size() }
+func (h *quorumHandle) Read(i int) Value { return h.q.inner.Read(i) }
+
+func (h *quorumHandle) Write(i int, v Value) {
+	allowed := h.q.writers[i]
+	if allowed != nil {
+		ok := false
+		for _, w := range allowed {
+			if w == h.pid {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			panic(fmt.Sprintf("register: process %d is not a permitted writer of register %d (writers %v)", h.pid, i, allowed))
+		}
+	}
+	h.q.inner.Write(i, v)
+}

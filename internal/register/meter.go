@@ -1,0 +1,156 @@
+package register
+
+import (
+	"sort"
+	"sync"
+)
+
+// SpaceReport summarizes the register footprint of an execution: it is the
+// measurement backing every space experiment (E3, E4, E8, E9). The paper
+// counts a register as "used" once it can be written; we report both the
+// written set and the read set so the sentinel register of Algorithm 4
+// (always read, never written — Lemma 6.14) is visible.
+type SpaceReport struct {
+	// Registers is the size of the underlying array (the allocation budget).
+	Registers int
+	// Written is the number of distinct registers written at least once.
+	Written int
+	// WrittenSet lists the written register indices in increasing order.
+	WrittenSet []int
+	// MaxWrittenIndex is the largest written index, or -1 if none.
+	MaxWrittenIndex int
+	// MaxReadIndex is the largest index read, or -1 if none.
+	MaxReadIndex int
+	// Reads and Writes are total operation counts.
+	Reads, Writes uint64
+}
+
+// Meter wraps a Mem and records which registers are read and written. It is
+// safe for concurrent use. A Meter forwards ReadVersioned when the
+// underlying memory supports it.
+type Meter struct {
+	inner Mem
+
+	mu        sync.Mutex
+	readCnt   []uint64
+	writeCnt  []uint64
+	maxRead   int
+	maxWrite  int
+	reads     uint64
+	writes    uint64
+	perWriter map[int]uint64 // writer pid -> writes, when attributed
+}
+
+var _ Mem = (*Meter)(nil)
+
+// NewMeter wraps mem with operation accounting.
+func NewMeter(mem Mem) *Meter {
+	return &Meter{
+		inner:     mem,
+		readCnt:   make([]uint64, mem.Size()),
+		writeCnt:  make([]uint64, mem.Size()),
+		maxRead:   -1,
+		maxWrite:  -1,
+		perWriter: make(map[int]uint64),
+	}
+}
+
+// Size returns the number of registers.
+func (m *Meter) Size() int { return m.inner.Size() }
+
+// Read records and forwards a read of register i.
+func (m *Meter) Read(i int) Value {
+	m.recordRead(i)
+	return m.inner.Read(i)
+}
+
+// ReadVersioned forwards to the inner memory's versioned read. It panics if
+// the inner memory is not versioned.
+func (m *Meter) ReadVersioned(i int) (Value, uint64) {
+	m.recordRead(i)
+	return m.inner.(VersionedMem).ReadVersioned(i)
+}
+
+// Write records and forwards a write to register i.
+func (m *Meter) Write(i int, v Value) {
+	m.recordWrite(i, -1)
+	m.inner.Write(i, v)
+}
+
+// WriteBy records a write attributed to process pid and forwards it.
+func (m *Meter) WriteBy(pid, i int, v Value) {
+	m.recordWrite(i, pid)
+	m.inner.Write(i, v)
+}
+
+func (m *Meter) recordRead(i int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.readCnt[i]++
+	m.reads++
+	if i > m.maxRead {
+		m.maxRead = i
+	}
+}
+
+func (m *Meter) recordWrite(i, pid int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.writeCnt[i]++
+	m.writes++
+	if i > m.maxWrite {
+		m.maxWrite = i
+	}
+	if pid >= 0 {
+		m.perWriter[pid]++
+	}
+}
+
+// Report returns the current space report.
+func (m *Meter) Report() SpaceReport {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	r := SpaceReport{
+		Registers:       m.inner.Size(),
+		MaxWrittenIndex: m.maxWrite,
+		MaxReadIndex:    m.maxRead,
+		Reads:           m.reads,
+		Writes:          m.writes,
+	}
+	for i, c := range m.writeCnt {
+		if c > 0 {
+			r.Written++
+			r.WrittenSet = append(r.WrittenSet, i)
+		}
+	}
+	sort.Ints(r.WrittenSet)
+	return r
+}
+
+// WritesTo returns the number of writes applied to register i.
+func (m *Meter) WritesTo(i int) uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.writeCnt[i]
+}
+
+// WritesBy returns the number of attributed writes by process pid (only
+// writes issued through WriteBy are attributed).
+func (m *Meter) WritesBy(pid int) uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.perWriter[pid]
+}
+
+// Reset clears all counters, keeping the underlying memory contents.
+func (m *Meter) Reset() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i := range m.readCnt {
+		m.readCnt[i] = 0
+		m.writeCnt[i] = 0
+	}
+	m.maxRead, m.maxWrite = -1, -1
+	m.reads, m.writes = 0, 0
+	m.perWriter = make(map[int]uint64)
+}

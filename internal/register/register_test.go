@@ -1,0 +1,324 @@
+package register
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestAtomicArrayInitialBottom(t *testing.T) {
+	a := NewAtomicArray(4)
+	if a.Size() != 4 {
+		t.Fatalf("Size = %d, want 4", a.Size())
+	}
+	for i := 0; i < 4; i++ {
+		if v := a.Read(i); v != nil {
+			t.Errorf("register %d initial value = %v, want ⊥ (nil)", i, v)
+		}
+		if _, ver := a.ReadVersioned(i); ver != 0 {
+			t.Errorf("register %d initial version = %d, want 0", i, ver)
+		}
+	}
+}
+
+func TestAtomicArrayReadWrite(t *testing.T) {
+	a := NewAtomicArray(2)
+	a.Write(0, 42)
+	a.Write(1, "x")
+	if v := a.Read(0); v != 42 {
+		t.Errorf("Read(0) = %v, want 42", v)
+	}
+	if v := a.Read(1); v != "x" {
+		t.Errorf("Read(1) = %v, want x", v)
+	}
+	a.Write(0, 43)
+	if v, ver := a.ReadVersioned(0); v != 43 || ver != 2 {
+		t.Errorf("ReadVersioned(0) = (%v, %d), want (43, 2)", v, ver)
+	}
+}
+
+func TestNegativeSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewAtomicArray(-1) should panic")
+		}
+	}()
+	NewAtomicArray(-1)
+}
+
+// Versions per register must be contiguous under concurrent writers: with W
+// writers each doing K writes to one register, the final version is W*K and
+// every write got a distinct version.
+func TestAtomicArrayVersionContiguity(t *testing.T) {
+	const writers, per = 8, 200
+	a := NewAtomicArray(1)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for k := 0; k < per; k++ {
+				a.Write(0, w*per+k)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if _, ver := a.ReadVersioned(0); ver != writers*per {
+		t.Errorf("final version = %d, want %d", ver, writers*per)
+	}
+}
+
+// Readers must never observe version regression on a single register.
+func TestAtomicArrayMonotoneVersions(t *testing.T) {
+	a := NewAtomicArray(1)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 5000; i++ {
+			a.Write(0, i)
+		}
+	}()
+	var last uint64
+	for {
+		_, ver := a.ReadVersioned(0)
+		if ver < last {
+			t.Errorf("version regressed: %d after %d", ver, last)
+			break
+		}
+		last = ver
+		select {
+		case <-done:
+			return
+		default:
+		}
+	}
+}
+
+func TestSnapshotCopies(t *testing.T) {
+	a := NewAtomicArray(3)
+	a.Write(1, "v")
+	s := a.Snapshot()
+	if s[0] != nil || s[1] != "v" || s[2] != nil {
+		t.Errorf("Snapshot = %v", s)
+	}
+}
+
+func TestMeterCounts(t *testing.T) {
+	m := NewMeter(NewAtomicArray(5))
+	m.Write(1, "a")
+	m.Write(3, "b")
+	m.Write(3, "c")
+	m.Read(0)
+	m.Read(4)
+	r := m.Report()
+	if r.Registers != 5 {
+		t.Errorf("Registers = %d, want 5", r.Registers)
+	}
+	if r.Written != 2 {
+		t.Errorf("Written = %d, want 2", r.Written)
+	}
+	if r.MaxWrittenIndex != 3 || r.MaxReadIndex != 4 {
+		t.Errorf("MaxWrittenIndex = %d MaxReadIndex = %d", r.MaxWrittenIndex, r.MaxReadIndex)
+	}
+	if r.Writes != 3 || r.Reads != 2 {
+		t.Errorf("Writes = %d Reads = %d", r.Writes, r.Reads)
+	}
+	if len(r.WrittenSet) != 2 || r.WrittenSet[0] != 1 || r.WrittenSet[1] != 3 {
+		t.Errorf("WrittenSet = %v, want [1 3]", r.WrittenSet)
+	}
+	if m.WritesTo(3) != 2 {
+		t.Errorf("WritesTo(3) = %d, want 2", m.WritesTo(3))
+	}
+}
+
+func TestMeterEmptyReport(t *testing.T) {
+	r := NewMeter(NewAtomicArray(3)).Report()
+	if r.Written != 0 || r.MaxWrittenIndex != -1 || r.MaxReadIndex != -1 {
+		t.Errorf("empty report = %+v", r)
+	}
+}
+
+func TestMeterAttributedWrites(t *testing.T) {
+	m := NewMeter(NewAtomicArray(2))
+	m.WriteBy(7, 0, "x")
+	m.WriteBy(7, 1, "y")
+	m.WriteBy(2, 0, "z")
+	if m.WritesBy(7) != 2 || m.WritesBy(2) != 1 || m.WritesBy(9) != 0 {
+		t.Errorf("WritesBy = %d,%d,%d", m.WritesBy(7), m.WritesBy(2), m.WritesBy(9))
+	}
+}
+
+func TestMeterReset(t *testing.T) {
+	m := NewMeter(NewAtomicArray(2))
+	m.Write(0, 1)
+	m.Read(1)
+	m.Reset()
+	r := m.Report()
+	if r.Writes != 0 || r.Reads != 0 || r.Written != 0 {
+		t.Errorf("after Reset report = %+v", r)
+	}
+	// Memory contents survive the reset.
+	if v := m.Read(0); v != 1 {
+		t.Errorf("contents lost on Reset: %v", v)
+	}
+}
+
+func TestMeterForwardsVersioned(t *testing.T) {
+	m := NewMeter(NewAtomicArray(1))
+	m.Write(0, "a")
+	if v, ver := m.ReadVersioned(0); v != "a" || ver != 1 {
+		t.Errorf("ReadVersioned = (%v, %d)", v, ver)
+	}
+}
+
+func TestMeterConcurrentSafety(t *testing.T) {
+	m := NewMeter(NewAtomicArray(8))
+	var wg sync.WaitGroup
+	for p := 0; p < 8; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for k := 0; k < 100; k++ {
+				m.WriteBy(p, p, k)
+				m.Read((p + k) % 8)
+			}
+		}(p)
+	}
+	wg.Wait()
+	r := m.Report()
+	if r.Writes != 800 || r.Reads != 800 {
+		t.Errorf("Writes = %d Reads = %d, want 800 each", r.Writes, r.Reads)
+	}
+	if r.Written != 8 {
+		t.Errorf("Written = %d, want 8", r.Written)
+	}
+}
+
+func TestTwoWriterTable(t *testing.T) {
+	for _, tc := range []struct {
+		n, m int
+	}{{1, 1}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {10, 5}, {11, 6}} {
+		table := TwoWriterTable(tc.n)
+		if len(table) != tc.m {
+			t.Errorf("n=%d: table size %d, want ⌈n/2⌉=%d", tc.n, len(table), tc.m)
+		}
+		seen := map[int]bool{}
+		for i, ws := range table {
+			if len(ws) == 0 || len(ws) > 2 {
+				t.Errorf("n=%d register %d writers %v", tc.n, i, ws)
+			}
+			for _, w := range ws {
+				if w < 0 || w >= tc.n {
+					t.Errorf("n=%d register %d invalid writer %d", tc.n, i, w)
+				}
+				if seen[w] {
+					t.Errorf("n=%d writer %d assigned twice", tc.n, w)
+				}
+				seen[w] = true
+			}
+		}
+		if len(seen) != tc.n {
+			t.Errorf("n=%d only %d processes assigned a register", tc.n, len(seen))
+		}
+	}
+}
+
+func TestWriteQuorumEnforcement(t *testing.T) {
+	q := NewWriteQuorum(NewAtomicArray(2), TwoWriterTable(4))
+	h0 := q.Handle(0)
+	h3 := q.Handle(3)
+
+	h0.Write(0, "ok") // process 0 may write register 0
+	h3.Write(1, "ok") // process 3 may write register 1
+	if h0.Read(1) != "ok" {
+		t.Error("reads must be unrestricted")
+	}
+
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("process 0 writing register 1 should panic")
+			}
+		}()
+		h0.Write(1, "bad")
+	}()
+}
+
+func TestWriteQuorumNilEntryPermitsAll(t *testing.T) {
+	q := NewWriteQuorum(NewAtomicArray(1), [][]int{nil})
+	for pid := 0; pid < 3; pid++ {
+		q.Handle(pid).Write(0, pid) // must not panic
+	}
+}
+
+func TestWriteQuorumSizeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched table should panic")
+		}
+	}()
+	NewWriteQuorum(NewAtomicArray(3), TwoWriterTable(4))
+}
+
+func TestSWMRTable(t *testing.T) {
+	table := SWMRTable(3)
+	if len(table) != 3 {
+		t.Fatalf("len = %d", len(table))
+	}
+	for i, ws := range table {
+		if len(ws) != 1 || ws[0] != i {
+			t.Errorf("register %d writers %v, want [%d]", i, ws, i)
+		}
+	}
+}
+
+// Property: a sequence of writes leaves the last value readable and version
+// equals number of writes (single-threaded semantics of the atomic cell).
+func TestQuickSequentialSemantics(t *testing.T) {
+	f := func(vals []int) bool {
+		a := NewAtomicArray(1)
+		for _, v := range vals {
+			a.Write(0, v)
+		}
+		got, ver := a.ReadVersioned(0)
+		if len(vals) == 0 {
+			return got == nil && ver == 0
+		}
+		return got == vals[len(vals)-1] && ver == uint64(len(vals))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkAtomicWrite(b *testing.B) {
+	a := NewAtomicArray(1)
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			a.Write(0, i)
+			i++
+		}
+	})
+}
+
+func BenchmarkAtomicRead(b *testing.B) {
+	a := NewAtomicArray(1)
+	a.Write(0, 7)
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if a.Read(0) == nil {
+				b.Fatal("lost value")
+			}
+		}
+	})
+}
+
+func ExampleMeter() {
+	m := NewMeter(NewAtomicArray(4))
+	m.Write(2, "hello")
+	r := m.Report()
+	fmt.Println(r.Written, r.MaxWrittenIndex)
+	// Output: 1 2
+}

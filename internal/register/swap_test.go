@@ -1,0 +1,81 @@
+package register
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestSwapArrayBasics(t *testing.T) {
+	a := NewSwapArray(2)
+	if a.Size() != 2 {
+		t.Fatalf("Size = %d", a.Size())
+	}
+	if v := a.Read(0); v != nil {
+		t.Errorf("initial value %v, want ⊥", v)
+	}
+	if old := a.Swap(0, "x"); old != nil {
+		t.Errorf("first swap returned %v, want ⊥", old)
+	}
+	if old := a.Swap(0, "y"); old != "x" {
+		t.Errorf("second swap returned %v, want x", old)
+	}
+	a.Write(1, 7) // write = swap with discarded return
+	if v := a.Read(1); v != 7 {
+		t.Errorf("Read(1) = %v", v)
+	}
+	if a.Swaps() != 3 {
+		t.Errorf("Swaps = %d, want 3", a.Swaps())
+	}
+}
+
+func TestSwapArrayNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewSwapArray(-1) should panic")
+		}
+	}()
+	NewSwapArray(-1)
+}
+
+// Swap linearizability witness: concurrent swaps on one object form a
+// chain — every deposited value except the final one is returned exactly
+// once.
+func TestSwapChainExactlyOnce(t *testing.T) {
+	const procs, per = 8, 300
+	a := NewSwapArray(1)
+	returned := make([][]int, procs)
+	var wg sync.WaitGroup
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for k := 0; k < per; k++ {
+				old := a.Swap(0, p*per+k)
+				if old != nil {
+					returned[p] = append(returned[p], old.(int))
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	seen := map[int]bool{}
+	total := 0
+	for p := 0; p < procs; p++ {
+		for _, v := range returned[p] {
+			if seen[v] {
+				t.Fatalf("value %d returned twice", v)
+			}
+			seen[v] = true
+			total++
+		}
+	}
+	final := a.Read(0).(int)
+	if seen[final] {
+		t.Error("final resident value was also returned")
+	}
+	// procs*per values deposited; all but the final resident returned
+	// exactly once (plus the initial ⊥ consumed by the first swap).
+	if total != procs*per-1 {
+		t.Errorf("returned %d values, want %d", total, procs*per-1)
+	}
+}

@@ -1,0 +1,174 @@
+// Package report builds the experiment tables that cmd/tsspace prints and
+// EXPERIMENTS.md records: register budgets versus the paper's bounds, and
+// measured register usage across implementations and schedules. Keeping the
+// table builders here makes the reproduction's outputs unit-testable.
+package report
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+
+	"tsspace/internal/adversary"
+	"tsspace/internal/lowerbound"
+	"tsspace/internal/timestamp"
+	"tsspace/internal/timestamp/collect"
+	"tsspace/internal/timestamp/dense"
+	"tsspace/internal/timestamp/simple"
+	"tsspace/internal/timestamp/sqrt"
+)
+
+// BudgetRow is one line of the E8 budget table.
+type BudgetRow struct {
+	N           int
+	LBLongLived int // ⌊n/6⌋ (Theorem 1.1)
+	Collect     int // n
+	Dense       int // n−1
+	LBOneShot   int // √2n − log n − 2 (Theorem 1.2)
+	Simple      int // ⌈n/2⌉ (§5)
+	Sqrt        int // ⌈2√n⌉ (Theorem 1.3)
+}
+
+// Budgets computes the E8 table for the given process counts.
+func Budgets(ns []int) []BudgetRow {
+	rows := make([]BudgetRow, 0, len(ns))
+	for _, n := range ns {
+		rows = append(rows, BudgetRow{
+			N:           n,
+			LBLongLived: lowerbound.LongLivedLower(n),
+			Collect:     collect.New(n).Registers(),
+			Dense:       dense.New(n).Registers(),
+			LBOneShot:   lowerbound.OneShotLower(n),
+			Simple:      simple.New(n).Registers(),
+			Sqrt:        sqrt.New(n).Registers(),
+		})
+	}
+	return rows
+}
+
+// Check validates the row's internal ordering relations: lower bounds below
+// their matching upper bounds, and the asymptotic gap for large n.
+func (r BudgetRow) Check() error {
+	if r.LBLongLived > r.Dense || r.Dense >= r.Collect {
+		return fmt.Errorf("report: n=%d: long-lived bounds out of order (%d, %d, %d)", r.N, r.LBLongLived, r.Dense, r.Collect)
+	}
+	if r.LBOneShot > r.Sqrt {
+		return fmt.Errorf("report: n=%d: one-shot lower bound %d above upper bound %d", r.N, r.LBOneShot, r.Sqrt)
+	}
+	return nil
+}
+
+// MeasuredRow is one line of the E3/E4 measured table.
+type MeasuredRow struct {
+	N          int
+	Collect    int // registers written, long-lived 2 calls/proc
+	Dense      int
+	Simple     int
+	SqrtSeq    int // Algorithm 4 under a sequential schedule
+	SqrtAdv    int // under the stale-release adversary (-1 if skipped)
+	SqrtMin    int // under the space-minimizing double-cross schedule (-1 if skipped)
+	SqrtBudget int // ⌈2√n⌉
+}
+
+// Measured runs the implementations and measures registers written.
+// Adversarial columns are computed only for n ≤ advCap (the deterministic
+// scheduler is slow for very large n); skipped cells hold −1.
+func Measured(ns []int, advCap int) ([]MeasuredRow, error) {
+	rows := make([]MeasuredRow, 0, len(ns))
+	for _, n := range ns {
+		row := MeasuredRow{N: n, SqrtAdv: -1, SqrtMin: -1, SqrtBudget: sqrt.New(n).Registers()}
+		for _, alg := range []timestamp.Algorithm{collect.New(n), dense.New(n), simple.New(n)} {
+			calls := 1
+			if !alg.OneShot() {
+				calls = 2
+			}
+			rep, err := timestamp.RunConcurrent(alg, n, calls)
+			if err != nil {
+				return nil, fmt.Errorf("report: %s n=%d: %w", alg.Name(), n, err)
+			}
+			switch alg.Name() {
+			case "collect":
+				row.Collect = rep.Space.Written
+			case "dense":
+				row.Dense = rep.Space.Written
+			case "simple":
+				row.Simple = rep.Space.Written
+			}
+		}
+		seq, err := adversary.MeasureSequential(n)
+		if err != nil {
+			return nil, err
+		}
+		row.SqrtSeq = seq
+		if n <= advCap {
+			adv, err := adversary.StaleRelease(n)
+			if err != nil {
+				return nil, err
+			}
+			row.SqrtAdv = adv.Written
+			mins, err := adversary.DoubleCross(n)
+			if err != nil {
+				return nil, err
+			}
+			row.SqrtMin = mins.Written
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Check validates the measured row against the paper's bounds.
+func (r MeasuredRow) Check() error {
+	if r.Collect != r.N {
+		return fmt.Errorf("report: n=%d: collect wrote %d registers, want n", r.N, r.Collect)
+	}
+	if r.Dense != r.N-1 {
+		return fmt.Errorf("report: n=%d: dense wrote %d registers, want n−1", r.N, r.Dense)
+	}
+	if r.Simple != (r.N+1)/2 {
+		return fmt.Errorf("report: n=%d: simple wrote %d registers, want ⌈n/2⌉", r.N, r.Simple)
+	}
+	if r.SqrtSeq >= r.SqrtBudget {
+		return fmt.Errorf("report: n=%d: sequential sqrt wrote %d, budget %d", r.N, r.SqrtSeq, r.SqrtBudget)
+	}
+	if r.SqrtAdv >= 0 && r.SqrtAdv >= r.SqrtBudget {
+		return fmt.Errorf("report: n=%d: adversarial sqrt wrote %d, budget %d", r.N, r.SqrtAdv, r.SqrtBudget)
+	}
+	return nil
+}
+
+// FormatBudgets renders the budget table.
+func FormatBudgets(rows []BudgetRow) string {
+	var sb strings.Builder
+	w := tabwriter.NewWriter(&sb, 2, 8, 2, ' ', 0)
+	fmt.Fprintln(w, "EXPERIMENT E8 — register budgets (allocated) vs paper bounds")
+	fmt.Fprintln(w, "n\tLB long-lived\tcollect\tdense\tLB one-shot\tsimple\tsqrt\t")
+	fmt.Fprintln(w, "\t⌊n/6⌋\tn\tn−1\t√2n−log n−2\t⌈n/2⌉\t⌈2√n⌉\t")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%d\t%d\t%d\t%d\t%d\t%d\t%d\t\n",
+			r.N, r.LBLongLived, r.Collect, r.Dense, r.LBOneShot, r.Simple, r.Sqrt)
+	}
+	w.Flush()
+	return sb.String()
+}
+
+// FormatMeasured renders the measured table; skipped adversarial cells
+// print as "-".
+func FormatMeasured(rows []MeasuredRow) string {
+	var sb strings.Builder
+	w := tabwriter.NewWriter(&sb, 2, 8, 2, ' ', 0)
+	fmt.Fprintln(w, "EXPERIMENTS E3/E4 — registers written (measured)")
+	fmt.Fprintln(w, "n\tcollect\tdense\tsimple\tsqrt seq\tsqrt adv\tsqrt min\tsqrt budget\t")
+	cell := func(v int) string {
+		if v < 0 {
+			return "-"
+		}
+		return fmt.Sprint(v)
+	}
+	for _, r := range rows {
+		fmt.Fprintf(w, "%d\t%d\t%d\t%d\t%d\t%s\t%s\t%d\t\n",
+			r.N, r.Collect, r.Dense, r.Simple, r.SqrtSeq, cell(r.SqrtAdv), cell(r.SqrtMin), r.SqrtBudget)
+	}
+	w.Flush()
+	return sb.String()
+}

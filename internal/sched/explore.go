@@ -1,0 +1,124 @@
+package sched
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Factory creates a fresh system in its initial configuration. Exploration
+// replays executions from scratch, so the factory must return an
+// independent, deterministic system each time.
+type Factory func() *System
+
+// Visit is called with a completed system and the schedule that produced
+// it. Returning an error aborts the exploration and surfaces the schedule.
+type Visit func(sys *System, schedule []int) error
+
+// Explore enumerates every maximal interleaving of the system's processes
+// (depth-first over the prefix tree of schedules) and calls visit on each
+// completed execution. maxVisits caps the number of complete executions
+// (0 = unlimited); maxSteps caps schedule length as a runaway guard.
+//
+// Exhaustive exploration is exponential; it is intended for model checking
+// small configurations (2 processes × 1 method call). Use Sample for larger
+// systems.
+func Explore(factory Factory, maxVisits, maxSteps int, visit Visit) (int, error) {
+	e := &explorer{factory: factory, maxVisits: maxVisits, maxSteps: maxSteps, visit: visit}
+	if err := e.dfs(nil); err != nil {
+		return e.visits, err
+	}
+	return e.visits, nil
+}
+
+type explorer struct {
+	factory   Factory
+	maxVisits int
+	maxSteps  int
+	visit     Visit
+	visits    int
+}
+
+var errVisitCap = fmt.Errorf("sched: visit cap reached")
+
+func (e *explorer) dfs(prefix []int) error {
+	if e.maxVisits > 0 && e.visits >= e.maxVisits {
+		return errVisitCap
+	}
+	if len(prefix) > e.maxSteps {
+		return fmt.Errorf("sched: exploration exceeded %d steps; runaway process?", e.maxSteps)
+	}
+
+	// Replay the prefix on a fresh system and find the live processes.
+	sys := e.factory()
+	defer sys.Close()
+	if err := sys.Run(prefix...); err != nil {
+		return fmt.Errorf("sched: replaying prefix %v: %w", prefix, err)
+	}
+	var live []int
+	for pid := 0; pid < sys.N(); pid++ {
+		if _, alive, err := sys.Pending(pid); err != nil {
+			return err
+		} else if alive {
+			live = append(live, pid)
+		}
+	}
+	if len(live) == 0 {
+		e.visits++
+		if err := e.visit(sys, prefix); err != nil {
+			return fmt.Errorf("sched: schedule %v: %w", prefix, err)
+		}
+		return nil
+	}
+	for _, pid := range live {
+		if err := e.dfs(append(prefix[:len(prefix):len(prefix)], pid)); err != nil {
+			if err == errVisitCap {
+				return nil
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// Sample runs `count` random maximal interleavings drawn with the given
+// seed and calls visit on each completed execution. Each live process is
+// equally likely to be scheduled at every step, which exercises a broad
+// band of interleavings including long solo stretches (runs of the same
+// pid occur with geometric probability).
+func Sample(factory Factory, count int, seed int64, visit Visit) error {
+	rng := rand.New(rand.NewSource(seed))
+	for c := 0; c < count; c++ {
+		if err := sampleOne(factory, rng, visit); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func sampleOne(factory Factory, rng *rand.Rand, visit Visit) error {
+	sys := factory()
+	defer sys.Close()
+	var schedule []int
+	for {
+		var live []int
+		for pid := 0; pid < sys.N(); pid++ {
+			if _, alive, err := sys.Pending(pid); err != nil {
+				return err
+			} else if alive {
+				live = append(live, pid)
+			}
+		}
+		if len(live) == 0 {
+			break
+		}
+		pid := live[rng.Intn(len(live))]
+		if _, err := sys.Step(pid); err != nil {
+			return err
+		}
+		schedule = append(schedule, pid)
+	}
+	if err := visit(sys, schedule); err != nil {
+		return fmt.Errorf("sched: sampled schedule %v: %w", schedule, err)
+	}
+	return nil
+}

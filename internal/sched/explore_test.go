@@ -1,0 +1,113 @@
+package sched
+
+import (
+	"testing"
+
+	"tsspace/internal/register"
+)
+
+// writerBody performs exactly k writes to register pid.
+func writerBody(k int) Body {
+	return func(pid int, mem register.Mem) (any, error) {
+		for i := 0; i < k; i++ {
+			mem.Write(pid, i)
+		}
+		return nil, nil
+	}
+}
+
+// Exhaustive interleaving counts must match the multinomial coefficients:
+// for p processes with k ops each, the number of maximal schedules is
+// (pk)! / (k!)^p.
+func TestExploreMultinomialCounts(t *testing.T) {
+	cases := []struct {
+		procs, ops int
+		want       int
+	}{
+		{2, 1, 2},  // 2!/1!1!
+		{2, 2, 6},  // 4!/2!2!
+		{2, 3, 20}, // 6!/3!3!
+		{3, 1, 6},  // 3!
+		{3, 2, 90}, // 6!/2!2!2!
+		{2, 4, 70}, // 8!/4!4!
+	}
+	for _, c := range cases {
+		factory := func() *System { return New(c.procs, c.procs, writerBody(c.ops)) }
+		visits, err := Explore(factory, 0, 1000, func(sys *System, schedule []int) error {
+			if len(schedule) != c.procs*c.ops {
+				t.Fatalf("schedule length %d", len(schedule))
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if visits != c.want {
+			t.Errorf("procs=%d ops=%d: visits = %d, want %d", c.procs, c.ops, visits, c.want)
+		}
+	}
+}
+
+// Every enumerated schedule must be distinct.
+func TestExploreSchedulesDistinct(t *testing.T) {
+	factory := func() *System { return New(2, 2, writerBody(2)) }
+	seen := map[string]bool{}
+	_, err := Explore(factory, 0, 100, func(sys *System, schedule []int) error {
+		key := ""
+		for _, pid := range schedule {
+			key += string(rune('0' + pid))
+		}
+		if seen[key] {
+			t.Errorf("schedule %v enumerated twice", schedule)
+		}
+		seen[key] = true
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 6 {
+		t.Errorf("distinct schedules = %d, want 6", len(seen))
+	}
+}
+
+// Schedules with different lengths per branch: a process that reads a flag
+// and conditionally writes more ops. Exploration must handle branches whose
+// op counts depend on the interleaving.
+func TestExploreDataDependentLengths(t *testing.T) {
+	factory := func() *System {
+		return New(2, 1, func(pid int, mem register.Mem) (any, error) {
+			if pid == 0 {
+				mem.Write(0, "set")
+				return nil, nil
+			}
+			if mem.Read(0) != nil {
+				// Saw the flag: do one extra write.
+				mem.Write(0, "ack")
+			}
+			return nil, nil
+		})
+	}
+	lengths := map[int]int{}
+	visits, err := Explore(factory, 0, 100, func(sys *System, schedule []int) error {
+		lengths[len(schedule)]++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// p1-first: read ⊥ (1 op); p0-first: read set + write (2 ops).
+	if lengths[2] == 0 || lengths[3] == 0 {
+		t.Errorf("expected both branch lengths, got %v (visits %d)", lengths, visits)
+	}
+}
+
+func TestSampleVisitErrorPropagates(t *testing.T) {
+	factory := func() *System { return New(1, 1, writerBody(1)) }
+	err := Sample(factory, 3, 1, func(sys *System, schedule []int) error {
+		return ErrTimeout // arbitrary sentinel
+	})
+	if err == nil {
+		t.Error("visit error must propagate")
+	}
+}

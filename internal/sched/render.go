@@ -1,0 +1,53 @@
+package sched
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RenderTrace lays out an executed operation trace as a per-process
+// timeline: one row per process, one column per global step, each cell
+// showing the operation the process performed at that step (r3 = read
+// register 3, w3 = write register 3). It is the visual form of the
+// executions the lower-bound proofs manipulate and is used by cmd/tstrace.
+func RenderTrace(trace []Op, n int) string {
+	if len(trace) == 0 {
+		return "(empty trace)\n"
+	}
+	var b strings.Builder
+	width := 3
+	for _, op := range trace {
+		if w := len(fmt.Sprint(op.Reg)) + 1; w+1 > width {
+			width = w + 1
+		}
+	}
+	cell := func(s string) string {
+		return fmt.Sprintf("%-*s", width, s)
+	}
+	// Header: step numbers every 5 columns.
+	b.WriteString("      ")
+	for i := range trace {
+		if i%5 == 0 {
+			b.WriteString(cell(fmt.Sprint(i)))
+		} else {
+			b.WriteString(cell(""))
+		}
+	}
+	b.WriteByte('\n')
+	for pid := 0; pid < n; pid++ {
+		fmt.Fprintf(&b, "p%-4d ", pid)
+		for _, op := range trace {
+			if op.Pid != pid {
+				b.WriteString(cell("·"))
+				continue
+			}
+			kind := "r"
+			if op.Kind == OpWrite {
+				kind = "w"
+			}
+			b.WriteString(cell(fmt.Sprintf("%s%d", kind, op.Reg)))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

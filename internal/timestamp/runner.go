@@ -1,0 +1,262 @@
+package timestamp
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"tsspace/internal/hbcheck"
+	"tsspace/internal/register"
+	"tsspace/internal/sched"
+)
+
+// RunReport is the outcome of a harness run: every completed getTS() with
+// its happens-before interval, plus the space footprint.
+type RunReport struct {
+	Alg    string
+	N      int // processes
+	Calls  int // getTS() calls per process
+	Space  register.SpaceReport
+	Events []hbcheck.Event[Timestamp]
+}
+
+// Verify checks the happens-before property over the report's events.
+func (r *RunReport) Verify(alg Algorithm) error {
+	return hbcheck.Check(r.Events, alg.Compare)
+}
+
+// memFor wraps mem with the algorithm's writer discipline for process pid.
+func memFor(alg Algorithm, mem register.Mem, pid int) register.Mem {
+	table := alg.WriterTable()
+	if table == nil {
+		return mem
+	}
+	return register.NewWriteQuorum(mem, table).Handle(pid)
+}
+
+// RunConcurrent executes n processes × calls getTS() each as goroutines on
+// a real atomic register array, records all intervals, and returns the
+// report. One-shot algorithms reject calls > 1.
+func RunConcurrent(alg Algorithm, n, calls int) (*RunReport, error) {
+	if alg.OneShot() && calls > 1 {
+		return nil, fmt.Errorf("%w: %s is one-shot, calls=%d", ErrOneShot, alg.Name(), calls)
+	}
+	meter := register.NewMeter(NewMem(alg))
+	var rec hbcheck.Recorder[Timestamp]
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	for pid := 0; pid < n; pid++ {
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			mem := memFor(alg, meter, pid)
+			for k := 0; k < calls; k++ {
+				start := rec.Begin()
+				ts, err := alg.GetTS(mem, pid, k)
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("p%d getTS#%d: %w", pid, k, err)
+					}
+					mu.Unlock()
+					return
+				}
+				rec.End(pid, k, start, ts)
+			}
+		}(pid)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return &RunReport{
+		Alg:    alg.Name(),
+		N:      n,
+		Calls:  calls,
+		Space:  meter.Report(),
+		Events: rec.Events(),
+	}, nil
+}
+
+// NewSimSystem builds a deterministic-scheduler system in which each of n
+// processes performs calls getTS() instances, recording intervals into the
+// returned recorder. Process results are []Timestamp.
+//
+// The invocation stamp of each getTS() is taken at its first register
+// operation rather than at goroutine creation: under the scheduler a
+// process "begins" when it is first scheduled, and its pre-first-op local
+// computation is invisible to the rest of the system. Stamping earlier
+// would make every call look concurrent with every other and void the
+// happens-before check.
+func NewSimSystem(alg Algorithm, n, calls int) (*sched.System, *hbcheck.Recorder[Timestamp]) {
+	rec := &hbcheck.Recorder[Timestamp]{}
+	sys := sched.New(n, alg.Registers(), func(pid int, mem register.Mem) (any, error) {
+		mem = memFor(alg, mem, pid)
+		out := make([]Timestamp, 0, calls)
+		for k := 0; k < calls; k++ {
+			sm := &stampMem{inner: mem, begin: rec.Begin}
+			ts, err := alg.GetTS(sm, pid, k)
+			if err != nil {
+				return out, fmt.Errorf("p%d getTS#%d: %w", pid, k, err)
+			}
+			rec.End(pid, k, sm.stamp(), ts)
+			out = append(out, ts)
+		}
+		return out, nil
+	})
+	return sys, rec
+}
+
+// stampMem wraps a Mem and takes the invocation stamp right after the
+// first operation is *granted* (executes). Stamping any earlier is unsound
+// under the scheduler: processes post their first request at spawn, so a
+// pre-operation stamp degenerates to creation time and every interval
+// looks concurrent. Stamping after the first granted operation is sound by
+// the usual reduction — local computation before the first shared step is
+// invisible to the system, so there is an equivalent execution in which
+// the invocation happens just before that step.
+type stampMem struct {
+	inner   register.Mem
+	begin   func() uint64
+	started bool
+	start   uint64
+}
+
+var _ register.Mem = (*stampMem)(nil)
+
+func (m *stampMem) stampNow() {
+	if !m.started {
+		m.started = true
+		m.start = m.begin()
+	}
+}
+
+// stamp returns the begin stamp, taking it now if no operation occurred.
+func (m *stampMem) stamp() uint64 {
+	m.stampNow()
+	return m.start
+}
+
+func (m *stampMem) Size() int { return m.inner.Size() }
+
+func (m *stampMem) Read(i int) register.Value {
+	v := m.inner.Read(i)
+	m.stampNow()
+	return v
+}
+
+func (m *stampMem) Write(i int, v register.Value) {
+	m.inner.Write(i, v)
+	m.stampNow()
+}
+
+// checkSystem surfaces process errors and verifies the recorder.
+func checkSystem(alg Algorithm, sys *sched.System, rec *hbcheck.Recorder[Timestamp]) error {
+	for pid := 0; pid < sys.N(); pid++ {
+		if err := sys.Err(pid); err != nil {
+			return err
+		}
+	}
+	return hbcheck.CheckRecorder(rec, alg.Compare)
+}
+
+// Explore model-checks the algorithm: it enumerates interleavings of n
+// processes × calls getTS() (capped at maxVisits complete executions; 0 =
+// all) and verifies the happens-before property on every one. It returns
+// the number of executions checked.
+func Explore(alg Algorithm, n, calls, maxVisits, maxSteps int) (int, error) {
+	if alg.OneShot() && calls > 1 {
+		return 0, fmt.Errorf("%w: %s is one-shot", ErrOneShot, alg.Name())
+	}
+	var cur *hbcheck.Recorder[Timestamp]
+	factory := func() *sched.System {
+		sys, rec := NewSimSystem(alg, n, calls)
+		cur = rec
+		return sys
+	}
+	return sched.Explore(factory, maxVisits, maxSteps, func(sys *sched.System, schedule []int) error {
+		return checkSystem(alg, sys, cur)
+	})
+}
+
+// Sample stress-tests the algorithm on count random maximal interleavings
+// with the given seed, verifying the happens-before property on each.
+func Sample(alg Algorithm, n, calls, count int, seed int64) error {
+	if alg.OneShot() && calls > 1 {
+		return fmt.Errorf("%w: %s is one-shot", ErrOneShot, alg.Name())
+	}
+	var cur *hbcheck.Recorder[Timestamp]
+	factory := func() *sched.System {
+		sys, rec := NewSimSystem(alg, n, calls)
+		cur = rec
+		return sys
+	}
+	return sched.Sample(factory, count, seed, func(sys *sched.System, schedule []int) error {
+		return checkSystem(alg, sys, cur)
+	})
+}
+
+// SequentialTimestamps runs n×calls getTS() strictly sequentially (p0 first
+// call, p0 second call, ..., p(n-1) last call when byProcess; otherwise
+// round-robin) on real memory and returns the timestamps in issue order.
+// Every consecutive pair is happens-before ordered, so the sequence must be
+// strictly increasing under Compare.
+func SequentialTimestamps(alg Algorithm, n, calls int, byProcess bool) ([]Timestamp, error) {
+	meter := register.NewMeter(NewMem(alg))
+	out := make([]Timestamp, 0, n*calls)
+	issue := func(pid, k int) error {
+		ts, err := alg.GetTS(memFor(alg, meter, pid), pid, k)
+		if err != nil {
+			return fmt.Errorf("p%d getTS#%d: %w", pid, k, err)
+		}
+		out = append(out, ts)
+		return nil
+	}
+	if byProcess {
+		for pid := 0; pid < n; pid++ {
+			for k := 0; k < calls; k++ {
+				if err := issue(pid, k); err != nil {
+					return out, err
+				}
+			}
+		}
+		return out, nil
+	}
+	for k := 0; k < calls; k++ {
+		for pid := 0; pid < n; pid++ {
+			if err := issue(pid, k); err != nil {
+				return out, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// CheckStrictlyIncreasing verifies that each adjacent pair of timestamps is
+// ordered by compare in the forward direction only.
+func CheckStrictlyIncreasing(ts []Timestamp, compare func(a, b Timestamp) bool) error {
+	for i := 1; i < len(ts); i++ {
+		if !compare(ts[i-1], ts[i]) {
+			return fmt.Errorf("timestamp %d: compare(%v, %v) = false, want true", i, ts[i-1], ts[i])
+		}
+		if compare(ts[i], ts[i-1]) {
+			return fmt.Errorf("timestamp %d: compare(%v, %v) = true, want false", i, ts[i], ts[i-1])
+		}
+	}
+	return nil
+}
+
+// ErrSpaceExceeded reports a space-bound violation in CheckSpaceBound.
+var ErrSpaceExceeded = errors.New("timestamp: space bound exceeded")
+
+// CheckSpaceBound verifies the report wrote at most bound registers.
+func CheckSpaceBound(r *RunReport, bound int) error {
+	if r.Space.Written > bound {
+		return fmt.Errorf("%w: %s wrote %d registers, bound %d", ErrSpaceExceeded, r.Alg, r.Space.Written, bound)
+	}
+	return nil
+}

@@ -1,0 +1,167 @@
+package sqrt
+
+import (
+	"fmt"
+	"sync"
+)
+
+// WriteEvent is a shared-register write performed by Algorithm 4, tagged
+// with the pseudocode line that issued it (8, 11 or 15).
+type WriteEvent struct {
+	Line int // 8, 11 or 15
+	Pid  int
+	Seq  int
+	Reg  int // 0-based register index (paper's R[Reg+1])
+	Rnd  int // rnd value written
+}
+
+// ScanEvent is a completed scan (line 13) by a getTS with the given myrnd.
+// Phase myrnd+1 starts at the first such scan (§6.3).
+type ScanEvent struct {
+	Pid   int
+	Seq   int
+	MyRnd int
+}
+
+// Tracer observes Algorithm 4's internal events. Callbacks run on the
+// calling process's goroutine immediately after the traced operation.
+type Tracer interface {
+	OnWrite(WriteEvent)
+	OnScan(ScanEvent)
+}
+
+// TraceEvent is a WriteEvent or ScanEvent in chronological order.
+type TraceEvent struct {
+	Write *WriteEvent
+	Scan  *ScanEvent
+}
+
+// ChronoTracer records events in arrival order. Under the deterministic
+// scheduler (synchronous stepping) the order is exactly the execution
+// order; under real concurrency it is a best-effort serialization.
+type ChronoTracer struct {
+	mu     sync.Mutex
+	events []TraceEvent
+}
+
+var _ Tracer = (*ChronoTracer)(nil)
+
+// OnWrite implements Tracer.
+func (t *ChronoTracer) OnWrite(ev WriteEvent) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.events = append(t.events, TraceEvent{Write: &ev})
+}
+
+// OnScan implements Tracer.
+func (t *ChronoTracer) OnScan(ev ScanEvent) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.events = append(t.events, TraceEvent{Scan: &ev})
+}
+
+// Events returns the recorded trace.
+func (t *ChronoTracer) Events() []TraceEvent {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]TraceEvent, len(t.events))
+	copy(out, t.events)
+	return out
+}
+
+// Reset clears the trace.
+func (t *ChronoTracer) Reset() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.events = nil
+}
+
+// PhaseStats summarizes one phase of an execution.
+type PhaseStats struct {
+	Phase         int // 1-based phase number ϕ
+	Writes        int // register writes during the phase
+	Invalidations int // invalidation writes (first write per register per phase)
+	MaxReg        int // largest 0-based register written, -1 if none
+}
+
+// PhaseReport is the §6.3 accounting of an execution trace.
+type PhaseReport struct {
+	Phases             int          // highest phase started
+	TotalWrites        int          // all register writes
+	InvalidationWrites int          // total invalidation writes (Claim 6.13: ≤ 2M)
+	PerPhase           []PhaseStats // indexed by phase-1
+}
+
+// AnalyzePhases partitions a chronological trace into phases following
+// §6.3: phase ϕ ≥ 1 starts at the first scan (line 13) by a getTS with
+// myrnd = ϕ−1, and the first write to each register within a phase is an
+// invalidation write. It verifies Claim 6.8 (only R[1..ϕ] written during
+// phase ϕ) as it goes and returns an error if the trace violates it.
+func AnalyzePhases(events []TraceEvent) (*PhaseReport, error) {
+	rep := &PhaseReport{}
+	phase := 0
+	var writtenInPhase map[int]bool
+	cur := func() *PhaseStats {
+		if phase == 0 {
+			return nil
+		}
+		return &rep.PerPhase[phase-1]
+	}
+	startPhase := func(p int) {
+		for phase < p {
+			phase++
+			rep.PerPhase = append(rep.PerPhase, PhaseStats{Phase: phase, MaxReg: -1})
+		}
+		writtenInPhase = make(map[int]bool)
+	}
+	for _, ev := range events {
+		switch {
+		case ev.Scan != nil:
+			if ev.Scan.MyRnd+1 > phase {
+				startPhase(ev.Scan.MyRnd + 1)
+			}
+		case ev.Write != nil:
+			w := ev.Write
+			if phase == 0 {
+				// No scan recorded yet: the write to R[1] that starts the
+				// visible part of phase 1 is always preceded by a scan by
+				// the same getTS, so this indicates a truncated trace.
+				return nil, fmt.Errorf("sqrt: write %+v before any scan", *w)
+			}
+			// Claim 6.8: only registers R[1..ϕ] (0-based 0..ϕ-1) are
+			// written during phase ϕ.
+			if w.Reg > phase-1 {
+				return nil, fmt.Errorf("sqrt: phase %d wrote register index %d, violating Claim 6.8", phase, w.Reg)
+			}
+			st := cur()
+			st.Writes++
+			rep.TotalWrites++
+			if w.Reg > st.MaxReg {
+				st.MaxReg = w.Reg
+			}
+			if !writtenInPhase[w.Reg] {
+				writtenInPhase[w.Reg] = true
+				st.Invalidations++
+				rep.InvalidationWrites++
+			}
+		}
+	}
+	rep.Phases = phase
+	return rep, nil
+}
+
+// VerifyCompletedPhases checks Claim 6.10 on the report: every completed
+// phase ϕ (all but the last started phase) has exactly ϕ invalidation
+// writes.
+func VerifyCompletedPhases(rep *PhaseReport) error {
+	for _, st := range rep.PerPhase {
+		if st.Phase == rep.Phases {
+			continue // the final phase may be incomplete
+		}
+		if st.Invalidations != st.Phase {
+			return fmt.Errorf("sqrt: completed phase %d has %d invalidation writes, want %d (Claim 6.10)",
+				st.Phase, st.Invalidations, st.Phase)
+		}
+	}
+	return nil
+}
