@@ -1,27 +1,36 @@
 // Package tsspace_test is the benchmark harness of the reproduction: one
 // benchmark per experiment in EXPERIMENTS.md (E1–E10), each regenerating
 // the corresponding table row or figure series of the paper via
-// b.ReportMetric. Run with:
+// b.ReportMetric. Every experiment runs through internal/engine — the
+// benchmarks only pick an Algorithm × World × Workload combination and
+// read the engine's report. Run with:
 //
 //	go test -bench=. -benchmem
 package tsspace_test
 
 import (
 	"fmt"
-	"math/rand"
-	"sync/atomic"
 	"testing"
 
 	"tsspace/internal/adversary"
-	"tsspace/internal/hbcheck"
+	"tsspace/internal/engine"
 	"tsspace/internal/lowerbound"
-	"tsspace/internal/register"
 	"tsspace/internal/timestamp"
 	"tsspace/internal/timestamp/collect"
 	"tsspace/internal/timestamp/dense"
 	"tsspace/internal/timestamp/simple"
 	"tsspace/internal/timestamp/sqrt"
 )
+
+// run is the benchmark-side shorthand for one engine run.
+func run(b *testing.B, cfg engine.Config[timestamp.Timestamp]) *engine.Report[timestamp.Timestamp] {
+	b.Helper()
+	rep, err := engine.Run(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return rep
+}
 
 // E1 — Theorem 1.1: the long-lived construction reaches a
 // (3,⌊n/2⌋)-configuration covering ≥ ⌊n/6⌋ registers.
@@ -30,7 +39,7 @@ func BenchmarkE1_LongLivedLowerBound(b *testing.B) {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
 			var covered, bound int
 			for i := 0; i < b.N; i++ {
-				rep, err := lowerbound.LongLivedConstruction(n, lowerbound.FirstFit{})
+				rep, err := engine.LongLivedCover(n, lowerbound.FirstFit{})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -51,7 +60,7 @@ func BenchmarkE2_OneShotLowerBound(b *testing.B) {
 			var rep *lowerbound.OneShotReport
 			for i := 0; i < b.N; i++ {
 				var err error
-				rep, err = lowerbound.OneShotConstruction(n, lowerbound.LowestFirst{})
+				rep, err = engine.OneShotCover(n, lowerbound.LowestFirst{})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -96,10 +105,9 @@ func BenchmarkE4_SimpleSpace(b *testing.B) {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
 			var written int
 			for i := 0; i < b.N; i++ {
-				rep, err := timestamp.RunConcurrent(simple.New(n), n, 1)
-				if err != nil {
-					b.Fatal(err)
-				}
+				rep := run(b, engine.Config[timestamp.Timestamp]{
+					Alg: simple.New(n), World: engine.Atomic, N: n, Workload: engine.OneShot{},
+				})
 				written = rep.Space.Written
 			}
 			b.ReportMetric(float64(written), "registersWritten")
@@ -114,7 +122,7 @@ func BenchmarkE5_Figure1(b *testing.B) {
 	const n = 200
 	var j1, m int
 	for i := 0; i < b.N; i++ {
-		rep, err := lowerbound.OneShotConstruction(n, lowerbound.LowestFirst{})
+		rep, err := engine.OneShotCover(n, lowerbound.LowestFirst{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -140,7 +148,7 @@ func BenchmarkE6_Figure2(b *testing.B) {
 			},
 			Fallback: lowerbound.HighestFirst{},
 		}
-		rep, err := lowerbound.OneShotConstructionQ(32, script, true)
+		rep, err := engine.OneShotCoverQ(32, script, true)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -154,7 +162,7 @@ func BenchmarkE6_Figure2(b *testing.B) {
 
 // E7 — Claims 6.8–6.13: invalidation writes stay ≤ 2M and completed phases
 // ϕ carry exactly ϕ invalidation writes, measured with the phase tracer on
-// batched-concurrency schedules (batches of 3 processes interleave
+// the engine's phased workload (batches of 3 processes interleave
 // randomly; full uniform concurrency would collapse everyone into phase 1
 // and prove nothing).
 func BenchmarkE7_InvalidationWrites(b *testing.B) {
@@ -165,41 +173,27 @@ func BenchmarkE7_InvalidationWrites(b *testing.B) {
 				alg := sqrt.New(n)
 				tracer := &sqrt.ChronoTracer{}
 				alg.SetTracer(tracer)
-				sys, rec := timestamp.NewSimSystem(alg, n, 1)
-				rng := rand.New(rand.NewSource(int64(i) + 1))
-				for batch := 0; batch < n; batch += 3 {
-					members := []int{batch, batch + 1, batch + 2}
-					for len(members) > 0 {
-						k := rng.Intn(len(members))
-						pid := members[k]
-						if _, alive, err := sys.Pending(pid); err != nil {
-							b.Fatal(err)
-						} else if !alive {
-							members = append(members[:k], members[k+1:]...)
-							continue
-						}
-						if _, err := sys.Step(pid); err != nil {
-							b.Fatal(err)
-						}
-					}
-				}
-				if err := sys.Drain(); err != nil {
+				rep := run(b, engine.Config[timestamp.Timestamp]{
+					Alg:      alg,
+					World:    engine.Simulated,
+					N:        n,
+					Workload: engine.Phased{GroupSize: 3},
+					Seed:     int64(i) + 1,
+				})
+				if err := rep.Verify(alg.Compare); err != nil {
 					b.Fatal(err)
 				}
-				if err := hbcheck.CheckRecorder(rec, alg.Compare); err != nil {
-					b.Fatal(err)
-				}
-				rep, err := sqrt.AnalyzePhases(tracer.Events())
+				prep, err := sqrt.AnalyzePhases(tracer.Events())
 				if err != nil {
 					b.Fatal(err)
 				}
-				if err := sqrt.VerifyCompletedPhases(rep); err != nil {
+				if err := sqrt.VerifyCompletedPhases(prep); err != nil {
 					b.Fatal(err)
 				}
-				if rep.InvalidationWrites > 2*n {
-					b.Fatalf("invalidation writes %d > 2M = %d", rep.InvalidationWrites, 2*n)
+				if prep.InvalidationWrites > 2*n {
+					b.Fatalf("invalidation writes %d > 2M = %d", prep.InvalidationWrites, 2*n)
 				}
-				inv, phases = rep.InvalidationWrites, rep.Phases
+				inv, phases = prep.InvalidationWrites, prep.Phases
 			}
 			b.ReportMetric(float64(inv), "invalidationWrites")
 			b.ReportMetric(float64(2*n), "bound_2M")
@@ -215,16 +209,15 @@ func BenchmarkE8_SpaceGap(b *testing.B) {
 		algs := []timestamp.Algorithm{collect.New(n), dense.New(n), simple.New(n), sqrt.New(n)}
 		for _, alg := range algs {
 			b.Run(fmt.Sprintf("n=%d/%s", n, alg.Name()), func(b *testing.B) {
-				calls := 1
+				var wl engine.Workload = engine.OneShot{}
 				if !alg.OneShot() {
-					calls = 2
+					wl = engine.LongLived{CallsPerProc: 2}
 				}
 				var written int
 				for i := 0; i < b.N; i++ {
-					rep, err := timestamp.RunConcurrent(alg, n, calls)
-					if err != nil {
-						b.Fatal(err)
-					}
+					rep := run(b, engine.Config[timestamp.Timestamp]{
+						Alg: alg, World: engine.Atomic, N: n, Workload: wl,
+					})
 					written = rep.Space.Written
 				}
 				b.ReportMetric(float64(written), "registersWritten")
@@ -243,10 +236,10 @@ func BenchmarkE9_MBounded(b *testing.B) {
 	var written int
 	for i := 0; i < b.N; i++ {
 		alg := sqrt.NewBounded(m)
-		rep, err := timestamp.RunConcurrent(alg, procs, callsPer)
-		if err != nil {
-			b.Fatal(err)
-		}
+		rep := run(b, engine.Config[timestamp.Timestamp]{
+			Alg: alg, World: engine.Atomic, N: procs,
+			Workload: engine.LongLived{CallsPerProc: callsPer},
+		})
 		if rep.Space.Written > alg.Registers()-1 {
 			b.Fatalf("wrote %d registers, budget %d", rep.Space.Written, alg.Registers())
 		}
@@ -257,7 +250,8 @@ func BenchmarkE9_MBounded(b *testing.B) {
 }
 
 // E10 — throughput under real goroutine contention (engineering sanity,
-// not from the paper).
+// not from the paper), on both the flat and the cache-line-padded register
+// arrays.
 func BenchmarkGetTS_Collect(b *testing.B) {
 	benchThroughput(b, func(n int) timestamp.Algorithm { return collect.New(n) })
 }
@@ -268,51 +262,55 @@ func BenchmarkGetTS_Dense(b *testing.B) {
 }
 
 func benchThroughput(b *testing.B, mk func(int) timestamp.Algorithm) {
+	const callsPer = 64
 	for _, n := range []int{4, 32} {
-		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
-			alg := mk(n)
-			mem := register.NewAtomicArray(alg.Registers())
-			var workers atomic.Int64
-			b.RunParallel(func(pb *testing.PB) {
-				// Each parallel worker owns a distinct pid slot, wrapping at
-				// n (extra workers share slots; the measurement is raw
-				// contended latency, not spec conformance).
-				pid := int(workers.Add(1)-1) % n
-				seq := 0
-				for pb.Next() {
-					if _, err := alg.GetTS(mem, pid, seq); err != nil {
-						b.Fatal(err)
-					}
-					seq++
+		for _, sharded := range []bool{false, true} {
+			mem := "flat"
+			if sharded {
+				mem = "sharded"
+			}
+			b.Run(fmt.Sprintf("n=%d/%s", n, mem), func(b *testing.B) {
+				alg := mk(n)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					// Unmetered: the shared meter would serialize the very
+					// contention this experiment measures.
+					run(b, engine.Config[timestamp.Timestamp]{
+						Alg: alg, World: engine.Atomic, N: n,
+						Workload:  engine.LongLived{CallsPerProc: callsPer},
+						Sharded:   sharded,
+						Unmetered: true,
+					})
 				}
+				perCall(b, n*callsPer)
 			})
-		})
+		}
 	}
 }
 
-// BenchmarkGetTS_SqrtOneShot measures one-shot issue latency: each
-// iteration issues one of the M timestamps; the object is re-created when
-// exhausted.
+// perCall reports latency and throughput per getTS call for benchmarks
+// whose unit of iteration is a whole engine run of callsPerRun calls.
+func perCall(b *testing.B, callsPerRun int) {
+	calls := float64(b.N) * float64(callsPerRun)
+	secs := b.Elapsed().Seconds()
+	if secs > 0 {
+		b.ReportMetric(calls/secs, "getTS/s")
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/calls, "ns/getTS")
+}
+
+// BenchmarkGetTS_SqrtOneShot measures one-shot issue latency: each engine
+// run issues the M timestamps of a fresh object sequentially.
 func BenchmarkGetTS_SqrtOneShot(b *testing.B) {
 	for _, n := range []int{64, 1024} {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
-			alg := sqrt.New(n)
-			mem := timestamp.NewMem(alg)
-			pid := 0
-			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if pid == n {
-					b.StopTimer()
-					alg = sqrt.New(n)
-					mem = timestamp.NewMem(alg)
-					pid = 0
-					b.StartTimer()
-				}
-				if _, err := alg.GetTS(mem, pid, 0); err != nil {
-					b.Fatal(err)
-				}
-				pid++
+				run(b, engine.Config[timestamp.Timestamp]{
+					Alg: sqrt.New(n), World: engine.Atomic, N: n,
+					Workload: engine.Sequential{}, Unmetered: true,
+				})
 			}
+			perCall(b, n)
 		})
 	}
 }
@@ -322,23 +320,13 @@ func BenchmarkGetTS_SqrtOneShot(b *testing.B) {
 func BenchmarkGetTS_Simple(b *testing.B) {
 	for _, n := range []int{64, 1024} {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
-			alg := simple.New(n)
-			mem := timestamp.NewMem(alg)
-			pid := 0
-			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if pid == n {
-					b.StopTimer()
-					alg = simple.New(n)
-					mem = timestamp.NewMem(alg)
-					pid = 0
-					b.StartTimer()
-				}
-				if _, err := alg.GetTS(mem, pid, 0); err != nil {
-					b.Fatal(err)
-				}
-				pid++
+				run(b, engine.Config[timestamp.Timestamp]{
+					Alg: simple.New(n), World: engine.Atomic, N: n,
+					Workload: engine.Sequential{}, Unmetered: true,
+				})
 			}
+			perCall(b, n)
 		})
 	}
 }
@@ -357,23 +345,14 @@ func BenchmarkAblationScan(b *testing.B) {
 			const n = 256
 			alg := sqrt.New(n)
 			alg.UseVersionedScan(versioned)
-			mem := timestamp.NewMem(alg)
-			pid := 0
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if pid == n {
-					b.StopTimer()
-					alg = sqrt.New(n)
-					alg.UseVersionedScan(versioned)
-					mem = timestamp.NewMem(alg)
-					pid = 0
-					b.StartTimer()
-				}
-				if _, err := alg.GetTS(mem, pid, 0); err != nil {
-					b.Fatal(err)
-				}
-				pid++
+				run(b, engine.Config[timestamp.Timestamp]{
+					Alg: alg, World: engine.Atomic, N: n,
+					Workload: engine.Sequential{}, Unmetered: true,
+				})
 			}
+			perCall(b, n)
 		})
 	}
 }
@@ -394,13 +373,11 @@ func BenchmarkAblationRepairWrites(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			var writes uint64
 			for i := 0; i < b.N; i++ {
-				meter := register.NewMeter(timestamp.NewMem(alg))
-				for k := 0; k < n; k++ {
-					if _, err := alg.GetTS(meter, k, 0); err != nil {
-						b.Fatal(err)
-					}
-				}
-				writes = meter.Report().Writes
+				rep := run(b, engine.Config[timestamp.Timestamp]{
+					Alg: alg, World: engine.Atomic, N: n,
+					Workload: engine.Sequential{},
+				})
+				writes = rep.Space.Writes
 			}
 			b.ReportMetric(float64(writes), "totalWrites")
 		})

@@ -75,6 +75,19 @@ func TestCLITstrace(t *testing.T) {
 	}
 }
 
+func TestCLITstraceWorkloads(t *testing.T) {
+	out := runCmd(t, "./cmd/tstrace", "-alg", "dense", "-n", "4", "-calls", "2",
+		"-workload", "churn", "-width", "2", "-seed", "2")
+	if !strings.Contains(out, "churn/width-2") || !strings.Contains(out, "verified ✓") {
+		t.Errorf("churn trace malformed:\n%s", out)
+	}
+	out = runCmd(t, "./cmd/tstrace", "-alg", "collect", "-n", "2",
+		"-schedule", "0,0,0,1,1,1,0,1")
+	if !strings.Contains(out, "adversarial/8-steps") || !strings.Contains(out, "verified ✓") {
+		t.Errorf("scheduled trace malformed:\n%s", out)
+	}
+}
+
 func TestCLIExamples(t *testing.T) {
 	for _, ex := range []string{"quickstart", "eventlog", "fcfs", "renaming", "phases"} {
 		out := runCmd(t, "./examples/"+ex)

@@ -1,12 +1,13 @@
 // Command tscheck model-checks and stress-tests every timestamp
 // implementation against the happens-before specification (§2): exhaustive
 // interleavings for small systems, sampled random schedules through the
-// deterministic scheduler, and real-goroutine runs, all validated by the
+// deterministic scheduler, real-goroutine runs, and the engine's scenario
+// workloads (phased batches, mixed churn), all validated by the
 // happens-before checker.
 //
 // Usage:
 //
-//	tscheck [-n 4] [-visits 2000] [-samples 100] [-reps 20]
+//	tscheck [-n 4] [-visits 2000] [-samples 100] [-reps 20] [-sharded]
 package main
 
 import (
@@ -14,6 +15,7 @@ import (
 	"fmt"
 	"os"
 
+	"tsspace/internal/engine"
 	"tsspace/internal/timestamp"
 	"tsspace/internal/timestamp/collect"
 	"tsspace/internal/timestamp/dense"
@@ -27,6 +29,7 @@ func main() {
 	samples := flag.Int("samples", 100, "random schedules per algorithm")
 	reps := flag.Int("reps", 20, "real-concurrency repetitions per algorithm")
 	seed := flag.Int64("seed", 42, "schedule sampling seed")
+	sharded := flag.Bool("sharded", false, "use the cache-line-padded register array for concurrent runs")
 	flag.Parse()
 
 	algs := []timestamp.Algorithm{
@@ -38,19 +41,39 @@ func main() {
 		if alg.OneShot() {
 			calls = 1
 		}
+		cfg := func(world engine.World, wl engine.Workload) engine.Config[timestamp.Timestamp] {
+			return engine.Config[timestamp.Timestamp]{
+				Alg: alg, World: world, N: *n, Workload: wl, Seed: *seed, Sharded: *sharded,
+			}
+		}
 
-		visited, err := timestamp.Explore(alg, 2, 1, *visits, 100_000)
+		small := cfg(engine.Simulated, engine.OneShot{})
+		small.N = 2
+		visited, err := engine.Explore(small, *visits, 100_000)
 		report(&failed, alg.Name(), fmt.Sprintf("exhaustive 2×1 (%d interleavings)", visited), err)
 
-		err = timestamp.Sample(alg, *n, calls, *samples, *seed)
+		err = engine.Sample(cfg(engine.Simulated, engine.LongLived{CallsPerProc: calls}), *samples)
 		report(&failed, alg.Name(), fmt.Sprintf("sampled %d×%d ×%d schedules", *n, calls, *samples), err)
+
+		// The engine's scenario workloads, one sim run each: phased batches
+		// and mixed churn (processes join and leave mid-run).
+		for _, wl := range []engine.Workload{
+			engine.Phased{GroupSize: 2, CallsPerProc: calls},
+			engine.Churn{Width: (*n + 1) / 2, CallsPerProc: calls},
+		} {
+			rep, err := engine.Run(cfg(engine.Simulated, wl))
+			if err == nil {
+				err = rep.Verify(alg.Compare)
+			}
+			report(&failed, alg.Name(), fmt.Sprintf("%s %d×%d", wl.Kind(), *n, calls), err)
+		}
 
 		var concErr error
 		for r := 0; r < *reps && concErr == nil; r++ {
-			var rep *timestamp.RunReport
-			rep, concErr = timestamp.RunConcurrent(alg, *n, calls)
+			var rep *engine.Report[timestamp.Timestamp]
+			rep, concErr = engine.Run(cfg(engine.Atomic, engine.LongLived{CallsPerProc: calls}))
 			if concErr == nil {
-				concErr = rep.Verify(alg)
+				concErr = rep.Verify(alg.Compare)
 			}
 		}
 		report(&failed, alg.Name(), fmt.Sprintf("concurrent %d×%d ×%d runs", *n, calls, *reps), concErr)

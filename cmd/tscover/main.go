@@ -1,5 +1,7 @@
 // Command tscover replays the lower-bound constructions of the paper
 // (experiments E1, E2, E5, E6) and renders the Figure 1 / Figure 2 grids.
+// Every replay goes through internal/engine, which validates the paper's
+// bound on each construction centrally.
 //
 // Usage:
 //
@@ -13,10 +15,9 @@ package main
 import (
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
 
-	"tsspace/internal/hbcheck"
+	"tsspace/internal/engine"
 	"tsspace/internal/lowerbound"
 	"tsspace/internal/timestamp"
 	"tsspace/internal/timestamp/sqrt"
@@ -49,38 +50,24 @@ func main() {
 	}
 }
 
-// phases runs n one-shot getTS calls on a batched random schedule with the
-// phase tracer and prints the §6.3 accounting (experiment E7).
+// phases runs n one-shot getTS calls on the engine's phased workload
+// (batches of 3) with the phase tracer and prints the §6.3 accounting
+// (experiment E7).
 func phases(n int, seed int64) {
 	alg := sqrt.New(n)
 	tracer := &sqrt.ChronoTracer{}
 	alg.SetTracer(tracer)
-	sys, rec := timestamp.NewSimSystem(alg, n, 1)
-	defer sys.Close()
-	rng := rand.New(rand.NewSource(seed))
-	for batch := 0; batch < n; batch += 3 {
-		var members []int
-		for i := batch; i < batch+3 && i < n; i++ {
-			members = append(members, i)
-		}
-		for len(members) > 0 {
-			k := rng.Intn(len(members))
-			pid := members[k]
-			if _, alive, err := sys.Pending(pid); err != nil {
-				fail(err)
-			} else if !alive {
-				members = append(members[:k], members[k+1:]...)
-				continue
-			}
-			if _, err := sys.Step(pid); err != nil {
-				fail(err)
-			}
-		}
-	}
-	if err := sys.Drain(); err != nil {
+	run, err := engine.Run(engine.Config[timestamp.Timestamp]{
+		Alg:      alg,
+		World:    engine.Simulated,
+		N:        n,
+		Workload: engine.Phased{GroupSize: 3},
+		Seed:     seed,
+	})
+	if err != nil {
 		fail(err)
 	}
-	if err := hbcheck.CheckRecorder(rec, alg.Compare); err != nil {
+	if err := run.Verify(alg.Compare); err != nil {
 		fail(err)
 	}
 	rep, err := sqrt.AnalyzePhases(tracer.Events())
@@ -116,10 +103,9 @@ func pick(name string, seed int64) lowerbound.Policy {
 }
 
 func oneshot(n int, pol lowerbound.Policy, steps bool) {
-	rep, err := lowerbound.OneShotConstruction(n, pol)
+	rep, err := engine.OneShotCover(n, pol)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "tscover: %v\n", err)
-		os.Exit(1)
+		fail(err)
 	}
 	fmt.Printf("Theorem 1.2 construction: n=%d processes, m=⌊√2n⌋=%d registers, policy %s\n\n",
 		n, rep.M, pol.Name())
@@ -139,10 +125,9 @@ func oneshot(n int, pol lowerbound.Policy, steps bool) {
 }
 
 func longlived(n int, pol lowerbound.Policy, steps bool) {
-	rep, err := lowerbound.LongLivedConstruction(n, pol)
+	rep, err := engine.LongLivedCover(n, pol)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "tscover: %v\n", err)
-		os.Exit(1)
+		fail(err)
 	}
 	fmt.Printf("Theorem 1.1 construction: n=%d processes, policy %s\n\n", n, pol.Name())
 	if steps {
@@ -158,10 +143,9 @@ func longlived(n int, pol lowerbound.Policy, steps bool) {
 }
 
 func figure1(n int, pol lowerbound.Policy) {
-	rep, err := lowerbound.OneShotConstruction(n, pol)
+	rep, err := engine.OneShotCover(n, pol)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "tscover: %v\n", err)
-		os.Exit(1)
+		fail(err)
 	}
 	first := rep.Steps[0]
 	fmt.Printf("Figure 1 — configuration C1 (n=%d, m=%d): column j=%d reaches the diagonal,\n", n, rep.M, first.J)
@@ -182,10 +166,9 @@ func figure2() {
 		},
 		Fallback: lowerbound.HighestFirst{},
 	}
-	rep, err := lowerbound.OneShotConstructionQ(32, script, true)
+	rep, err := engine.OneShotCoverQ(32, script, true)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "tscover: %v\n", err)
-		os.Exit(1)
+		fail(err)
 	}
 	fmt.Println("Figure 2 — block-write step outcomes (n=32, m=8, scripted adversary)")
 	for _, st := range rep.Steps {

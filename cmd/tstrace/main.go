@@ -1,19 +1,26 @@
-// Command tstrace runs a timestamp implementation under a seeded random
-// schedule in the deterministic scheduler and prints the execution as a
-// per-process timeline plus the returned timestamps — the visual form of
-// the executions the paper's proofs manipulate.
+// Command tstrace runs a timestamp implementation under the deterministic
+// scheduler and prints the execution as a per-process timeline plus the
+// returned timestamps — the visual form of the executions the paper's
+// proofs manipulate. The schedule comes from one of the engine's
+// workloads: a seeded random maximal interleaving (default), phased
+// batches, mixed churn, or an explicit adversarial schedule.
 //
 // Usage:
 //
 //	tstrace [-alg sqrt|simple|collect|dense] [-n 4] [-calls 1] [-seed 1]
+//	        [-workload random|phased|churn] [-group 2] [-width 2]
+//	        [-schedule 0,1,0,2,...]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
-	"tsspace/internal/hbcheck"
+	"tsspace/internal/engine"
+	"tsspace/internal/report"
 	"tsspace/internal/sched"
 	"tsspace/internal/timestamp"
 	"tsspace/internal/timestamp/collect"
@@ -27,6 +34,10 @@ func main() {
 	n := flag.Int("n", 4, "processes")
 	calls := flag.Int("calls", 1, "getTS calls per process (long-lived algorithms only)")
 	seed := flag.Int64("seed", 1, "schedule seed")
+	workload := flag.String("workload", "random", "schedule shape: random | phased | churn")
+	group := flag.Int("group", 2, "batch size for -workload phased")
+	width := flag.Int("width", 2, "live-process window for -workload churn")
+	schedule := flag.String("schedule", "", "explicit comma-separated schedule (overrides -workload)")
 	flag.Parse()
 
 	var alg timestamp.Algorithm
@@ -47,34 +58,62 @@ func main() {
 		*calls = 1
 	}
 
-	var (
-		finalSys *sched.System
-		finalRec *hbcheck.Recorder[timestamp.Timestamp]
-	)
-	factory := func() *sched.System {
-		sys, rec := timestamp.NewSimSystem(alg, *n, *calls)
-		finalSys, finalRec = sys, rec
-		return sys
+	var wl engine.Workload
+	switch {
+	case *schedule != "":
+		steps, err := parseSchedule(*schedule)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tstrace: %v\n", err)
+			os.Exit(2)
+		}
+		wl = engine.Adversarial{Schedule: steps, CallsPerProc: *calls}
+	case *workload == "random":
+		wl = engine.LongLived{CallsPerProc: *calls}
+	case *workload == "phased":
+		wl = engine.Phased{GroupSize: *group, CallsPerProc: *calls}
+	case *workload == "churn":
+		wl = engine.Churn{Width: *width, CallsPerProc: *calls}
+	default:
+		fmt.Fprintf(os.Stderr, "tstrace: unknown workload %q\n", *workload)
+		os.Exit(2)
 	}
-	err := sched.Sample(factory, 1, *seed, func(sys *sched.System, schedule []int) error {
-		return nil
+
+	rep, err := engine.Run(engine.Config[timestamp.Timestamp]{
+		Alg:      alg,
+		World:    engine.Simulated,
+		N:        *n,
+		Workload: wl,
+		Seed:     *seed,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tstrace: %v\n", err)
 		os.Exit(1)
 	}
 
-	fmt.Printf("%s, n=%d, %d call(s) per process, seed %d — %d steps\n\n",
-		alg.Name(), *n, *calls, *seed, finalSys.Steps())
-	fmt.Println(sched.RenderTrace(finalSys.Trace(), *n))
+	fmt.Printf("%s, n=%d, %d call(s) per process, %s, seed %d — %d steps\n\n",
+		rep.Alg, rep.N, *calls, rep.Workload, *seed, rep.Steps)
+	fmt.Println(sched.RenderTrace(rep.Trace, *n))
 
 	fmt.Println("timestamps returned:")
-	for _, ev := range finalRec.Events() {
+	for _, ev := range rep.Events {
 		fmt.Printf("  p%d.getTS#%d → %v\n", ev.Pid, ev.Seq, ev.Val)
 	}
-	if err := hbcheck.CheckRecorder(finalRec, alg.Compare); err != nil {
+	if err := rep.Verify(alg.Compare); err != nil {
 		fmt.Fprintf(os.Stderr, "tstrace: %v\n", err)
 		os.Exit(1)
 	}
 	fmt.Println("\nhappens-before property verified ✓")
+	fmt.Println(report.Summary(rep))
+}
+
+func parseSchedule(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		pid, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, fmt.Errorf("bad schedule entry %q", f)
+		}
+		out = append(out, pid)
+	}
+	return out, nil
 }

@@ -1,7 +1,12 @@
-// Eventlog: order audit-log records produced by concurrent workers with a
-// long-lived shared-memory timestamp object, verify the happens-before
-// property with the checker, and contrast with Lamport and vector clocks
-// (which need cooperative message stamping rather than shared registers).
+// Eventlog: order audit-log records produced by a churning pool of workers
+// with a long-lived shared-memory timestamp object, verify the
+// happens-before property with the checker, and contrast with Lamport and
+// vector clocks (which need cooperative message stamping rather than
+// shared registers). The run uses the engine's mixed-churn workload:
+// at most three workers are alive at once — a worker that finishes its
+// actions leaves and the next one joins — yet the timestamps stay totally
+// ordered across the membership changes, because the object's guarantees
+// are about the process *namespace*, not the live set.
 //
 // Run with:
 //
@@ -12,68 +17,51 @@ import (
 	"fmt"
 	"log"
 	"sort"
-	"sync"
 
 	"tsspace/internal/clock"
-	"tsspace/internal/hbcheck"
-	"tsspace/internal/register"
+	"tsspace/internal/engine"
+	"tsspace/internal/report"
 	"tsspace/internal/timestamp"
 	"tsspace/internal/timestamp/dense"
 )
 
-type record struct {
-	worker int
-	action string
-	ts     timestamp.Timestamp
-}
-
 func main() {
 	const workers = 5 // worker 4 is the silent process: it never writes a register
 	const actionsPerWorker = 4
+	const poolWidth = 3 // live workers at any moment
 
 	// The dense long-lived object: n−1 registers for n processes.
 	alg := dense.New(workers)
-	mem := register.NewMeter(timestamp.NewMem(alg))
-	fmt.Printf("long-lived timestamps for %d workers from %d registers (n−1)\n\n", workers, alg.Registers())
+	fmt.Printf("long-lived timestamps for %d workers from %d registers (n−1), ≤%d workers live at once\n\n",
+		workers, alg.Registers(), poolWidth)
 
-	var (
-		mu  sync.Mutex
-		lg  []record
-		rec hbcheck.Recorder[timestamp.Timestamp]
-		wg  sync.WaitGroup
-	)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for k := 0; k < actionsPerWorker; k++ {
-				start := rec.Begin()
-				ts, err := alg.GetTS(mem, w, k)
-				if err != nil {
-					log.Fatalf("worker %d: %v", w, err)
-				}
-				rec.End(w, k, start, ts)
-				mu.Lock()
-				lg = append(lg, record{w, fmt.Sprintf("action-%d", k), ts})
-				mu.Unlock()
-			}
-		}(w)
+	rep, err := engine.Run(engine.Config[timestamp.Timestamp]{
+		Alg:      alg,
+		World:    engine.Atomic,
+		N:        workers,
+		Workload: engine.Churn{Width: poolWidth, CallsPerProc: actionsPerWorker},
+	})
+	if err != nil {
+		log.Fatal(err)
 	}
-	wg.Wait()
 
-	// The specification holds on the real execution.
-	if err := hbcheck.CheckRecorder(&rec, alg.Compare); err != nil {
+	// The specification holds on the real execution, across joins/leaves.
+	if err := rep.Verify(alg.Compare); err != nil {
 		log.Fatalf("happens-before violated: %v", err)
 	}
-	fmt.Println("happens-before property verified over all", rec.Len(), "getTS() calls")
+	fmt.Println("happens-before property verified over all", len(rep.Events), "getTS() calls")
 
-	sort.Slice(lg, func(i, j int) bool { return alg.Compare(lg[i].ts, lg[j].ts) })
+	// Each event is one log record: (worker, action, timestamp).
+	lg := rep.Events
+	sort.Slice(lg, func(i, j int) bool { return alg.Compare(lg[i].Val, lg[j].Val) })
 	fmt.Println("\nlog in timestamp order (first 10):")
 	for _, r := range lg[:10] {
-		fmt.Printf("  %v worker %d %s\n", r.ts, r.worker, r.action)
+		fmt.Printf("  %v worker %d action-%d\n", r.Val, r.Pid, r.Seq)
 	}
-	fmt.Printf("\nregisters written: %d (the silent worker %d wrote none)\n\n",
-		mem.Report().Written, workers-1)
+	fmt.Printf("\nregisters written: %d (the silent worker %d wrote none)\n",
+		rep.Space.Written, workers-1)
+	fmt.Println(report.Summary(rep))
+	fmt.Println()
 
 	// Contrast: the same ordering problem in a message-passing world.
 	lamportVectorDemo()

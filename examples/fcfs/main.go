@@ -3,7 +3,9 @@
 // bakery, Ricart–Agrawala). Each request takes a timestamp in its doorway;
 // the dispatcher serves requests in compare() order. The FCFS guarantee is
 // exactly the happens-before property: if request A's doorway completes
-// before request B's begins, A is served before B.
+// before request B's begins, A is served before B. The doorway traffic is
+// the engine's long-lived workload: every client requests repeatedly under
+// full contention.
 //
 // Run with:
 //
@@ -14,69 +16,47 @@ import (
 	"fmt"
 	"log"
 	"sort"
-	"sync"
-	"time"
 
-	"tsspace/internal/register"
+	"tsspace/internal/engine"
 	"tsspace/internal/timestamp"
 	"tsspace/internal/timestamp/collect"
 )
-
-type request struct {
-	client  int
-	round   int
-	ts      timestamp.Timestamp
-	doorway time.Time
-}
 
 func main() {
 	const clients = 6
 	const rounds = 3
 
 	alg := collect.New(clients) // long-lived: clients request repeatedly
-	mem := register.NewMeter(timestamp.NewMem(alg))
 
-	var (
-		mu    sync.Mutex
-		queue []request
-		wg    sync.WaitGroup
-	)
-	for c := 0; c < clients; c++ {
-		wg.Add(1)
-		go func(c int) {
-			defer wg.Done()
-			for r := 0; r < rounds; r++ {
-				// Doorway: take a timestamp. This is the only shared-memory
-				// communication the clients perform.
-				ts, err := alg.GetTS(mem, c, r)
-				if err != nil {
-					log.Fatalf("client %d: %v", c, err)
-				}
-				mu.Lock()
-				queue = append(queue, request{c, r, ts, time.Now()})
-				mu.Unlock()
-			}
-		}(c)
+	rep, err := engine.Run(engine.Config[timestamp.Timestamp]{
+		Alg:      alg,
+		World:    engine.Atomic,
+		N:        clients,
+		Workload: engine.LongLived{CallsPerProc: rounds},
+	})
+	if err != nil {
+		log.Fatal(err)
 	}
-	wg.Wait()
 
-	// The dispatcher serves in timestamp order.
-	sort.Slice(queue, func(i, j int) bool { return alg.Compare(queue[i].ts, queue[j].ts) })
+	// The dispatcher serves in timestamp order. Each event is one doorway:
+	// (client, round, timestamp).
+	queue := rep.Events
+	sort.Slice(queue, func(i, j int) bool { return alg.Compare(queue[i].Val, queue[j].Val) })
 
 	fmt.Printf("served %d requests from %d clients FCFS via %d registers:\n\n",
 		len(queue), clients, alg.Registers())
 	for i, q := range queue {
-		fmt.Printf("  %2d. %v client %d round %d\n", i+1, q.ts, q.client, q.round)
+		fmt.Printf("  %2d. %v client %d round %d\n", i+1, q.Val, q.Pid, q.Seq)
 	}
 
 	// FCFS check: a client's own requests must be served in round order
 	// (each round's doorway happens before the next round's).
 	lastRound := make(map[int]int)
 	for _, q := range queue {
-		if prev, ok := lastRound[q.client]; ok && q.round < prev {
-			log.Fatalf("FCFS violated: client %d round %d served after round %d", q.client, q.round, prev)
+		if prev, ok := lastRound[q.Pid]; ok && q.Seq < prev {
+			log.Fatalf("FCFS violated: client %d round %d served after round %d", q.Pid, q.Seq, prev)
 		}
-		lastRound[q.client] = q.round
+		lastRound[q.Pid] = q.Seq
 	}
 	fmt.Println("\nper-client FCFS order verified")
 }

@@ -1,7 +1,9 @@
 // Phases: a walkthrough of Algorithm 4's phase machinery (§6 of the
-// paper). Issues timestamps sequentially, printing the register array and
-// the running phase accounting after every getTS(), then verifies the
-// §6.3 claims on the recorded trace.
+// paper). Issues timestamps through the engine's sequential workload,
+// printing the register array and the running phase accounting after every
+// getTS() (the engine's BaseMem override plus OnCall observer make the raw
+// register state visible mid-run), then verifies the §6.3 claims on the
+// recorded trace.
 //
 // Run with:
 //
@@ -13,6 +15,7 @@ import (
 	"log"
 	"strings"
 
+	"tsspace/internal/engine"
 	"tsspace/internal/register"
 	"tsspace/internal/timestamp"
 	"tsspace/internal/timestamp/sqrt"
@@ -23,17 +26,27 @@ func main() {
 	alg := sqrt.NewBounded(m)
 	tracer := &sqrt.ChronoTracer{}
 	alg.SetTracer(tracer)
-	mem := register.NewMeter(timestamp.NewMem(alg))
+	mem := register.NewAtomicArray(alg.Registers())
 
 	fmt.Printf("Algorithm 4 with M = %d calls: %d registers (⌈2√M⌉), last one a sentinel\n\n", m, alg.Registers())
 	fmt.Println("call  timestamp  registers  (■ = non-⊥; phase k ⇔ k registers non-⊥)")
 
-	for k := 0; k < m; k++ {
-		ts, err := alg.GetTS(mem, k, 0)
-		if err != nil {
-			log.Fatalf("call %d: %v", k, err)
-		}
-		fmt.Printf("%4d  %-9v  %s\n", k+1, ts, bar(mem, alg.Registers()))
+	call := 0
+	run, err := engine.Run(engine.Config[timestamp.Timestamp]{
+		Alg:     alg,
+		World:   engine.Atomic,
+		N:       m,
+		BaseMem: mem,
+		// One call per process id, strictly sequential: the getTS-ids only
+		// need to be distinct (§6.1), so the pids double as call numbers.
+		Workload: engine.Sequential{},
+		OnCall: func(pid, seq int, ts timestamp.Timestamp) {
+			call++
+			fmt.Printf("%4d  %-9v  %s\n", call, ts, bar(mem, alg.Registers()))
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	rep, err := sqrt.AnalyzePhases(tracer.Events())
@@ -50,7 +63,7 @@ func main() {
 		log.Fatalf("claim violated: %v", err)
 	}
 	fmt.Printf("registers written: %d of %d (sequential executions stay near √(2M) ≈ %.1f)\n",
-		mem.Report().Written, alg.Registers(), 1.41*sqrtF(m))
+		run.Space.Written, alg.Registers(), 1.41*sqrtF(m))
 }
 
 func bar(mem register.Mem, m int) string {

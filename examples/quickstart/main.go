@@ -1,6 +1,8 @@
 // Quickstart: give n goroutines one timestamp each from the paper's
 // √M-register one-shot object (Algorithms 3–4) and use compare() to
-// reconstruct a global order consistent with real time.
+// reconstruct a global order consistent with real time. The run goes
+// through internal/engine: pick an Algorithm × World × Workload, get back
+// a report with the events and the space footprint.
 //
 // Run with:
 //
@@ -11,9 +13,9 @@ import (
 	"fmt"
 	"log"
 	"sort"
-	"sync"
 
-	"tsspace/internal/register"
+	"tsspace/internal/engine"
+	"tsspace/internal/report"
 	"tsspace/internal/timestamp"
 	"tsspace/internal/timestamp/sqrt"
 )
@@ -24,41 +26,30 @@ func main() {
 
 	fmt.Printf("one-shot timestamp object for %d processes using %d registers (⌈2√n⌉)\n\n", n, alg.Registers())
 
-	// All processes share one atomic register array; the meter records the
-	// space actually used.
-	mem := register.NewMeter(timestamp.NewMem(alg))
-
-	type stamped struct {
-		pid int
-		ts  timestamp.Timestamp
+	rep, err := engine.Run(engine.Config[timestamp.Timestamp]{
+		Alg:      alg,
+		World:    engine.Atomic, // real goroutines on hardware atomics
+		N:        n,
+		Workload: engine.OneShot{}, // each process calls getTS() once
+	})
+	if err != nil {
+		log.Fatal(err)
 	}
-	results := make([]stamped, n)
-	var wg sync.WaitGroup
-	for pid := 0; pid < n; pid++ {
-		wg.Add(1)
-		go func(pid int) {
-			defer wg.Done()
-			ts, err := alg.GetTS(mem, pid, 0) // each process calls getTS() once
-			if err != nil {
-				log.Fatalf("p%d: %v", pid, err)
-			}
-			results[pid] = stamped{pid, ts}
-		}(pid)
-	}
-	wg.Wait()
 
 	// compare() is a total preorder on the issued timestamps; sorting by it
 	// yields an order consistent with happens-before.
-	sort.Slice(results, func(i, j int) bool {
-		return alg.Compare(results[i].ts, results[j].ts)
+	events := rep.Events
+	sort.Slice(events, func(i, j int) bool {
+		return alg.Compare(events[i].Val, events[j].Val)
 	})
 
 	fmt.Println("timestamps in compare() order (rnd, turn):")
-	for _, r := range results {
-		fmt.Printf("  p%-3d → %v\n", r.pid, r.ts)
+	for _, ev := range events {
+		fmt.Printf("  p%-3d → %v\n", ev.Pid, ev.Val)
 	}
 
-	rep := mem.Report()
-	fmt.Printf("\nregisters written: %d of %d allocated (sentinel stays ⊥)\n", rep.Written, rep.Registers)
-	fmt.Printf("total reads %d, writes %d\n", rep.Reads, rep.Writes)
+	fmt.Printf("\nregisters written: %d of %d allocated (sentinel stays ⊥)\n",
+		rep.Space.Written, rep.Space.Registers)
+	fmt.Printf("total reads %d, writes %d\n\n", rep.Space.Reads, rep.Space.Writes)
+	fmt.Println(report.Summary(rep))
 }

@@ -1,8 +1,9 @@
 // Renaming: order-based renaming from one-shot timestamps — one of the
 // "inherently one-time" applications motivating the one-shot object (§1,
 // §3 of the paper; cf. Attiya–Fouren adaptive renaming). Each process with
-// a large original identifier takes one timestamp; its new name is the
-// rank of its timestamp among all issued ones.
+// a large original identifier takes one timestamp through the engine's
+// one-shot workload; its new name is the rank of its timestamp among all
+// issued ones.
 //
 // Because concurrent getTS() calls may receive equal timestamps (the
 // specification only constrains happens-before ordered pairs), ranks are
@@ -19,9 +20,8 @@ import (
 	"log"
 	"math/rand"
 	"sort"
-	"sync"
 
-	"tsspace/internal/register"
+	"tsspace/internal/engine"
 	"tsspace/internal/timestamp"
 	"tsspace/internal/timestamp/simple"
 )
@@ -44,29 +44,29 @@ func main() {
 		}
 	}
 
-	// The §5 simple one-shot object: ⌈n/2⌉ two-writer registers.
+	// The §5 simple one-shot object: ⌈n/2⌉ two-writer registers. The engine
+	// enforces the algorithm's two-writer discipline during the run.
 	alg := simple.New(n)
-	mem := register.NewMeter(timestamp.NewMem(alg))
 	fmt.Printf("renaming %d processes through %d registers (⌈n/2⌉)\n\n", n, alg.Registers())
+
+	rep, err := engine.Run(engine.Config[timestamp.Timestamp]{
+		Alg:      alg,
+		World:    engine.Atomic,
+		N:        n,
+		Workload: engine.OneShot{},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	type slot struct {
 		orig int
 		ts   timestamp.Timestamp
 	}
 	slots := make([]slot, n)
-	var wg sync.WaitGroup
-	for p := 0; p < n; p++ {
-		wg.Add(1)
-		go func(p int) {
-			defer wg.Done()
-			ts, err := alg.GetTS(mem, p, 0)
-			if err != nil {
-				log.Fatalf("p%d: %v", p, err)
-			}
-			slots[p] = slot{origIDs[p], ts}
-		}(p)
+	for _, ev := range rep.Events {
+		slots[ev.Pid] = slot{origIDs[ev.Pid], ev.Val}
 	}
-	wg.Wait()
 
 	// New name = rank by (timestamp, original id).
 	order := make([]int, n)
@@ -104,5 +104,5 @@ func main() {
 		used[name] = true
 	}
 	fmt.Printf("\nall %d names unique in [1, %d]; registers written: %d\n",
-		n, n, mem.Report().Written)
+		n, n, rep.Space.Written)
 }

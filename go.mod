@@ -1,0 +1,3 @@
+module tsspace
+
+go 1.24

@@ -21,8 +21,8 @@ package adversary
 import (
 	"fmt"
 
+	"tsspace/internal/engine"
 	"tsspace/internal/hbcheck"
-	"tsspace/internal/register"
 	"tsspace/internal/sched"
 	"tsspace/internal/timestamp"
 	"tsspace/internal/timestamp/sqrt"
@@ -204,12 +204,14 @@ func SequentialPhases(n int) int {
 // MeasureSequential runs n one-shot getTS calls strictly sequentially on
 // real memory and returns the number of phases (non-⊥ registers).
 func MeasureSequential(n int) (int, error) {
-	alg := sqrt.New(n)
-	mem := register.NewMeter(timestamp.NewMem(alg))
-	for pid := 0; pid < n; pid++ {
-		if _, err := alg.GetTS(mem, pid, 0); err != nil {
-			return 0, err
-		}
+	rep, err := engine.Run(engine.Config[timestamp.Timestamp]{
+		Alg:      sqrt.New(n),
+		World:    engine.Atomic,
+		N:        n,
+		Workload: engine.Sequential{},
+	})
+	if err != nil {
+		return 0, err
 	}
-	return mem.Report().Written, nil
+	return rep.Space.Written, nil
 }

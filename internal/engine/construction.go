@@ -1,0 +1,59 @@
+package engine
+
+import (
+	"fmt"
+
+	"tsspace/internal/lowerbound"
+)
+
+// The lower-bound constructions (Theorems 1.1 and 1.2) are runs too: they
+// drive abstract covering configurations instead of register programs, but
+// every consumer wants the same thing from them — replay, then validate
+// the theorem's guarantee. These entry points make the engine the single
+// door for them as well (experiments E1, E2, E5, E6), with the bound
+// checks applied centrally instead of re-implemented per caller.
+
+// LongLivedCover replays the Theorem 1.1 construction for n processes with
+// the given placement policy and validates that the final
+// (3,⌊n/2⌋)-configuration covers at least ⌊n/6⌋ registers.
+func LongLivedCover(n int, pol lowerbound.Policy) (*lowerbound.LongLivedReport, error) {
+	rep, err := lowerbound.LongLivedConstruction(n, pol)
+	if err != nil {
+		return nil, err
+	}
+	if rep.Covered < rep.Bound {
+		return nil, fmt.Errorf("engine: long-lived construction n=%d covered %d registers < bound %d", n, rep.Covered, rep.Bound)
+	}
+	return rep, nil
+}
+
+// OneShotCover replays the Theorem 1.2 construction for n processes with
+// the given placement policy and validates the j_last ≥ m − log₂n − 2
+// guarantee.
+func OneShotCover(n int, pol lowerbound.Policy) (*lowerbound.OneShotReport, error) {
+	return oneShotChecked(n, func() (*lowerbound.OneShotReport, error) {
+		return lowerbound.OneShotConstruction(n, pol)
+	})
+}
+
+// OneShotCoverQ is OneShotCover with the small-Q variant of the Lemma 4.1
+// step exposed (used by the scripted Figure 2 replay).
+func OneShotCoverQ(n int, pol lowerbound.Policy, smallQ bool) (*lowerbound.OneShotReport, error) {
+	return oneShotChecked(n, func() (*lowerbound.OneShotReport, error) {
+		return lowerbound.OneShotConstructionQ(n, pol, smallQ)
+	})
+}
+
+func oneShotChecked(n int, run func() (*lowerbound.OneShotReport, error)) (*lowerbound.OneShotReport, error) {
+	rep, err := run()
+	if err != nil {
+		return nil, err
+	}
+	if rep.FinalJ < rep.Bound {
+		return nil, fmt.Errorf("engine: one-shot construction n=%d covered j=%d registers < bound %d", n, rep.FinalJ, rep.Bound)
+	}
+	if len(rep.Steps) == 0 {
+		return nil, fmt.Errorf("engine: one-shot construction n=%d produced no steps", n)
+	}
+	return rep, nil
+}

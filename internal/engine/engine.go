@@ -1,0 +1,385 @@
+// Package engine runs any Algorithm × World × Workload combination through
+// a single code path.
+//
+// Before it existed, every consumer of the reproduction — the runner, the
+// benchmarks, the three CLIs, the examples — wired up memory, writer
+// discipline, recording and verification by hand. The engine owns that
+// plumbing once: it assembles the register middleware stack
+// (register.Wrap), drives the chosen workload in the chosen world, and
+// returns one Report carrying the happens-before events, the space
+// footprint with per-register operation counts, and the wall time. Adding
+// a new scenario is a ~20-line Workload implementation, not a new main().
+//
+// The package is generic over the timestamp type T so that
+// internal/timestamp can layer thin compatibility shims on top of it
+// without an import cycle: timestamp.Algorithm satisfies
+// Algorithm[timestamp.Timestamp] structurally.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"tsspace/internal/hbcheck"
+	"tsspace/internal/register"
+	"tsspace/internal/sched"
+)
+
+// Algorithm is the generic contract of a timestamp implementation; it
+// mirrors timestamp.Algorithm field for field (see that package for the
+// full method semantics).
+type Algorithm[T any] interface {
+	Name() string
+	Registers() int
+	OneShot() bool
+	GetTS(mem register.Mem, pid, seq int) (T, error)
+	Compare(t1, t2 T) bool
+	WriterTable() [][]int
+}
+
+// World selects the execution substrate.
+type World int
+
+const (
+	// Atomic runs real goroutines on hardware atomics: wait-freedom
+	// validation and throughput.
+	Atomic World = iota
+	// Simulated runs under the deterministic step scheduler: adversarial
+	// schedules, replay, model checking.
+	Simulated
+)
+
+// String returns "atomic" or "simulated".
+func (w World) String() string {
+	if w == Atomic {
+		return "atomic"
+	}
+	return "simulated"
+}
+
+// Errors reported by the engine.
+var (
+	// ErrOneShot is returned when a workload repeats calls on a one-shot
+	// algorithm.
+	ErrOneShot = errors.New("engine: workload repeats getTS on a one-shot algorithm")
+	// ErrNeedsSim is returned by workloads that only make sense under the
+	// deterministic scheduler (explicit schedules).
+	ErrNeedsSim = errors.New("engine: workload requires the simulated world")
+	// ErrNeedsAtomic is returned by workload shapes the scheduler cannot
+	// express (interleaving calls of one process's program).
+	ErrNeedsAtomic = errors.New("engine: workload requires the atomic world")
+)
+
+// Config describes one run.
+type Config[T any] struct {
+	// Alg is the implementation under test.
+	Alg Algorithm[T]
+	// World selects the substrate; the zero value is Atomic.
+	World World
+	// N is the number of processes.
+	N int
+	// Workload shapes the run; nil defaults to OneShot{}.
+	Workload Workload
+	// Seed drives the simulated world's random scheduling decisions.
+	Seed int64
+	// Sharded selects the cache-line-padded register array in the atomic
+	// world (ignored when BaseMem is set or in the simulated world).
+	Sharded bool
+	// BaseMem overrides the atomic world's backing memory, letting callers
+	// observe raw register state mid-run. It must have at least
+	// Alg.Registers() registers; extra registers are unconstrained by the
+	// writer discipline, and Space.Registers reports the override's size
+	// (the override is the allocation).
+	BaseMem register.Mem
+	// Unmetered drops the metering layer from the stack: no shared-counter
+	// traffic on the operation path, for throughput measurement. The
+	// report's Space then only carries the register count.
+	Unmetered bool
+	// OnCall, when non-nil, observes every completed getTS. In the atomic
+	// world it is called concurrently from worker goroutines; in the
+	// simulated world calls are serialized.
+	OnCall func(pid, seq int, ts T)
+}
+
+// Report is the outcome of a run: the single result shape every consumer
+// (internal/report, the CLIs, the benchmarks) reads.
+type Report[T any] struct {
+	Alg      string
+	World    World
+	Workload string
+	N        int
+	// MaxCalls is the largest per-process call count of the workload.
+	MaxCalls int
+	// Space is the register footprint, including per-register operation
+	// counts (SpaceReport.ReadCounts / WriteCounts).
+	Space register.SpaceReport
+	// Events are the completed getTS intervals in start order.
+	Events []hbcheck.Event[T]
+	// Elapsed is the wall time of the drive phase.
+	Elapsed time.Duration
+	// Steps and Trace are the scheduler step count and executed operations
+	// (simulated world only).
+	Steps int
+	Trace []sched.Op
+}
+
+// Verify checks the happens-before property over the report's events.
+func (r *Report[T]) Verify(compare func(a, b T) bool) error {
+	return hbcheck.Check(r.Events, compare)
+}
+
+// Run executes the configured Algorithm × World × Workload combination and
+// returns its report.
+func Run[T any](cfg Config[T]) (*Report[T], error) {
+	wl, maxCalls, err := cfg.prepare()
+	if err != nil {
+		return nil, err
+	}
+	if cfg.World == Simulated {
+		return runSim(cfg, wl, maxCalls)
+	}
+	return runAtomic(cfg, wl, maxCalls)
+}
+
+// prepare validates the config and resolves the workload.
+func (cfg *Config[T]) prepare() (Workload, int, error) {
+	if cfg.Alg == nil {
+		return nil, 0, errors.New("engine: no algorithm")
+	}
+	if cfg.N <= 0 {
+		return nil, 0, fmt.Errorf("engine: invalid process count %d", cfg.N)
+	}
+	if cfg.BaseMem != nil && cfg.World == Simulated {
+		return nil, 0, fmt.Errorf("%w: BaseMem overrides the atomic world's memory; the scheduler owns the simulated one", ErrNeedsAtomic)
+	}
+	wl := cfg.Workload
+	if wl == nil {
+		wl = OneShot{}
+	}
+	maxCalls := 0
+	for pid := 0; pid < cfg.N; pid++ {
+		if c := wl.Calls(pid, cfg.N); c > maxCalls {
+			maxCalls = c
+		}
+	}
+	if cfg.Alg.OneShot() && maxCalls > 1 {
+		return nil, 0, fmt.Errorf("%w: %s, calls=%d", ErrOneShot, cfg.Alg.Name(), maxCalls)
+	}
+	return wl, maxCalls, nil
+}
+
+// padTable extends a writer table to size registers: registers beyond the
+// algorithm's budget (a caller-provided BaseMem may be larger) have no
+// writer restriction.
+func padTable(table [][]int, size int) [][]int {
+	if table == nil || len(table) >= size {
+		return table
+	}
+	padded := make([][]int, size)
+	copy(padded, table)
+	return padded
+}
+
+func (cfg *Config[T]) report(wl Workload, maxCalls int) *Report[T] {
+	return &Report[T]{
+		Alg:      cfg.Alg.Name(),
+		World:    cfg.World,
+		Workload: wl.Kind(),
+		N:        cfg.N,
+		MaxCalls: maxCalls,
+	}
+}
+
+// runAtomic drives the workload on real goroutines over an atomic register
+// array.
+func runAtomic[T any](cfg Config[T], wl Workload, maxCalls int) (*Report[T], error) {
+	base := cfg.BaseMem
+	if base == nil {
+		if cfg.Sharded {
+			base = register.NewShardedArray(cfg.Alg.Registers())
+		} else {
+			base = register.NewAtomicArray(cfg.Alg.Registers())
+		}
+	} else if base.Size() < cfg.Alg.Registers() {
+		return nil, fmt.Errorf("engine: BaseMem has %d registers, %s needs %d",
+			base.Size(), cfg.Alg.Name(), cfg.Alg.Registers())
+	}
+	meter := register.NewMeterSize(base.Size())
+	table := padTable(cfg.Alg.WriterTable(), base.Size())
+
+	// The stack is fixed per process for the whole run; build it outside
+	// the call path so the hot loop only pays for the layers themselves.
+	metered := register.Metered(meter)
+	if cfg.Unmetered {
+		metered = nil
+	}
+	mems := make([]register.Mem, cfg.N)
+	for pid := range mems {
+		mems[pid] = register.Wrap(base, metered, register.DisciplineFor(table, pid))
+	}
+
+	var (
+		rec      hbcheck.Recorder[T]
+		mu       sync.Mutex
+		firstErr error
+	)
+	issue := func(pid, seq int) error {
+		mem := mems[pid]
+		start := rec.Begin()
+		ts, err := cfg.Alg.GetTS(mem, pid, seq)
+		if err != nil {
+			err = fmt.Errorf("p%d getTS#%d: %w", pid, seq, err)
+			mu.Lock()
+			if firstErr == nil {
+				firstErr = err
+			}
+			mu.Unlock()
+			return err
+		}
+		rec.End(pid, seq, start, ts)
+		if cfg.OnCall != nil {
+			cfg.OnCall(pid, seq, ts)
+		}
+		return nil
+	}
+
+	begin := time.Now()
+	if err := wl.DriveAtomic(cfg.N, issue); err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(begin)
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	rep := cfg.report(wl, maxCalls)
+	rep.Space = meter.Report()
+	rep.Events = rec.Events()
+	rep.Elapsed = elapsed
+	return rep, nil
+}
+
+// runSim drives the workload through the deterministic scheduler.
+func runSim[T any](cfg Config[T], wl Workload, maxCalls int) (*Report[T], error) {
+	sys, rec, meter := NewSimSystem(cfg)
+	defer sys.Close()
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	begin := time.Now()
+	if err := wl.DriveSim(sys, rng); err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(begin)
+	for pid := 0; pid < sys.N(); pid++ {
+		if err := sys.Err(pid); err != nil {
+			return nil, err
+		}
+	}
+
+	rep := cfg.report(wl, maxCalls)
+	rep.Space = meter.Report()
+	rep.Events = rec.Events()
+	rep.Elapsed = elapsed
+	rep.Steps = sys.Steps()
+	rep.Trace = sys.Trace()
+	return rep, nil
+}
+
+// NewSimSystem builds a deterministic-scheduler system whose processes run
+// the per-process call loops of cfg's workload over the full middleware
+// stack (shared versions, shared meter, per-process discipline, per-call
+// first-op stamping). Process results are []T. Callers drive the returned
+// system themselves — the exploration and sampling entry points below, the
+// adversaries in internal/adversary, and the scripted scenarios all start
+// here. Unlike Run, it applies none of the config validation (no one-shot
+// guard): scripted scenarios deliberately drive partial and over-budget
+// call patterns to observe how the algorithms fail.
+func NewSimSystem[T any](cfg Config[T]) (*sched.System, *hbcheck.Recorder[T], *register.Meter) {
+	wl := cfg.Workload
+	if wl == nil {
+		wl = OneShot{}
+	}
+	m := cfg.Alg.Registers()
+	meter := register.NewMeterSize(m)
+	versions := register.NewVersions(m)
+	table := cfg.Alg.WriterTable()
+	metered := register.Metered(meter)
+	if cfg.Unmetered {
+		metered = nil
+	}
+	rec := &hbcheck.Recorder[T]{}
+	sys := sched.New(cfg.N, m, func(pid int, mem register.Mem) (any, error) {
+		mem = register.Wrap(mem,
+			register.Versioned(versions),
+			metered,
+			register.DisciplineFor(table, pid),
+		)
+		calls := wl.Calls(pid, cfg.N)
+		out := make([]T, 0, calls)
+		for k := 0; k < calls; k++ {
+			sm, stamp := register.StampFirstOp(mem, rec.Begin)
+			ts, err := cfg.Alg.GetTS(sm, pid, k)
+			if err != nil {
+				return out, fmt.Errorf("p%d getTS#%d: %w", pid, k, err)
+			}
+			rec.End(pid, k, stamp.Stamp(), ts)
+			if cfg.OnCall != nil {
+				cfg.OnCall(pid, k, ts)
+			}
+			out = append(out, ts)
+		}
+		return out, nil
+	})
+	return sys, rec, meter
+}
+
+// checkSystem surfaces process errors and verifies the recorder.
+func checkSystem[T any](sys *sched.System, rec *hbcheck.Recorder[T], compare func(a, b T) bool) error {
+	for pid := 0; pid < sys.N(); pid++ {
+		if err := sys.Err(pid); err != nil {
+			return err
+		}
+	}
+	return hbcheck.CheckRecorder(rec, compare)
+}
+
+// Explore model-checks the configuration: it enumerates interleavings of
+// the workload's call loops (capped at maxVisits complete executions; 0 =
+// all) and verifies the happens-before property on every one. It returns
+// the number of executions checked. The config's World and Seed are
+// ignored: exploration is deterministic and simulated by construction.
+func Explore[T any](cfg Config[T], maxVisits, maxSteps int) (int, error) {
+	if _, _, err := cfg.prepare(); err != nil {
+		return 0, err
+	}
+	var cur *hbcheck.Recorder[T]
+	factory := func() *sched.System {
+		sys, rec, _ := NewSimSystem(cfg)
+		cur = rec
+		return sys
+	}
+	return sched.Explore(factory, maxVisits, maxSteps, func(sys *sched.System, schedule []int) error {
+		return checkSystem(sys, cur, cfg.Alg.Compare)
+	})
+}
+
+// Sample stress-tests the configuration on count random maximal
+// interleavings seeded from cfg.Seed, verifying the happens-before
+// property on each.
+func Sample[T any](cfg Config[T], count int) error {
+	if _, _, err := cfg.prepare(); err != nil {
+		return err
+	}
+	var cur *hbcheck.Recorder[T]
+	factory := func() *sched.System {
+		sys, rec, _ := NewSimSystem(cfg)
+		cur = rec
+		return sys
+	}
+	return sched.Sample(factory, count, cfg.Seed, func(sys *sched.System, schedule []int) error {
+		return checkSystem(sys, cur, cfg.Alg.Compare)
+	})
+}

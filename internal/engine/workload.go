@@ -1,0 +1,386 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"tsspace/internal/sched"
+)
+
+// Workload shapes a run: how many getTS calls each process performs and
+// how the processes are activated relative to each other. One
+// implementation serves both worlds — DriveAtomic decides the goroutine
+// structure, DriveSim decides the schedule.
+type Workload interface {
+	// Kind names the workload in reports.
+	Kind() string
+	// Calls returns the number of getTS calls process pid performs in an
+	// n-process run.
+	Calls(pid, n int) int
+	// DriveAtomic runs the workload on real goroutines. issue performs one
+	// getTS call for (pid, seq) and returns non-nil when that process
+	// should stop issuing (the engine aggregates call errors itself;
+	// DriveAtomic only reports driver-level failures).
+	DriveAtomic(n int, issue func(pid, seq int) error) error
+	// DriveSim schedules the system until every process has terminated.
+	DriveSim(sys *sched.System, rng *rand.Rand) error
+}
+
+// driveAtomicAll launches every process at once, each performing its calls
+// back to back: the maximal-contention shape.
+func driveAtomicAll(n int, calls func(pid int) int, issue func(pid, seq int) error) {
+	var wg sync.WaitGroup
+	for pid := 0; pid < n; pid++ {
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			for k := 0; k < calls(pid); k++ {
+				if issue(pid, k) != nil {
+					return
+				}
+			}
+		}(pid)
+	}
+	wg.Wait()
+}
+
+// driveSimGroup steps uniformly random live members of pids until all have
+// terminated.
+func driveSimGroup(sys *sched.System, rng *rand.Rand, pids []int) error {
+	live := append([]int(nil), pids...)
+	for len(live) > 0 {
+		k := rng.Intn(len(live))
+		pid := live[k]
+		if _, alive, err := sys.Pending(pid); err != nil {
+			return err
+		} else if !alive {
+			live = append(live[:k], live[k+1:]...)
+			continue
+		}
+		if _, err := sys.Step(pid); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func allPids(n int) []int {
+	pids := make([]int, n)
+	for i := range pids {
+		pids[i] = i
+	}
+	return pids
+}
+
+// OneShot is the paper's one-shot shape: every process calls getTS exactly
+// once, all processes concurrent from the start.
+type OneShot struct{}
+
+// Kind returns "one-shot".
+func (OneShot) Kind() string { return "one-shot" }
+
+// Calls returns 1.
+func (OneShot) Calls(pid, n int) int { return 1 }
+
+// DriveAtomic launches all processes at once.
+func (OneShot) DriveAtomic(n int, issue func(pid, seq int) error) error {
+	driveAtomicAll(n, func(int) int { return 1 }, issue)
+	return nil
+}
+
+// DriveSim runs a uniformly random maximal interleaving.
+func (OneShot) DriveSim(sys *sched.System, rng *rand.Rand) error {
+	return driveSimGroup(sys, rng, allPids(sys.N()))
+}
+
+// LongLived is the long-lived shape: every process performs CallsPerProc
+// getTS calls back to back, all processes concurrent from the start.
+type LongLived struct {
+	CallsPerProc int // per-process calls; values < 1 mean 1
+}
+
+func (w LongLived) calls() int {
+	if w.CallsPerProc < 1 {
+		return 1
+	}
+	return w.CallsPerProc
+}
+
+// Kind returns "long-lived".
+func (w LongLived) Kind() string { return fmt.Sprintf("long-lived×%d", w.calls()) }
+
+// Calls returns CallsPerProc.
+func (w LongLived) Calls(pid, n int) int { return w.calls() }
+
+// DriveAtomic launches all processes at once.
+func (w LongLived) DriveAtomic(n int, issue func(pid, seq int) error) error {
+	driveAtomicAll(n, func(int) int { return w.calls() }, issue)
+	return nil
+}
+
+// DriveSim runs a uniformly random maximal interleaving.
+func (w LongLived) DriveSim(sys *sched.System, rng *rand.Rand) error {
+	return driveSimGroup(sys, rng, allPids(sys.N()))
+}
+
+// Sequential issues every call with no concurrency at all: by process
+// (p0's calls, then p1's, ...) or round-robin by call index. It is the
+// baseline the space experiments compare adversarial schedules against.
+type Sequential struct {
+	CallsPerProc int  // per-process calls; values < 1 mean 1
+	RoundRobin   bool // interleave by call index instead of by process
+}
+
+func (w Sequential) calls() int {
+	if w.CallsPerProc < 1 {
+		return 1
+	}
+	return w.CallsPerProc
+}
+
+// Kind returns the workload name.
+func (w Sequential) Kind() string {
+	if w.RoundRobin {
+		return "sequential/round-robin"
+	}
+	return "sequential/by-process"
+}
+
+// Calls returns CallsPerProc.
+func (w Sequential) Calls(pid, n int) int { return w.calls() }
+
+// DriveAtomic issues every call from one goroutine, in order.
+func (w Sequential) DriveAtomic(n int, issue func(pid, seq int) error) error {
+	if w.RoundRobin {
+		for k := 0; k < w.calls(); k++ {
+			for pid := 0; pid < n; pid++ {
+				if issue(pid, k) != nil {
+					return nil
+				}
+			}
+		}
+		return nil
+	}
+	for pid := 0; pid < n; pid++ {
+		for k := 0; k < w.calls(); k++ {
+			if issue(pid, k) != nil {
+				return nil
+			}
+		}
+	}
+	return nil
+}
+
+// DriveSim runs each process solo, in pid order. Round-robin order cannot
+// be expressed under the scheduler (a process's calls are one program and
+// cannot be interleaved with themselves): it reports ErrNeedsAtomic.
+func (w Sequential) DriveSim(sys *sched.System, rng *rand.Rand) error {
+	if w.RoundRobin {
+		return fmt.Errorf("%w: sequential round-robin interleaves calls of one process's program", ErrNeedsAtomic)
+	}
+	for pid := 0; pid < sys.N(); pid++ {
+		if _, err := sys.Solo(pid); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Phased runs the processes in consecutive batches of GroupSize: a batch
+// runs to completion (concurrently within itself) before the next starts.
+// It is the batched-concurrency shape of experiment E7 — full uniform
+// concurrency would collapse every process into phase 1 and prove nothing.
+type Phased struct {
+	GroupSize    int // processes per batch; values < 1 mean 1
+	CallsPerProc int // per-process calls; values < 1 mean 1
+}
+
+func (w Phased) group() int {
+	if w.GroupSize < 1 {
+		return 1
+	}
+	return w.GroupSize
+}
+
+func (w Phased) calls() int {
+	if w.CallsPerProc < 1 {
+		return 1
+	}
+	return w.CallsPerProc
+}
+
+// Kind returns the workload name.
+func (w Phased) Kind() string { return fmt.Sprintf("phased/%d", w.group()) }
+
+// Calls returns CallsPerProc.
+func (w Phased) Calls(pid, n int) int { return w.calls() }
+
+func (w Phased) groups(n int) [][]int {
+	var out [][]int
+	for lo := 0; lo < n; lo += w.group() {
+		hi := lo + w.group()
+		if hi > n {
+			hi = n
+		}
+		out = append(out, allPids(n)[lo:hi])
+	}
+	return out
+}
+
+// DriveAtomic runs each batch on concurrent goroutines with a barrier
+// between batches.
+func (w Phased) DriveAtomic(n int, issue func(pid, seq int) error) error {
+	for _, group := range w.groups(n) {
+		var wg sync.WaitGroup
+		for _, pid := range group {
+			wg.Add(1)
+			go func(pid int) {
+				defer wg.Done()
+				for k := 0; k < w.calls(); k++ {
+					if issue(pid, k) != nil {
+						return
+					}
+				}
+			}(pid)
+		}
+		wg.Wait()
+	}
+	return nil
+}
+
+// DriveSim randomly interleaves each batch to completion before the next.
+func (w Phased) DriveSim(sys *sched.System, rng *rand.Rand) error {
+	for _, group := range w.groups(sys.N()) {
+		if err := driveSimGroup(sys, rng, group); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Adversarial replays an explicit schedule — the execution prefixes the
+// lower-bound proofs manipulate — then drains the system. It only exists
+// under the deterministic scheduler.
+type Adversarial struct {
+	Schedule     []int // process index per step; entries of terminated processes are skipped
+	CallsPerProc int   // per-process calls; values < 1 mean 1
+}
+
+func (w Adversarial) calls() int {
+	if w.CallsPerProc < 1 {
+		return 1
+	}
+	return w.CallsPerProc
+}
+
+// Kind returns "adversarial".
+func (w Adversarial) Kind() string { return fmt.Sprintf("adversarial/%d-steps", len(w.Schedule)) }
+
+// Calls returns CallsPerProc.
+func (w Adversarial) Calls(pid, n int) int { return w.calls() }
+
+// DriveAtomic reports ErrNeedsSim: explicit schedules require the
+// scheduler.
+func (w Adversarial) DriveAtomic(n int, issue func(pid, seq int) error) error {
+	return fmt.Errorf("%w: explicit schedule", ErrNeedsSim)
+}
+
+// DriveSim steps the scheduled processes in order, then drains.
+func (w Adversarial) DriveSim(sys *sched.System, rng *rand.Rand) error {
+	for i, pid := range w.Schedule {
+		if pid < 0 || pid >= sys.N() {
+			return fmt.Errorf("engine: schedule position %d: no process %d", i, pid)
+		}
+		if _, alive, err := sys.Pending(pid); err != nil {
+			return err
+		} else if !alive {
+			continue
+		}
+		if _, err := sys.Step(pid); err != nil {
+			return fmt.Errorf("engine: schedule position %d (p%d): %w", i, pid, err)
+		}
+	}
+	return sys.Drain()
+}
+
+// Churn is the mixed-churn shape: at most Width processes are in the
+// system at any moment; when one completes its calls it leaves and the
+// next process id joins. No other harness in the reproduction exercises
+// membership change mid-run — long-lived objects must keep the
+// happens-before property across it because their space bound (Θ(n)) is
+// about the *namespace* of processes, not the live set.
+type Churn struct {
+	Width        int // max simultaneously live processes; values < 1 mean 1
+	CallsPerProc int // per-process calls; values < 1 mean 1
+}
+
+func (w Churn) width() int {
+	if w.Width < 1 {
+		return 1
+	}
+	return w.Width
+}
+
+func (w Churn) calls() int {
+	if w.CallsPerProc < 1 {
+		return 1
+	}
+	return w.CallsPerProc
+}
+
+// Kind returns the workload name.
+func (w Churn) Kind() string { return fmt.Sprintf("churn/width-%d", w.width()) }
+
+// Calls returns CallsPerProc.
+func (w Churn) Calls(pid, n int) int { return w.calls() }
+
+// DriveAtomic admits each process through a Width-wide semaphore held for
+// the process's whole lifetime: a process joins when a slot frees and
+// leaves after its last call.
+func (w Churn) DriveAtomic(n int, issue func(pid, seq int) error) error {
+	slots := make(chan struct{}, w.width())
+	var wg sync.WaitGroup
+	for pid := 0; pid < n; pid++ {
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			slots <- struct{}{}
+			defer func() { <-slots }()
+			for k := 0; k < w.calls(); k++ {
+				if issue(pid, k) != nil {
+					return
+				}
+			}
+		}(pid)
+	}
+	wg.Wait()
+	return nil
+}
+
+// DriveSim keeps a rolling window of live processes: random steps within
+// the window; a terminated member leaves and the next process id joins.
+func (w Churn) DriveSim(sys *sched.System, rng *rand.Rand) error {
+	var active []int
+	next := 0
+	for {
+		for len(active) < w.width() && next < sys.N() {
+			active = append(active, next)
+			next++
+		}
+		if len(active) == 0 {
+			return nil
+		}
+		k := rng.Intn(len(active))
+		pid := active[k]
+		if _, alive, err := sys.Pending(pid); err != nil {
+			return err
+		} else if !alive {
+			active = append(active[:k], active[k+1:]...)
+			continue
+		}
+		if _, err := sys.Step(pid); err != nil {
+			return err
+		}
+	}
+}

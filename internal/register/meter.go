@@ -23,13 +23,19 @@ type SpaceReport struct {
 	MaxReadIndex int
 	// Reads and Writes are total operation counts.
 	Reads, Writes uint64
+	// ReadCounts and WriteCounts are per-register operation counts, indexed
+	// by register (length Registers).
+	ReadCounts, WriteCounts []uint64
 }
 
-// Meter wraps a Mem and records which registers are read and written. It is
-// safe for concurrent use. A Meter forwards ReadVersioned when the
-// underlying memory supports it.
+// Meter records which registers are read and written. It is safe for
+// concurrent use. Constructed with NewMeter it is itself a Mem wrapping the
+// inner memory (forwarding ReadVersioned when the inner memory supports
+// it); constructed with NewMeterSize it is a bare collector fed through the
+// Metered middleware, and its Mem methods must not be used.
 type Meter struct {
 	inner Mem
+	size  int
 
 	mu        sync.Mutex
 	readCnt   []uint64
@@ -45,10 +51,18 @@ var _ Mem = (*Meter)(nil)
 
 // NewMeter wraps mem with operation accounting.
 func NewMeter(mem Mem) *Meter {
+	m := NewMeterSize(mem.Size())
+	m.inner = mem
+	return m
+}
+
+// NewMeterSize returns a collector-only meter for size registers, for use
+// with the Metered middleware; it has no backing memory of its own.
+func NewMeterSize(size int) *Meter {
 	return &Meter{
-		inner:     mem,
-		readCnt:   make([]uint64, mem.Size()),
-		writeCnt:  make([]uint64, mem.Size()),
+		size:      size,
+		readCnt:   make([]uint64, size),
+		writeCnt:  make([]uint64, size),
 		maxRead:   -1,
 		maxWrite:  -1,
 		perWriter: make(map[int]uint64),
@@ -56,7 +70,7 @@ func NewMeter(mem Mem) *Meter {
 }
 
 // Size returns the number of registers.
-func (m *Meter) Size() int { return m.inner.Size() }
+func (m *Meter) Size() int { return m.size }
 
 // Read records and forwards a read of register i.
 func (m *Meter) Read(i int) Value {
@@ -111,11 +125,13 @@ func (m *Meter) Report() SpaceReport {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	r := SpaceReport{
-		Registers:       m.inner.Size(),
+		Registers:       m.size,
 		MaxWrittenIndex: m.maxWrite,
 		MaxReadIndex:    m.maxRead,
 		Reads:           m.reads,
 		Writes:          m.writes,
+		ReadCounts:      append([]uint64(nil), m.readCnt...),
+		WriteCounts:     append([]uint64(nil), m.writeCnt...),
 	}
 	for i, c := range m.writeCnt {
 		if c > 0 {

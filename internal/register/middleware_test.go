@@ -1,0 +1,278 @@
+package register
+
+import (
+	"fmt"
+	"testing"
+)
+
+// plainMem is an unversioned memory: the middleware tests use it to check
+// that no layer invents a VersionedMem capability its substrate lacks.
+type plainMem struct {
+	vals []Value
+}
+
+func newPlainMem(m int) *plainMem { return &plainMem{vals: make([]Value, m)} }
+
+func (p *plainMem) Size() int            { return len(p.vals) }
+func (p *plainMem) Read(i int) Value     { return p.vals[i] }
+func (p *plainMem) Write(i int, v Value) { p.vals[i] = v }
+
+// taggingMem records the order wrappers run in.
+type taggingMem struct {
+	inner Mem
+	tag   string
+	log   *[]string
+}
+
+func (t *taggingMem) Size() int { return t.inner.Size() }
+func (t *taggingMem) Read(i int) Value {
+	*t.log = append(*t.log, t.tag)
+	return t.inner.Read(i)
+}
+func (t *taggingMem) Write(i int, v Value) {
+	*t.log = append(*t.log, t.tag)
+	t.inner.Write(i, v)
+}
+
+func tagging(tag string, log *[]string) Middleware {
+	return func(inner Mem) Mem { return &taggingMem{inner: inner, tag: tag, log: log} }
+}
+
+// Wrap applies middlewares first-is-innermost: the last middleware's
+// methods run first.
+func TestWrapOrder(t *testing.T) {
+	var log []string
+	mem := Wrap(newPlainMem(1), tagging("inner", &log), nil, tagging("outer", &log))
+	mem.Read(0)
+	if len(log) != 2 || log[0] != "outer" || log[1] != "inner" {
+		t.Errorf("layer order = %v, want [outer inner]", log)
+	}
+}
+
+func TestWrapNilIdentity(t *testing.T) {
+	base := newPlainMem(2)
+	if got := Wrap(base, nil, nil); got != Mem(base) {
+		t.Error("Wrap with only nil middlewares must return the base memory")
+	}
+}
+
+// One shared meter aggregates operations from several per-process stacks,
+// and the report carries per-register counts.
+func TestMeteredSharedAcrossStacks(t *testing.T) {
+	base := NewAtomicArray(3)
+	meter := NewMeterSize(3)
+	m0 := Wrap(base, Metered(meter))
+	m1 := Wrap(base, Metered(meter))
+
+	m0.Write(0, "a")
+	m1.Write(0, "b")
+	m1.Write(2, "c")
+	m0.Read(1)
+	m1.Read(1)
+
+	rep := meter.Report()
+	if rep.Writes != 3 || rep.Reads != 2 {
+		t.Errorf("totals = %d writes / %d reads, want 3/2", rep.Writes, rep.Reads)
+	}
+	if rep.Written != 2 {
+		t.Errorf("written registers = %d, want 2", rep.Written)
+	}
+	if rep.WriteCounts[0] != 2 || rep.WriteCounts[2] != 1 || rep.ReadCounts[1] != 2 {
+		t.Errorf("per-register counts wrong: writes=%v reads=%v", rep.WriteCounts, rep.ReadCounts)
+	}
+}
+
+// The metered layer forwards versioned reads over a versioned substrate
+// and counts them as reads; over a plain substrate it must not claim the
+// capability.
+func TestMeteredVersionedCapability(t *testing.T) {
+	meter := NewMeterSize(2)
+	versioned := Wrap(NewAtomicArray(2), Metered(meter))
+	vm, ok := versioned.(VersionedMem)
+	if !ok {
+		t.Fatal("metered atomic array lost VersionedMem")
+	}
+	versioned.Write(1, "x")
+	if _, ver := vm.ReadVersioned(1); ver != 1 {
+		t.Errorf("version = %d, want 1", ver)
+	}
+	if meter.Report().Reads != 1 {
+		t.Error("versioned read not counted")
+	}
+
+	plain := Wrap(newPlainMem(2), Metered(NewMeterSize(2)))
+	if _, ok := plain.(VersionedMem); ok {
+		t.Error("metered plain memory must not claim VersionedMem")
+	}
+}
+
+// DisciplineFor enforces the table per process and is the identity for
+// algorithms with no table.
+func TestDisciplineForEnforcement(t *testing.T) {
+	base := NewAtomicArray(2)
+	table := SWMRTable(2)
+
+	if mw := DisciplineFor(nil, 0); mw != nil {
+		t.Error("nil table must yield a nil middleware")
+	}
+
+	own := Wrap(base, DisciplineFor(table, 1))
+	own.Write(1, "mine") // permitted
+	if base.Read(1) != "mine" {
+		t.Error("permitted write did not land")
+	}
+	if _, ok := own.(VersionedMem); !ok {
+		t.Error("discipline over a versioned substrate must stay versioned")
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Error("foreign write must panic")
+		}
+	}()
+	own.Write(0, "foreign")
+}
+
+// The versioned layer gives a plain memory write versions shared across
+// handles, and leaves an already-versioned memory untouched.
+func TestVersionedMiddleware(t *testing.T) {
+	base := newPlainMem(2)
+	vs := NewVersions(2)
+	h0 := Wrap(base, Versioned(vs))
+	h1 := Wrap(base, Versioned(vs))
+
+	vm0, ok := h0.(VersionedMem)
+	if !ok {
+		t.Fatal("versioned layer must provide VersionedMem")
+	}
+	vm1 := h1.(VersionedMem)
+
+	if _, ver := vm0.ReadVersioned(0); ver != 0 {
+		t.Errorf("initial version = %d, want 0", ver)
+	}
+	h0.Write(0, "a")
+	h1.Write(0, "b")
+	v, ver := vm1.ReadVersioned(0)
+	if v != "b" || ver != 2 {
+		t.Errorf("ReadVersioned = (%v, %d), want (b, 2): versions must be shared across handles", v, ver)
+	}
+
+	atomicBase := NewAtomicArray(2)
+	if got := Wrap(atomicBase, Versioned(nil)); got != Mem(atomicBase) {
+		t.Error("versioned substrate must pass through unchanged (and tolerate a nil table)")
+	}
+}
+
+func TestVersionedPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"nil-table":     func() { Wrap(newPlainMem(1), Versioned(nil)) },
+		"size-mismatch": func() { Wrap(newPlainMem(2), Versioned(NewVersions(1))) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("must panic")
+				}
+			}()
+			f()
+		})
+	}
+}
+
+// StampFirstOp stamps right after the first operation, whichever kind it
+// is, and an operation-free call stamps at Stamp() time.
+func TestStampFirstOp(t *testing.T) {
+	var clock uint64
+	tick := func() uint64 { clock++; return clock }
+
+	for _, first := range []string{"read", "write", "versioned-read", "none"} {
+		t.Run(first, func(t *testing.T) {
+			clock = 0
+			base := NewAtomicArray(1)
+			mem, stamp := StampFirstOp(base, tick)
+			switch first {
+			case "read":
+				mem.Read(0)
+			case "write":
+				mem.Write(0, "x")
+			case "versioned-read":
+				mem.(VersionedMem).ReadVersioned(0)
+			case "none":
+			}
+			if got := stamp.Stamp(); got != 1 {
+				t.Errorf("stamp = %d, want 1 (taken at first op or first Stamp call)", got)
+			}
+			mem.Read(0)
+			if got := stamp.Stamp(); got != 1 {
+				t.Errorf("stamp moved to %d after later ops", got)
+			}
+		})
+	}
+
+	// A plain substrate must not gain ReadVersioned through the stamp layer.
+	mem, _ := StampFirstOp(newPlainMem(1), tick)
+	if _, ok := mem.(VersionedMem); ok {
+		t.Error("stamped plain memory must not claim VersionedMem")
+	}
+}
+
+// The full stack composes: versions at the bottom, metering above,
+// discipline on top — reads see shared versions, writes are counted and
+// checked.
+func TestFullStackComposition(t *testing.T) {
+	base := newPlainMem(2)
+	vs := NewVersions(2)
+	meter := NewMeterSize(2)
+	table := [][]int{{0}, nil}
+
+	stack := func(pid int) Mem {
+		return Wrap(base, Versioned(vs), Metered(meter), DisciplineFor(table, pid))
+	}
+
+	p0, p1 := stack(0), stack(1)
+	p0.Write(0, "zero")
+	p1.Write(1, "one")
+	if _, ver := p1.(VersionedMem).ReadVersioned(0); ver != 1 {
+		t.Errorf("p1 sees version %d of r0, want 1", ver)
+	}
+	rep := meter.Report()
+	if rep.Writes != 2 || rep.Reads != 1 || rep.Written != 2 {
+		t.Errorf("meter saw %d writes / %d reads / %d written", rep.Writes, rep.Reads, rep.Written)
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Error("discipline must fire through the full stack")
+		}
+	}()
+	p1.Write(0, "stolen")
+}
+
+// NewMeterSize meters have no backing memory: their Mem surface is not
+// usable, only the middleware path is.
+func TestMeterSizeCollectorOnly(t *testing.T) {
+	meter := NewMeterSize(4)
+	if meter.Size() != 4 {
+		t.Errorf("Size = %d, want 4", meter.Size())
+	}
+	if rep := meter.Report(); rep.Registers != 4 || rep.Writes != 0 {
+		t.Errorf("empty report = %+v", rep)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Read on a collector-only meter must panic")
+		}
+	}()
+	_ = meter.Read(0)
+}
+
+func ExampleWrap() {
+	meter := NewMeterSize(2)
+	mem := Wrap(NewAtomicArray(2),
+		Metered(meter),
+		DisciplineFor(SWMRTable(2), 0),
+	)
+	mem.Write(0, "hello")
+	fmt.Println(mem.Read(0), meter.Report().Writes)
+	// Output: hello 1
+}

@@ -1,0 +1,98 @@
+package register
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"unsafe"
+)
+
+// Each padded cell must occupy exactly one cache line, or the padding buys
+// nothing (two cells per line) or wastes double (one cell per two lines).
+func TestPaddedCellIsOneCacheLine(t *testing.T) {
+	if got := unsafe.Sizeof(paddedCell{}); got != cacheLineSize {
+		t.Errorf("sizeof(paddedCell) = %d, want %d", got, cacheLineSize)
+	}
+}
+
+func TestShardedArrayBasics(t *testing.T) {
+	a := NewShardedArray(3)
+	if a.Size() != 3 {
+		t.Errorf("Size = %d", a.Size())
+	}
+	for i := 0; i < 3; i++ {
+		if v, ver := a.ReadVersioned(i); v != nil || ver != 0 {
+			t.Errorf("register %d initially (%v, %d), want (⊥, 0)", i, v, ver)
+		}
+	}
+	a.Write(1, "x")
+	a.Write(1, "y")
+	if v, ver := a.ReadVersioned(1); v != "y" || ver != 2 {
+		t.Errorf("r1 = (%v, %d), want (y, 2)", v, ver)
+	}
+	if got := a.Snapshot(); got[0] != nil || got[1] != "y" || got[2] != nil {
+		t.Errorf("Snapshot = %v", got)
+	}
+}
+
+func TestShardedNegativeSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative size must panic")
+		}
+	}()
+	NewShardedArray(-1)
+}
+
+// The sharded array is observationally identical to the flat array under
+// any sequential operation sequence, versions included.
+func TestShardedFlatEquivalence(t *testing.T) {
+	const m, ops = 8, 500
+	flat := NewAtomicArray(m)
+	sharded := NewShardedArray(m)
+	rng := rand.New(rand.NewSource(42))
+	for op := 0; op < ops; op++ {
+		i := rng.Intn(m)
+		if rng.Intn(2) == 0 {
+			v := fmt.Sprintf("v%d", op)
+			flat.Write(i, v)
+			sharded.Write(i, v)
+		} else {
+			fv, fver := flat.ReadVersioned(i)
+			sv, sver := sharded.ReadVersioned(i)
+			if fv != sv || fver != sver {
+				t.Fatalf("op %d: flat r%d = (%v, %d), sharded = (%v, %d)", op, i, fv, fver, sv, sver)
+			}
+		}
+	}
+	for i := 0; i < m; i++ {
+		if fv, sv := flat.Read(i), sharded.Read(i); fv != sv {
+			t.Errorf("final r%d: flat %v, sharded %v", i, fv, sv)
+		}
+	}
+}
+
+// Concurrent writers: versions stay contiguous per register (every write
+// gets exactly one version number) and the final version equals the write
+// count.
+func TestShardedConcurrentVersions(t *testing.T) {
+	const writers, perWriter = 8, 200
+	a := NewShardedArray(2)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for k := 0; k < perWriter; k++ {
+				a.Write(k%2, w*perWriter+k)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for i := 0; i < 2; i++ {
+		if _, ver := a.ReadVersioned(i); ver != writers*perWriter/2 {
+			t.Errorf("r%d version = %d, want %d", i, ver, writers*perWriter/2)
+		}
+	}
+}

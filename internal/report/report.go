@@ -8,8 +8,10 @@ import (
 	"fmt"
 	"strings"
 	"text/tabwriter"
+	"time"
 
 	"tsspace/internal/adversary"
+	"tsspace/internal/engine"
 	"tsspace/internal/lowerbound"
 	"tsspace/internal/timestamp"
 	"tsspace/internal/timestamp/collect"
@@ -78,11 +80,16 @@ func Measured(ns []int, advCap int) ([]MeasuredRow, error) {
 	for _, n := range ns {
 		row := MeasuredRow{N: n, SqrtAdv: -1, SqrtMin: -1, SqrtBudget: sqrt.New(n).Registers()}
 		for _, alg := range []timestamp.Algorithm{collect.New(n), dense.New(n), simple.New(n)} {
-			calls := 1
+			var wl engine.Workload = engine.OneShot{}
 			if !alg.OneShot() {
-				calls = 2
+				wl = engine.LongLived{CallsPerProc: 2}
 			}
-			rep, err := timestamp.RunConcurrent(alg, n, calls)
+			rep, err := engine.Run(engine.Config[timestamp.Timestamp]{
+				Alg:      alg,
+				World:    engine.Atomic,
+				N:        n,
+				Workload: wl,
+			})
 			if err != nil {
 				return nil, fmt.Errorf("report: %s n=%d: %w", alg.Name(), n, err)
 			}
@@ -150,6 +157,19 @@ func FormatBudgets(rows []BudgetRow) string {
 	}
 	w.Flush()
 	return sb.String()
+}
+
+// Summary renders a one-line digest of an engine run: the shared footer
+// every CLI and example prints after a run.
+func Summary(rep *engine.Report[timestamp.Timestamp]) string {
+	s := fmt.Sprintf("%s · %s world · %s · n=%d: %d getTS() calls, %d/%d registers written, %d reads / %d writes, %v",
+		rep.Alg, rep.World, rep.Workload, rep.N,
+		len(rep.Events), rep.Space.Written, rep.Space.Registers,
+		rep.Space.Reads, rep.Space.Writes, rep.Elapsed.Round(10*time.Microsecond))
+	if rep.World == engine.Simulated {
+		s += fmt.Sprintf(" (%d scheduler steps)", rep.Steps)
+	}
+	return s
 }
 
 // FormatMeasured renders the measured table; skipped adversarial cells

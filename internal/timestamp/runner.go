@@ -3,12 +3,19 @@ package timestamp
 import (
 	"errors"
 	"fmt"
-	"sync"
 
+	"tsspace/internal/engine"
 	"tsspace/internal/hbcheck"
 	"tsspace/internal/register"
 	"tsspace/internal/sched"
 )
+
+// This file is the compatibility surface over internal/engine: the
+// historical RunConcurrent / NewSimSystem / Explore / Sample entry points
+// are thin shims that assemble an engine.Config and delegate. New
+// consumers should use the engine directly — it supports every workload
+// shape (one-shot, long-lived, sequential, phased, adversarial, churn),
+// both worlds, and richer reports.
 
 // RunReport is the outcome of a harness run: every completed getTS() with
 // its happens-before interval, plus the space footprint.
@@ -27,141 +34,57 @@ func (r *RunReport) Verify(alg Algorithm) error {
 
 // memFor wraps mem with the algorithm's writer discipline for process pid.
 func memFor(alg Algorithm, mem register.Mem, pid int) register.Mem {
-	table := alg.WriterTable()
-	if table == nil {
-		return mem
+	return register.Wrap(mem, register.DisciplineFor(alg.WriterTable(), pid))
+}
+
+// checkOneShot rejects repeated calls on one-shot algorithms with this
+// package's sentinel (the engine has its own).
+func checkOneShot(alg Algorithm, calls int) error {
+	if alg.OneShot() && calls > 1 {
+		return fmt.Errorf("%w: %s is one-shot, calls=%d", ErrOneShot, alg.Name(), calls)
 	}
-	return register.NewWriteQuorum(mem, table).Handle(pid)
+	return nil
 }
 
 // RunConcurrent executes n processes × calls getTS() each as goroutines on
 // a real atomic register array, records all intervals, and returns the
 // report. One-shot algorithms reject calls > 1.
 func RunConcurrent(alg Algorithm, n, calls int) (*RunReport, error) {
-	if alg.OneShot() && calls > 1 {
-		return nil, fmt.Errorf("%w: %s is one-shot, calls=%d", ErrOneShot, alg.Name(), calls)
+	if err := checkOneShot(alg, calls); err != nil {
+		return nil, err
 	}
-	meter := register.NewMeter(NewMem(alg))
-	var rec hbcheck.Recorder[Timestamp]
-
-	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		firstErr error
-	)
-	for pid := 0; pid < n; pid++ {
-		wg.Add(1)
-		go func(pid int) {
-			defer wg.Done()
-			mem := memFor(alg, meter, pid)
-			for k := 0; k < calls; k++ {
-				start := rec.Begin()
-				ts, err := alg.GetTS(mem, pid, k)
-				if err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = fmt.Errorf("p%d getTS#%d: %w", pid, k, err)
-					}
-					mu.Unlock()
-					return
-				}
-				rec.End(pid, k, start, ts)
-			}
-		}(pid)
+	if calls < 1 {
+		// Degenerate historical behavior: no calls, empty report (the
+		// engine's workloads treat calls < 1 as 1).
+		return &RunReport{Alg: alg.Name(), N: n, Calls: calls,
+			Space: register.NewMeterSize(alg.Registers()).Report()}, nil
 	}
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+	rep, err := engine.Run(engine.Config[Timestamp]{
+		Alg:      alg,
+		World:    engine.Atomic,
+		N:        n,
+		Workload: engine.LongLived{CallsPerProc: calls},
+	})
+	if err != nil {
+		return nil, err
 	}
-	return &RunReport{
-		Alg:    alg.Name(),
-		N:      n,
-		Calls:  calls,
-		Space:  meter.Report(),
-		Events: rec.Events(),
-	}, nil
+	return &RunReport{Alg: rep.Alg, N: n, Calls: calls, Space: rep.Space, Events: rep.Events}, nil
 }
 
 // NewSimSystem builds a deterministic-scheduler system in which each of n
-// processes performs calls getTS() instances, recording intervals into the
-// returned recorder. Process results are []Timestamp.
-//
-// The invocation stamp of each getTS() is taken at its first register
-// operation rather than at goroutine creation: under the scheduler a
-// process "begins" when it is first scheduled, and its pre-first-op local
-// computation is invisible to the rest of the system. Stamping earlier
-// would make every call look concurrent with every other and void the
-// happens-before check.
+// processes performs calls getTS() instances (calls < 1 is treated as 1),
+// recording intervals into the returned recorder. Process results are
+// []Timestamp. The invocation stamp of each getTS() is taken at its first
+// granted register operation (see register.StampFirstOp for why stamping
+// earlier is unsound under the scheduler).
 func NewSimSystem(alg Algorithm, n, calls int) (*sched.System, *hbcheck.Recorder[Timestamp]) {
-	rec := &hbcheck.Recorder[Timestamp]{}
-	sys := sched.New(n, alg.Registers(), func(pid int, mem register.Mem) (any, error) {
-		mem = memFor(alg, mem, pid)
-		out := make([]Timestamp, 0, calls)
-		for k := 0; k < calls; k++ {
-			sm := &stampMem{inner: mem, begin: rec.Begin}
-			ts, err := alg.GetTS(sm, pid, k)
-			if err != nil {
-				return out, fmt.Errorf("p%d getTS#%d: %w", pid, k, err)
-			}
-			rec.End(pid, k, sm.stamp(), ts)
-			out = append(out, ts)
-		}
-		return out, nil
+	sys, rec, _ := engine.NewSimSystem(engine.Config[Timestamp]{
+		Alg:      alg,
+		World:    engine.Simulated,
+		N:        n,
+		Workload: engine.LongLived{CallsPerProc: calls},
 	})
 	return sys, rec
-}
-
-// stampMem wraps a Mem and takes the invocation stamp right after the
-// first operation is *granted* (executes). Stamping any earlier is unsound
-// under the scheduler: processes post their first request at spawn, so a
-// pre-operation stamp degenerates to creation time and every interval
-// looks concurrent. Stamping after the first granted operation is sound by
-// the usual reduction — local computation before the first shared step is
-// invisible to the system, so there is an equivalent execution in which
-// the invocation happens just before that step.
-type stampMem struct {
-	inner   register.Mem
-	begin   func() uint64
-	started bool
-	start   uint64
-}
-
-var _ register.Mem = (*stampMem)(nil)
-
-func (m *stampMem) stampNow() {
-	if !m.started {
-		m.started = true
-		m.start = m.begin()
-	}
-}
-
-// stamp returns the begin stamp, taking it now if no operation occurred.
-func (m *stampMem) stamp() uint64 {
-	m.stampNow()
-	return m.start
-}
-
-func (m *stampMem) Size() int { return m.inner.Size() }
-
-func (m *stampMem) Read(i int) register.Value {
-	v := m.inner.Read(i)
-	m.stampNow()
-	return v
-}
-
-func (m *stampMem) Write(i int, v register.Value) {
-	m.inner.Write(i, v)
-	m.stampNow()
-}
-
-// checkSystem surfaces process errors and verifies the recorder.
-func checkSystem(alg Algorithm, sys *sched.System, rec *hbcheck.Recorder[Timestamp]) error {
-	for pid := 0; pid < sys.N(); pid++ {
-		if err := sys.Err(pid); err != nil {
-			return err
-		}
-	}
-	return hbcheck.CheckRecorder(rec, alg.Compare)
 }
 
 // Explore model-checks the algorithm: it enumerates interleavings of n
@@ -169,35 +92,30 @@ func checkSystem(alg Algorithm, sys *sched.System, rec *hbcheck.Recorder[Timesta
 // all) and verifies the happens-before property on every one. It returns
 // the number of executions checked.
 func Explore(alg Algorithm, n, calls, maxVisits, maxSteps int) (int, error) {
-	if alg.OneShot() && calls > 1 {
-		return 0, fmt.Errorf("%w: %s is one-shot", ErrOneShot, alg.Name())
+	if err := checkOneShot(alg, calls); err != nil {
+		return 0, err
 	}
-	var cur *hbcheck.Recorder[Timestamp]
-	factory := func() *sched.System {
-		sys, rec := NewSimSystem(alg, n, calls)
-		cur = rec
-		return sys
-	}
-	return sched.Explore(factory, maxVisits, maxSteps, func(sys *sched.System, schedule []int) error {
-		return checkSystem(alg, sys, cur)
-	})
+	return engine.Explore(engine.Config[Timestamp]{
+		Alg:      alg,
+		World:    engine.Simulated,
+		N:        n,
+		Workload: engine.LongLived{CallsPerProc: calls},
+	}, maxVisits, maxSteps)
 }
 
 // Sample stress-tests the algorithm on count random maximal interleavings
 // with the given seed, verifying the happens-before property on each.
 func Sample(alg Algorithm, n, calls, count int, seed int64) error {
-	if alg.OneShot() && calls > 1 {
-		return fmt.Errorf("%w: %s is one-shot", ErrOneShot, alg.Name())
+	if err := checkOneShot(alg, calls); err != nil {
+		return err
 	}
-	var cur *hbcheck.Recorder[Timestamp]
-	factory := func() *sched.System {
-		sys, rec := NewSimSystem(alg, n, calls)
-		cur = rec
-		return sys
-	}
-	return sched.Sample(factory, count, seed, func(sys *sched.System, schedule []int) error {
-		return checkSystem(alg, sys, cur)
-	})
+	return engine.Sample(engine.Config[Timestamp]{
+		Alg:      alg,
+		World:    engine.Simulated,
+		N:        n,
+		Workload: engine.LongLived{CallsPerProc: calls},
+		Seed:     seed,
+	}, count)
 }
 
 // SequentialTimestamps runs n×calls getTS() strictly sequentially (p0 first
@@ -206,34 +124,18 @@ func Sample(alg Algorithm, n, calls, count int, seed int64) error {
 // Every consecutive pair is happens-before ordered, so the sequence must be
 // strictly increasing under Compare.
 func SequentialTimestamps(alg Algorithm, n, calls int, byProcess bool) ([]Timestamp, error) {
-	meter := register.NewMeter(NewMem(alg))
+	if calls < 1 {
+		return nil, nil
+	}
 	out := make([]Timestamp, 0, n*calls)
-	issue := func(pid, k int) error {
-		ts, err := alg.GetTS(memFor(alg, meter, pid), pid, k)
-		if err != nil {
-			return fmt.Errorf("p%d getTS#%d: %w", pid, k, err)
-		}
-		out = append(out, ts)
-		return nil
-	}
-	if byProcess {
-		for pid := 0; pid < n; pid++ {
-			for k := 0; k < calls; k++ {
-				if err := issue(pid, k); err != nil {
-					return out, err
-				}
-			}
-		}
-		return out, nil
-	}
-	for k := 0; k < calls; k++ {
-		for pid := 0; pid < n; pid++ {
-			if err := issue(pid, k); err != nil {
-				return out, err
-			}
-		}
-	}
-	return out, nil
+	_, err := engine.Run(engine.Config[Timestamp]{
+		Alg:      alg,
+		World:    engine.Atomic,
+		N:        n,
+		Workload: engine.Sequential{CallsPerProc: calls, RoundRobin: !byProcess},
+		OnCall:   func(pid, seq int, ts Timestamp) { out = append(out, ts) },
+	})
+	return out, err
 }
 
 // CheckStrictlyIncreasing verifies that each adjacent pair of timestamps is

@@ -107,6 +107,25 @@ func TestCheckSpaceBound(t *testing.T) {
 	}
 }
 
+// calls < 1 is the degenerate no-op it always was: an empty report, no
+// getTS executed (the engine's workloads would clamp it to 1).
+func TestRunConcurrentZeroCalls(t *testing.T) {
+	rep, err := RunConcurrent(&fake{n: 3}, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Events) != 0 || rep.Calls != 0 || rep.Space.Writes != 0 {
+		t.Errorf("calls=0 ran work: %d events, Calls=%d, %d writes", len(rep.Events), rep.Calls, rep.Space.Writes)
+	}
+	if rep.Space.Registers != 3 {
+		t.Errorf("Space.Registers = %d, want 3", rep.Space.Registers)
+	}
+	ts, err := SequentialTimestamps(&fake{n: 3}, 3, 0, true)
+	if err != nil || len(ts) != 0 {
+		t.Errorf("SequentialTimestamps(calls=0) = (%v, %v), want empty", ts, err)
+	}
+}
+
 func TestRunConcurrentRejectsOneShotRepeat(t *testing.T) {
 	if _, err := RunConcurrent(&fake{oneShot: true}, 2, 3); !errors.Is(err, ErrOneShot) {
 		t.Errorf("err = %v, want ErrOneShot", err)
