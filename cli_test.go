@@ -66,6 +66,30 @@ func TestCLITscheck(t *testing.T) {
 	}
 }
 
+func TestCLITscheckExplore(t *testing.T) {
+	out := runCmd(t, "./cmd/tscheck", "-explore", "-exploren", "2", "-compare", "-fuzz", "10", "-fuzzn", "4")
+	for _, want := range []string{
+		"all checks passed",
+		"sleep-pruned",
+		"E11", // the reduction table
+		"not simulable; ran atomic stress instead", // fas rerouted
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("tscheck -explore output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCLITscheckMutant(t *testing.T) {
+	dir := t.TempDir()
+	out := runCmd(t, "./cmd/tscheck", "-mutant", "-cexdir", dir)
+	for _, want := range []string{"mutant caught", "step witness", "counterexample written", "all checks passed"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("tscheck -mutant output missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestCLITstrace(t *testing.T) {
 	out := runCmd(t, "./cmd/tstrace", "-alg", "collect", "-n", "3", "-calls", "2", "-seed", "4")
 	for _, want := range []string{"p0", "timestamps returned", "verified ✓"} {

@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	tstrace [-alg sqrt|simple|collect|dense] [-n 4] [-calls 1] [-seed 1]
+//	tstrace [-alg sqrt|simple|collect|dense|collect-stale-scan] [-n 4] [-calls 1] [-seed 1]
 //	        [-workload random|phased|churn] [-group 2] [-width 2]
 //	        [-schedule 0,1,0,2,...]
 package main
@@ -16,8 +16,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
-	"strings"
 
 	"tsspace/internal/engine"
 	"tsspace/internal/report"
@@ -25,6 +23,7 @@ import (
 	"tsspace/internal/timestamp"
 	"tsspace/internal/timestamp/collect"
 	"tsspace/internal/timestamp/dense"
+	"tsspace/internal/timestamp/mutant"
 	"tsspace/internal/timestamp/simple"
 	"tsspace/internal/timestamp/sqrt"
 )
@@ -50,6 +49,11 @@ func main() {
 		alg = collect.New(*n)
 	case "dense":
 		alg = dense.New(*n)
+	case "collect-stale-scan":
+		// The deliberately broken mutant, so counterexample artifacts from
+		// tscheck -cexdir replay verbatim (the run exits 1 with the
+		// violation).
+		alg = mutant.NewStaleScan(*n)
 	default:
 		fmt.Fprintf(os.Stderr, "tstrace: unknown algorithm %q\n", *algName)
 		os.Exit(2)
@@ -61,7 +65,7 @@ func main() {
 	var wl engine.Workload
 	switch {
 	case *schedule != "":
-		steps, err := parseSchedule(*schedule)
+		steps, err := sched.ParseSchedule(*schedule)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "tstrace: %v\n", err)
 			os.Exit(2)
@@ -104,16 +108,4 @@ func main() {
 	}
 	fmt.Println("\nhappens-before property verified ✓")
 	fmt.Println(report.Summary(rep))
-}
-
-func parseSchedule(s string) ([]int, error) {
-	var out []int
-	for _, f := range strings.Split(s, ",") {
-		pid, err := strconv.Atoi(strings.TrimSpace(f))
-		if err != nil {
-			return nil, fmt.Errorf("bad schedule entry %q", f)
-		}
-		out = append(out, pid)
-	}
-	return out, nil
 }

@@ -1,0 +1,25 @@
+package main
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestRun builds and runs the example end to end, asserting it exits 0 and
+// prints its headline markers.
+func TestRun(t *testing.T) {
+	out, err := exec.Command("go", "run", ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("go run .: %v\n%s", err, out)
+	}
+	for _, want := range []string{
+		"one-shot timestamp object",
+		"timestamps in compare() order",
+		"registers written",
+	} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,242 @@
+package engine_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"tsspace/internal/engine"
+	"tsspace/internal/mc"
+	"tsspace/internal/timestamp"
+	"tsspace/internal/timestamp/collect"
+	"tsspace/internal/timestamp/dense"
+	"tsspace/internal/timestamp/fas"
+	"tsspace/internal/timestamp/mutant"
+	"tsspace/internal/timestamp/simple"
+	"tsspace/internal/timestamp/sqrt"
+)
+
+// The conformance roster: every timestamp implementation in the
+// repository, each with a constructor and its long-lived call count (1 for
+// one-shot objects).
+type rosterEntry struct {
+	name  string
+	new   func(n int) engine.Algorithm[timestamp.Timestamp]
+	calls int
+	minN  int // dense needs n ≥ 2
+}
+
+var roster = []rosterEntry{
+	{"collect", func(n int) engine.Algorithm[timestamp.Timestamp] { return collect.New(n) }, 2, 1},
+	{"dense", func(n int) engine.Algorithm[timestamp.Timestamp] { return dense.New(n) }, 2, 2},
+	{"simple", func(n int) engine.Algorithm[timestamp.Timestamp] { return simple.New(n) }, 1, 1},
+	{"sqrt", func(n int) engine.Algorithm[timestamp.Timestamp] { return sqrt.New(n) }, 1, 1},
+	{"fas", func(n int) engine.Algorithm[timestamp.Timestamp] { return fas.New(n) }, 2, 1},
+}
+
+// TestConformanceMatrix runs every algorithm through the unified driver:
+// exhaustive POR exploration at n=2 (long-lived call counts) and n=3
+// (one-shot shape), plus seeded fuzzing at n=8. fas is not simulable and
+// must be substituted with atomic-world stress rather than silently
+// skipped.
+func TestConformanceMatrix(t *testing.T) {
+	for _, entry := range roster {
+		t.Run(entry.name, func(t *testing.T) {
+			var results []engine.ConformanceResult
+			// n=2 with the algorithm's long-lived call count.
+			if entry.minN <= 2 {
+				results = append(results, engine.Conformance(engine.ConformanceSpec[timestamp.Timestamp]{
+					New:          entry.new,
+					ExhaustiveNs: []int{2},
+					Calls:        entry.calls,
+					MaxVisits:    50_000,
+					Seed:         7,
+					POR:          true,
+					Shrink:       true,
+				})...)
+			}
+			// n=3 one-shot shape plus the fuzzing leg at n=8.
+			results = append(results, engine.Conformance(engine.ConformanceSpec[timestamp.Timestamp]{
+				New:          entry.new,
+				ExhaustiveNs: []int{3},
+				Calls:        1,
+				MaxVisits:    50_000,
+				FuzzN:        8,
+				FuzzCount:    25,
+				Seed:         11,
+				POR:          true,
+				Shrink:       true,
+			})...)
+
+			if len(results) < 3 {
+				t.Fatalf("only %d conformance legs ran", len(results))
+			}
+			for _, r := range results {
+				tag := fmt.Sprintf("%s %s n=%d×%d (%s world)", r.Alg, r.Mode, r.N, r.Calls, r.World)
+				if r.Err != nil {
+					t.Errorf("%s: %v", tag, r.Err)
+					continue
+				}
+				checked := r.Stats.Visited + r.Schedules
+				if checked == 0 {
+					t.Errorf("%s: checked nothing", tag)
+				}
+				t.Logf("%s: %d executions ok (%v)", tag, checked, r.Stats)
+			}
+			// fas must have been re-routed to the atomic world.
+			if entry.name == "fas" {
+				for _, r := range results {
+					if r.Mode == "exhaustive" && (r.World != engine.Atomic || r.Skipped == "") {
+						t.Errorf("fas exhaustive leg not substituted: world=%v skipped=%q", r.World, r.Skipped)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestPORReduction is the headline acceptance bound: on the same 3-process
+// workload, POR exploration must visit at most 20% of the schedules the
+// naive DFS visits. (In practice it is far below: tens vs tens of
+// thousands.)
+func TestPORReduction(t *testing.T) {
+	cases := []struct {
+		name string
+		alg  engine.Algorithm[timestamp.Timestamp]
+		n    int
+	}{
+		{"dense", dense.New(3), 3},
+		{"collect", collect.New(3), 3},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			cfg := engine.Config[timestamp.Timestamp]{
+				Alg: c.alg, World: engine.Simulated, N: c.n, Workload: engine.OneShot{},
+			}
+			naive, err := engine.Explore(cfg, 0, 100_000)
+			if err != nil {
+				t.Fatalf("naive: %v", err)
+			}
+			stats, err := engine.Exhaustive(cfg, engine.ExhaustiveOptions[timestamp.Timestamp]{POR: true})
+			if err != nil {
+				t.Fatalf("POR: %v", err)
+			}
+			t.Logf("%s n=%d: naive %d vs POR %d visits (%.2f%%)",
+				c.name, c.n, naive, stats.Visited, 100*float64(stats.Visited)/float64(naive))
+			if stats.Visited*5 > naive {
+				t.Errorf("POR visited %d of %d naive schedules, want ≤ 20%%", stats.Visited, naive)
+			}
+			if stats.SleepPruned == 0 {
+				t.Error("no sleep-set pruning recorded")
+			}
+		})
+	}
+}
+
+// TestMutantCaughtAndShrunk: the stale-scan mutant passes solo and
+// sequential-by-process runs, but exhaustive exploration must find a
+// violation and shrink it to a ≤ 12-step counterexample that replays
+// deterministically.
+func TestMutantCaughtAndShrunk(t *testing.T) {
+	const n = 2
+	newMutant := func() engine.Algorithm[timestamp.Timestamp] { return mutant.NewStaleScan(n) }
+	cfg := engine.Config[timestamp.Timestamp]{
+		Alg:      newMutant(),
+		World:    engine.Simulated,
+		N:        n,
+		Workload: engine.LongLived{CallsPerProc: 2},
+	}
+
+	// Sanity: the by-process sequential baseline does NOT catch it.
+	seq := cfg
+	seq.Alg = newMutant()
+	seq.Workload = engine.Sequential{CallsPerProc: 2}
+	rep, err := engine.Run(seq)
+	if err != nil {
+		t.Fatalf("sequential run: %v", err)
+	}
+	if err := rep.Verify(seq.Alg.Compare); err != nil {
+		t.Fatalf("mutant too broken: sequential baseline already fails: %v", err)
+	}
+
+	_, err = engine.Exhaustive(cfg, engine.ExhaustiveOptions[timestamp.Timestamp]{
+		POR: true, Shrink: true, NewAlg: newMutant,
+	})
+	var cex *engine.Counterexample
+	if !errors.As(err, &cex) {
+		t.Fatalf("exploration err = %v, want *Counterexample", err)
+	}
+	if cex.Steps > 12 {
+		t.Errorf("shrunk counterexample has %d steps (%v), want ≤ 12", cex.Steps, cex.Schedule)
+	}
+	var v mc.Violation[timestamp.Timestamp]
+	if !errors.As(cex.Err, &v) {
+		t.Errorf("counterexample cause = %v, want a causal violation", cex.Err)
+	}
+	t.Logf("mutant counterexample (%d steps): %v — %v", cex.Steps, cex.Schedule, cex.Err)
+
+	// The shrunk schedule must replay to the same failure through the
+	// public Adversarial workload path.
+	replay := engine.Config[timestamp.Timestamp]{
+		Alg:      newMutant(),
+		World:    engine.Simulated,
+		N:        n,
+		Workload: engine.Adversarial{Schedule: cex.Schedule, CallsPerProc: 2},
+	}
+	rep2, err := engine.Run(replay)
+	if err != nil {
+		t.Fatalf("replaying counterexample: %v", err)
+	}
+	if err := rep2.Verify(replay.Alg.Compare); err == nil {
+		t.Error("counterexample schedule verified clean on replay")
+	}
+}
+
+// The mutant must also fall to plain seeded fuzzing at larger n.
+func TestMutantCaughtByFuzz(t *testing.T) {
+	const n = 4
+	newMutant := func() engine.Algorithm[timestamp.Timestamp] { return mutant.NewStaleScan(n) }
+	cfg := engine.Config[timestamp.Timestamp]{
+		Alg:      newMutant(),
+		World:    engine.Simulated,
+		N:        n,
+		Workload: engine.LongLived{CallsPerProc: 2},
+		Seed:     3,
+	}
+	_, err := engine.Fuzz(cfg, engine.FuzzOptions[timestamp.Timestamp]{
+		Count: 50, Shrink: true, NewAlg: newMutant,
+	})
+	var cex *engine.Counterexample
+	if !errors.As(err, &cex) {
+		t.Fatalf("fuzz err = %v, want *Counterexample", err)
+	}
+	if cex.Steps > 12 {
+		t.Errorf("fuzz counterexample has %d steps after shrinking, want ≤ 12", cex.Steps)
+	}
+	t.Logf("fuzz counterexample (%d steps): %v", cex.Steps, cex.Schedule)
+}
+
+// Exhaustive must reject configurations the scheduler cannot express.
+func TestExhaustiveRejectsNonSimulable(t *testing.T) {
+	cfg := engine.Config[timestamp.Timestamp]{
+		Alg: fas.New(2), World: engine.Simulated, N: 2, Workload: engine.OneShot{},
+	}
+	if _, err := engine.Exhaustive(cfg, engine.ExhaustiveOptions[timestamp.Timestamp]{}); !errors.Is(err, engine.ErrNeedsAtomic) {
+		t.Errorf("err = %v, want ErrNeedsAtomic", err)
+	}
+}
+
+// Fuzzing a correct algorithm must report the work it did.
+func TestFuzzReportsWork(t *testing.T) {
+	cfg := engine.Config[timestamp.Timestamp]{
+		Alg: collect.New(3), World: engine.Simulated, N: 3,
+		Workload: engine.LongLived{CallsPerProc: 2}, Seed: 5,
+	}
+	rep, err := engine.Fuzz(cfg, engine.FuzzOptions[timestamp.Timestamp]{Count: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schedules != 20 || rep.Steps == 0 || rep.World != engine.Simulated {
+		t.Errorf("unexpected fuzz report: %+v", rep)
+	}
+}

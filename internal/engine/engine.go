@@ -298,41 +298,7 @@ func runSim[T any](cfg Config[T], wl Workload, maxCalls int) (*Report[T], error)
 // guard): scripted scenarios deliberately drive partial and over-budget
 // call patterns to observe how the algorithms fail.
 func NewSimSystem[T any](cfg Config[T]) (*sched.System, *hbcheck.Recorder[T], *register.Meter) {
-	wl := cfg.Workload
-	if wl == nil {
-		wl = OneShot{}
-	}
-	m := cfg.Alg.Registers()
-	meter := register.NewMeterSize(m)
-	versions := register.NewVersions(m)
-	table := cfg.Alg.WriterTable()
-	metered := register.Metered(meter)
-	if cfg.Unmetered {
-		metered = nil
-	}
-	rec := &hbcheck.Recorder[T]{}
-	sys := sched.New(cfg.N, m, func(pid int, mem register.Mem) (any, error) {
-		mem = register.Wrap(mem,
-			register.Versioned(versions),
-			metered,
-			register.DisciplineFor(table, pid),
-		)
-		calls := wl.Calls(pid, cfg.N)
-		out := make([]T, 0, calls)
-		for k := 0; k < calls; k++ {
-			sm, stamp := register.StampFirstOp(mem, rec.Begin)
-			ts, err := cfg.Alg.GetTS(sm, pid, k)
-			if err != nil {
-				return out, fmt.Errorf("p%d getTS#%d: %w", pid, k, err)
-			}
-			rec.End(pid, k, stamp.Stamp(), ts)
-			if cfg.OnCall != nil {
-				cfg.OnCall(pid, k, ts)
-			}
-			out = append(out, ts)
-		}
-		return out, nil
-	})
+	sys, rec, meter, _ := newSimSystemSpans(cfg)
 	return sys, rec, meter
 }
 

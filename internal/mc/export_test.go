@@ -1,0 +1,8 @@
+package mc
+
+import "tsspace/internal/sched"
+
+// CanonicalKey exposes the Foata-normal-form fingerprint to the external
+// test package, so the differential soundness test can compare the class
+// sets visited by POR and naive exploration.
+func CanonicalKey(trace []sched.Op) string { return canonicalKey(trace) }

@@ -1,0 +1,43 @@
+package mc
+
+// Shrink minimizes a failing schedule by greedy delta debugging: it
+// repeatedly deletes chunks of the schedule (halving the chunk size down to
+// single steps) as long as the candidate still fails. fails must be a pure
+// replay — typically "run the candidate leniently on a fresh system, drain,
+// and re-check the property" — and must return true for the input schedule,
+// otherwise the schedule is returned unchanged.
+//
+// The result is 1-minimal with respect to deletion: removing any single
+// remaining step makes the failure disappear. Minimality is about the
+// scheduling decisions, not the failure itself; deterministic replay
+// guarantees the returned schedule still reproduces it.
+func Shrink(schedule []int, fails func([]int) bool) []int {
+	cur := append([]int(nil), schedule...)
+	if !fails(cur) {
+		return cur
+	}
+	for chunk := (len(cur) + 1) / 2; chunk >= 1; {
+		removed := false
+		for start := 0; start < len(cur); {
+			cand := make([]int, 0, len(cur)-chunk)
+			cand = append(cand, cur[:start]...)
+			if start+chunk < len(cur) {
+				cand = append(cand, cur[start+chunk:]...)
+			}
+			if fails(cand) {
+				cur = cand
+				removed = true
+				// Same start now names the next chunk; retry in place.
+			} else {
+				start += chunk
+			}
+		}
+		if chunk == 1 && !removed {
+			break
+		}
+		if chunk > 1 {
+			chunk /= 2
+		}
+	}
+	return cur
+}

@@ -13,6 +13,7 @@ import (
 	"tsspace/internal/adversary"
 	"tsspace/internal/engine"
 	"tsspace/internal/lowerbound"
+	"tsspace/internal/mc"
 	"tsspace/internal/timestamp"
 	"tsspace/internal/timestamp/collect"
 	"tsspace/internal/timestamp/dense"
@@ -170,6 +171,49 @@ func Summary(rep *engine.Report[timestamp.Timestamp]) string {
 		s += fmt.Sprintf(" (%d scheduler steps)", rep.Steps)
 	}
 	return s
+}
+
+// ExplorationRow is one line of the model-checking reduction table (E11):
+// how many schedules the partial-order-reduced exploration visited for one
+// Algorithm × N × Calls cell, against the naive DFS baseline.
+type ExplorationRow struct {
+	Alg      string
+	N, Calls int
+	// Naive is the naive DFS visit count, or -1 when the baseline was
+	// skipped (it is multinomially larger and not always worth running).
+	Naive int
+	// Stats is the POR exploration's accounting.
+	Stats mc.Stats
+}
+
+// Reduction returns POR visits as a fraction of naive visits, or -1 when
+// the baseline was skipped.
+func (r ExplorationRow) Reduction() float64 {
+	if r.Naive <= 0 {
+		return -1
+	}
+	return float64(r.Stats.Visited) / float64(r.Naive)
+}
+
+// FormatExploration renders the exploration table; skipped baselines print
+// as "-".
+func FormatExploration(rows []ExplorationRow) string {
+	var sb strings.Builder
+	w := tabwriter.NewWriter(&sb, 2, 8, 2, ' ', 0)
+	fmt.Fprintln(w, "EXPERIMENT E11 — schedules explored: POR (sleep sets + state hashing) vs naive DFS")
+	fmt.Fprintln(w, "alg\tn×calls\tnaive\tPOR\treduction\tstates\tsleep-pruned\thash-merged\t")
+	for _, r := range rows {
+		naive, red := "-", "-"
+		if r.Naive >= 0 {
+			naive = fmt.Sprint(r.Naive)
+			red = fmt.Sprintf("%.2f%%", 100*r.Reduction())
+		}
+		fmt.Fprintf(w, "%s\t%d×%d\t%s\t%d\t%s\t%d\t%d\t%d\t\n",
+			r.Alg, r.N, r.Calls, naive, r.Stats.Visited, red,
+			r.Stats.States, r.Stats.SleepPruned, r.Stats.HashPruned)
+	}
+	w.Flush()
+	return sb.String()
 }
 
 // FormatMeasured renders the measured table; skipped adversarial cells

@@ -3,6 +3,8 @@ package report
 import (
 	"strings"
 	"testing"
+
+	"tsspace/internal/mc"
 )
 
 func TestBudgetsValues(t *testing.T) {
@@ -83,5 +85,26 @@ func TestMeasuredRowCheckCatchesBadValues(t *testing.T) {
 	bad = MeasuredRow{N: 8, Collect: 8, Dense: 7, Simple: 4, SqrtSeq: 6, SqrtBudget: 6}
 	if err := bad.Check(); err == nil {
 		t.Error("budget-violating sqrt must be rejected")
+	}
+}
+
+func TestFormatExploration(t *testing.T) {
+	rows := []ExplorationRow{
+		{Alg: "dense", N: 3, Calls: 1, Naive: 560,
+			Stats: mc.Stats{Visited: 11, Nodes: 88, SleepPruned: 58, States: 88}},
+		{Alg: "sqrt", N: 3, Calls: 1, Naive: -1,
+			Stats: mc.Stats{Visited: 150, Nodes: 6118, SleepPruned: 5319, States: 6118}},
+	}
+	if got := rows[0].Reduction(); got <= 0 || got > 0.2 {
+		t.Errorf("dense reduction = %v, want within (0, 0.2]", got)
+	}
+	if rows[1].Reduction() != -1 {
+		t.Errorf("skipped baseline must report -1")
+	}
+	out := FormatExploration(rows)
+	for _, want := range []string{"E11", "dense", "3×1", "560", "11", "1.96%", "sqrt", "-"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exploration table missing %q:\n%s", want, out)
+		}
 	}
 }

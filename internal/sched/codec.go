@@ -1,0 +1,41 @@
+package sched
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseSchedule decodes the textual schedule format shared by the CLIs and
+// the counterexample artifacts: comma-separated process indices, optional
+// whitespace around entries ("0, 1,0 ,2"). An empty or all-whitespace
+// string is the empty schedule. Entries must be non-negative integers;
+// range-checking against a concrete system's process count happens at
+// replay time, not here.
+func ParseSchedule(s string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, f := range parts {
+		pid, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, fmt.Errorf("sched: bad schedule entry %q", f)
+		}
+		if pid < 0 {
+			return nil, fmt.Errorf("sched: negative process index %d in schedule", pid)
+		}
+		out = append(out, pid)
+	}
+	return out, nil
+}
+
+// FormatSchedule renders a schedule in the format ParseSchedule accepts.
+func FormatSchedule(schedule []int) string {
+	parts := make([]string, len(schedule))
+	for i, pid := range schedule {
+		parts[i] = strconv.Itoa(pid)
+	}
+	return strings.Join(parts, ",")
+}

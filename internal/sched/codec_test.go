@@ -1,0 +1,93 @@
+package sched_test
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"tsspace/internal/sched"
+)
+
+func TestParseSchedule(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []int
+		ok   bool
+	}{
+		{"", nil, true},
+		{"   ", nil, true},
+		{"0", []int{0}, true},
+		{"0,1,0,2", []int{0, 1, 0, 2}, true},
+		{" 3 , 1 ,2 ", []int{3, 1, 2}, true},
+		{"0,,1", nil, false},
+		{"a", nil, false},
+		{"1,-2", nil, false},
+		{"1.5", nil, false},
+		{",", nil, false},
+	}
+	for _, c := range cases {
+		got, err := sched.ParseSchedule(c.in)
+		if c.ok != (err == nil) {
+			t.Errorf("ParseSchedule(%q) err = %v, want ok=%v", c.in, err, c.ok)
+			continue
+		}
+		if c.ok && !reflect.DeepEqual(got, c.want) {
+			t.Errorf("ParseSchedule(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestFormatScheduleRoundTrip(t *testing.T) {
+	for _, schedule := range [][]int{nil, {0}, {0, 1, 0, 2, 17}} {
+		s := sched.FormatSchedule(schedule)
+		back, err := sched.ParseSchedule(s)
+		if err != nil {
+			t.Fatalf("round trip of %v through %q: %v", schedule, s, err)
+		}
+		if len(back) != len(schedule) {
+			t.Errorf("round trip of %v → %q → %v", schedule, s, back)
+			continue
+		}
+		for i := range back {
+			if back[i] != schedule[i] {
+				t.Errorf("round trip of %v → %q → %v", schedule, s, back)
+				break
+			}
+		}
+	}
+}
+
+// FuzzParseSchedule asserts the codec's contract on arbitrary input: the
+// parser never panics; whatever it accepts contains only non-negative
+// entries and survives a Format/Parse round trip unchanged.
+func FuzzParseSchedule(f *testing.F) {
+	for _, seed := range []string{"", "0", "0,1,0,2", " 3 , 1 ,2 ", "1,-2", "a,b", "0,,1", "9999999999999999999999"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		schedule, err := sched.ParseSchedule(s)
+		if err != nil {
+			return
+		}
+		for i, pid := range schedule {
+			if pid < 0 {
+				t.Fatalf("accepted negative entry %d at %d from %q", pid, i, s)
+			}
+		}
+		rendered := sched.FormatSchedule(schedule)
+		back, err := sched.ParseSchedule(rendered)
+		if err != nil {
+			t.Fatalf("rendered schedule %q does not re-parse: %v", rendered, err)
+		}
+		if !reflect.DeepEqual(back, schedule) {
+			t.Fatalf("round trip changed %v to %v (via %q)", schedule, back, rendered)
+		}
+		// The canonical rendering must be stable (idempotent formatting).
+		if again := sched.FormatSchedule(back); again != rendered {
+			t.Fatalf("formatting not stable: %q then %q", rendered, again)
+		}
+		if strings.ContainsAny(rendered, " \t\n") {
+			t.Fatalf("canonical rendering %q contains whitespace", rendered)
+		}
+	})
+}

@@ -64,6 +64,13 @@ func (a *Alg) Registers() int { return 1 }
 // OneShot reports false: the object is long-lived.
 func (a *Alg) OneShot() bool { return false }
 
+// Simulable reports false: getTS performs no gated register operations and
+// busy-waits on its predecessor's depth store, so the deterministic
+// scheduler can neither observe nor fairly schedule it (see the package
+// comment). Harnesses — the engine's Exhaustive/Fuzz modes in particular —
+// exercise fas on real goroutines instead.
+func (a *Alg) Simulable() bool { return false }
+
 // WriterTable returns nil: the object is multi-writer.
 func (a *Alg) WriterTable() [][]int { return nil }
 
