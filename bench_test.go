@@ -16,10 +16,8 @@ import (
 	"tsspace/internal/engine"
 	"tsspace/internal/lowerbound"
 	"tsspace/internal/timestamp"
-	"tsspace/internal/timestamp/collect"
-	"tsspace/internal/timestamp/dense"
-	"tsspace/internal/timestamp/simple"
-	"tsspace/internal/timestamp/sqrt"
+	_ "tsspace/internal/timestamp/all" // rosters resolve through the registry
+	"tsspace/internal/timestamp/sqrt"  // sqrt-specific experiment knobs (tracer, ablations)
 )
 
 // run is the benchmark-side shorthand for one engine run.
@@ -94,7 +92,7 @@ func BenchmarkE3_SqrtSpace(b *testing.B) {
 			}
 			b.ReportMetric(float64(seq), "registersSequential")
 			b.ReportMetric(float64(adv.Written), "registersAdversarial")
-			b.ReportMetric(float64(sqrt.New(n).Registers()), "budget_2sqrtM")
+			b.ReportMetric(float64(timestamp.MustNew("sqrt", n).Registers()), "budget_2sqrtM")
 		})
 	}
 }
@@ -106,7 +104,7 @@ func BenchmarkE4_SimpleSpace(b *testing.B) {
 			var written int
 			for i := 0; i < b.N; i++ {
 				rep := run(b, engine.Config[timestamp.Timestamp]{
-					Alg: simple.New(n), World: engine.Atomic, N: n, Workload: engine.OneShot{},
+					Alg: timestamp.MustNew("simple", n), World: engine.Atomic, N: n, Workload: engine.OneShot{},
 				})
 				written = rep.Space.Written
 			}
@@ -206,7 +204,10 @@ func BenchmarkE7_InvalidationWrites(b *testing.B) {
 // grows (Θ(√n) one-shot vs Θ(n) long-lived).
 func BenchmarkE8_SpaceGap(b *testing.B) {
 	for _, n := range []int{64, 256, 1024} {
-		algs := []timestamp.Algorithm{collect.New(n), dense.New(n), simple.New(n), sqrt.New(n)}
+		var algs []timestamp.Algorithm
+		for _, name := range []string{"collect", "dense", "simple", "sqrt"} {
+			algs = append(algs, timestamp.MustNew(name, n))
+		}
 		for _, alg := range algs {
 			b.Run(fmt.Sprintf("n=%d/%s", n, alg.Name()), func(b *testing.B) {
 				var wl engine.Workload = engine.OneShot{}
@@ -253,12 +254,12 @@ func BenchmarkE9_MBounded(b *testing.B) {
 // not from the paper), on both the flat and the cache-line-padded register
 // arrays.
 func BenchmarkGetTS_Collect(b *testing.B) {
-	benchThroughput(b, func(n int) timestamp.Algorithm { return collect.New(n) })
+	benchThroughput(b, func(n int) timestamp.Algorithm { return timestamp.MustNew("collect", n) })
 }
 
 // BenchmarkGetTS_Dense measures the n−1-register long-lived baseline.
 func BenchmarkGetTS_Dense(b *testing.B) {
-	benchThroughput(b, func(n int) timestamp.Algorithm { return dense.New(n) })
+	benchThroughput(b, func(n int) timestamp.Algorithm { return timestamp.MustNew("dense", n) })
 }
 
 func benchThroughput(b *testing.B, mk func(int) timestamp.Algorithm) {
@@ -306,7 +307,7 @@ func BenchmarkGetTS_SqrtOneShot(b *testing.B) {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				run(b, engine.Config[timestamp.Timestamp]{
-					Alg: sqrt.New(n), World: engine.Atomic, N: n,
+					Alg: timestamp.MustNew("sqrt", n), World: engine.Atomic, N: n,
 					Workload: engine.Sequential{}, Unmetered: true,
 				})
 			}
@@ -322,7 +323,7 @@ func BenchmarkGetTS_Simple(b *testing.B) {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				run(b, engine.Config[timestamp.Timestamp]{
-					Alg: simple.New(n), World: engine.Atomic, N: n,
+					Alg: timestamp.MustNew("simple", n), World: engine.Atomic, N: n,
 					Workload: engine.Sequential{}, Unmetered: true,
 				})
 			}

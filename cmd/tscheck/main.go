@@ -41,29 +41,13 @@ import (
 	"tsspace/internal/report"
 	"tsspace/internal/sched"
 	"tsspace/internal/timestamp"
-	"tsspace/internal/timestamp/collect"
-	"tsspace/internal/timestamp/dense"
-	"tsspace/internal/timestamp/fas"
-	"tsspace/internal/timestamp/mutant"
-	"tsspace/internal/timestamp/simple"
-	"tsspace/internal/timestamp/sqrt"
+	_ "tsspace/internal/timestamp/all" // self-registering algorithm catalog
 )
 
-// family is one algorithm constructor in the conformance roster.
-type family struct {
-	name  string
-	new   func(n int) timestamp.Algorithm
-	calls int // long-lived call count at the smallest explored n
-	minN  int
-}
-
-var families = []family{
-	{"collect", func(n int) timestamp.Algorithm { return collect.New(n) }, 2, 1},
-	{"dense", func(n int) timestamp.Algorithm { return dense.New(n) }, 2, 2},
-	{"simple", func(n int) timestamp.Algorithm { return simple.New(n) }, 1, 1},
-	{"sqrt", func(n int) timestamp.Algorithm { return sqrt.New(n) }, 1, 1},
-	{"fas", func(n int) timestamp.Algorithm { return fas.New(n) }, 2, 1},
-}
+// families is the conformance roster: every correct implementation in the
+// registry, with its exploration metadata (minimum process count, call
+// depth) carried by the registration itself.
+var families = timestamp.All()
 
 func main() {
 	n := flag.Int("n", 4, "processes for sampled and concurrent runs")
@@ -116,16 +100,16 @@ func modelCheck(cfg modelCheckConfig) int {
 	for _, fam := range families {
 		if cfg.explore {
 			for _, en := range ns {
-				if en < fam.minN {
+				if en < fam.MinProcs {
 					continue
 				}
 				exploreLegs++
-				calls := fam.calls
+				calls := fam.ExploreCalls
 				if en > 2 {
 					calls = 1 // long-lived call programs explode beyond n=2
 				}
 				spec := engine.ConformanceSpec[timestamp.Timestamp]{
-					New:          func(n int) engine.Algorithm[timestamp.Timestamp] { return fam.new(n) },
+					New:          func(n int) engine.Algorithm[timestamp.Timestamp] { return fam.New(n) },
 					ExhaustiveNs: []int{en},
 					Calls:        calls,
 					MaxVisits:    exploreCap,
@@ -150,8 +134,8 @@ func modelCheck(cfg modelCheckConfig) int {
 			}
 		}
 		if cfg.fuzz > 0 {
-			alg := fam.new(cfg.fuzzN)
-			calls := fam.calls
+			alg := fam.New(cfg.fuzzN)
+			calls := fam.ExploreCalls
 			if alg.OneShot() {
 				calls = 1
 			}
@@ -164,7 +148,7 @@ func modelCheck(cfg modelCheckConfig) int {
 			}, engine.FuzzOptions[timestamp.Timestamp]{
 				Count:  cfg.fuzz,
 				Shrink: cfg.shrink,
-				NewAlg: func() engine.Algorithm[timestamp.Timestamp] { return fam.new(cfg.fuzzN) },
+				NewAlg: func() engine.Algorithm[timestamp.Timestamp] { return fam.New(cfg.fuzzN) },
 			})
 			what := fmt.Sprintf("fuzz %d×%d: %d %s schedules", cfg.fuzzN, calls, rep.Schedules, rep.World)
 			reportLine(&failed, alg.Name(), what, err)
@@ -207,14 +191,14 @@ func capped(res engine.ConformanceResult) bool {
 }
 
 // compareRow re-runs the cell through the naive DFS for the E11 table.
-func compareRow(fam family, res engine.ConformanceResult) report.ExplorationRow {
+func compareRow(fam timestamp.Info, res engine.ConformanceResult) report.ExplorationRow {
 	row := report.ExplorationRow{Alg: res.Alg, N: res.N, Calls: res.Calls, Naive: -1, Stats: res.Stats}
 	var wl engine.Workload = engine.OneShot{}
 	if res.Calls > 1 {
 		wl = engine.LongLived{CallsPerProc: res.Calls}
 	}
 	naive, err := engine.Explore(engine.Config[timestamp.Timestamp]{
-		Alg: fam.new(res.N), World: engine.Simulated, N: res.N, Workload: wl,
+		Alg: fam.New(res.N), World: engine.Simulated, N: res.N, Workload: wl,
 	}, exploreCap, 100_000)
 	if err == nil && naive < exploreCap {
 		// A capped naive count would fabricate the reduction percentage;
@@ -230,7 +214,7 @@ func compareRow(fam family, res engine.ConformanceResult) report.ExplorationRow 
 // objects.
 func mutantCaught(cfg modelCheckConfig) bool {
 	const n = 2
-	newMutant := func() engine.Algorithm[timestamp.Timestamp] { return mutant.NewStaleScan(n) }
+	newMutant := func() engine.Algorithm[timestamp.Timestamp] { return timestamp.MustNew("collect-stale-scan", n) }
 	_, err := engine.Exhaustive(engine.Config[timestamp.Timestamp]{
 		Alg: newMutant(), World: engine.Simulated, N: n,
 		Workload: engine.LongLived{CallsPerProc: 2},
@@ -269,13 +253,16 @@ func writeCex(dir, alg string, n, calls int, err error) {
 	fmt.Printf("      counterexample written to %s\n", path)
 }
 
-// classic is the original tscheck suite.
+// classic is the original tscheck suite, rostered from the registry.
 func classic(n, visits, samples, reps int, seed int64, sharded bool) {
-	algs := []timestamp.Algorithm{
-		collect.New(n), dense.New(n), simple.New(n), sqrt.New(n),
-	}
 	failed := false
-	for _, alg := range algs {
+	for _, fam := range timestamp.All() {
+		if n < fam.MinProcs {
+			fmt.Printf("skip  %-18s needs ≥ %d processes, -n is %d\n", fam.Name, fam.MinProcs, n)
+			continue
+		}
+		alg := fam.New(n)
+		simulable := engine.Simulable[timestamp.Timestamp](alg)
 		calls := 2
 		if alg.OneShot() {
 			calls = 1
@@ -286,25 +273,29 @@ func classic(n, visits, samples, reps int, seed int64, sharded bool) {
 			}
 		}
 
-		small := cfg(engine.Simulated, engine.OneShot{})
-		small.N = 2
-		visited, err := engine.Explore(small, visits, 100_000)
-		reportLine(&failed, alg.Name(), fmt.Sprintf("exhaustive 2×1 (%d interleavings)", visited), err)
+		if simulable {
+			small := cfg(engine.Simulated, engine.OneShot{})
+			small.N = 2
+			visited, err := engine.Explore(small, visits, 100_000)
+			reportLine(&failed, alg.Name(), fmt.Sprintf("exhaustive 2×1 (%d interleavings)", visited), err)
 
-		err = engine.Sample(cfg(engine.Simulated, engine.LongLived{CallsPerProc: calls}), samples)
-		reportLine(&failed, alg.Name(), fmt.Sprintf("sampled %d×%d ×%d schedules", n, calls, samples), err)
+			err = engine.Sample(cfg(engine.Simulated, engine.LongLived{CallsPerProc: calls}), samples)
+			reportLine(&failed, alg.Name(), fmt.Sprintf("sampled %d×%d ×%d schedules", n, calls, samples), err)
 
-		// The engine's scenario workloads, one sim run each: phased batches
-		// and mixed churn (processes join and leave mid-run).
-		for _, wl := range []engine.Workload{
-			engine.Phased{GroupSize: 2, CallsPerProc: calls},
-			engine.Churn{Width: (n + 1) / 2, CallsPerProc: calls},
-		} {
-			rep, err := engine.Run(cfg(engine.Simulated, wl))
-			if err == nil {
-				err = rep.Verify(alg.Compare)
+			// The engine's scenario workloads, one sim run each: phased
+			// batches and mixed churn (processes join and leave mid-run).
+			for _, wl := range []engine.Workload{
+				engine.Phased{GroupSize: 2, CallsPerProc: calls},
+				engine.Churn{Width: (n + 1) / 2, CallsPerProc: calls},
+			} {
+				rep, err := engine.Run(cfg(engine.Simulated, wl))
+				if err == nil {
+					err = rep.Verify(alg.Compare)
+				}
+				reportLine(&failed, alg.Name(), fmt.Sprintf("%s %d×%d", wl.Kind(), n, calls), err)
 			}
-			reportLine(&failed, alg.Name(), fmt.Sprintf("%s %d×%d", wl.Kind(), n, calls), err)
+		} else {
+			fmt.Printf("skip  %-18s not simulable: no scheduler legs, concurrent runs only\n", alg.Name())
 		}
 
 		var concErr error

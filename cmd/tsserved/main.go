@@ -1,0 +1,181 @@
+// Command tsserved serves a tsspace timestamp object over HTTP/JSON: the
+// paper's getTS()/compare() object as a network service. Logical clients
+// need no process ids, sequence numbers or shared memory — they POST
+// /getts and get back a batch of timestamps; the daemon's SDK object maps
+// any number of concurrent requests onto the configured n paper-processes
+// through session leasing.
+//
+// Endpoints: POST /getts (batched), POST /compare, GET /healthz,
+// GET /metrics (space report + throughput). See tsspace/tsserve.
+//
+// Usage:
+//
+//	tsserved [-addr :8037] [-alg collect] [-procs 64] [-sharded]
+//	         [-unmetered] [-maxbatch 1024]
+//	tsserved -algs                 list the servable algorithms
+//	tsserved -smoke URL            run the end-to-end smoke check against
+//	                               a running daemon and exit 0/1
+//
+// The smoke mode is the CI gate: it requests one batch, asserts the
+// happens-before order across it via /compare round trips (both
+// directions), and checks /metrics counted the traffic.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"tsspace"
+	"tsspace/tsserve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8037", "listen address")
+	alg := flag.String("alg", "collect", "algorithm: one of "+strings.Join(tsspace.Algorithms(), " | "))
+	procs := flag.Int("procs", 64, "paper-processes n: the object's concurrency level (and, for one-shot algorithms, the total timestamp budget)")
+	sharded := flag.Bool("sharded", false, "cache-line-padded register array")
+	unmetered := flag.Bool("unmetered", false, "drop space metering from the register path (disables the /metrics space section)")
+	maxBatch := flag.Int("maxbatch", 1024, "largest /getts batch")
+	algs := flag.Bool("algs", false, "list the servable algorithms and exit")
+	smoke := flag.String("smoke", "", "run the smoke check against the daemon at this URL and exit")
+	flag.Parse()
+
+	if *algs {
+		for _, e := range tsspace.Catalog() {
+			fmt.Printf("%-10s %s\n", e.Name, e.Summary)
+		}
+		return
+	}
+	if *smoke != "" {
+		if err := runSmoke(*smoke); err != nil {
+			fmt.Fprintf(os.Stderr, "tsserved: smoke: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("tsserved smoke ok")
+		return
+	}
+
+	opts := []tsspace.Option{tsspace.WithAlgorithm(*alg), tsspace.WithProcs(*procs)}
+	if *sharded {
+		opts = append(opts, tsspace.WithSharded())
+	}
+	if !*unmetered {
+		opts = append(opts, tsspace.WithMetering())
+	}
+	obj, err := tsspace.New(opts...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tsserved: %v\n", err)
+		os.Exit(2)
+	}
+	defer obj.Close()
+
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: tsserve.NewServer(obj, tsserve.ServerConfig{MaxBatch: *maxBatch}),
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(shutdownCtx)
+	}()
+
+	kind := "long-lived"
+	if obj.OneShot() {
+		kind = "one-shot"
+	}
+	log.Printf("tsserved: serving %s (%s) on %s: n=%d processes, %d registers",
+		obj.Algorithm(), kind, *addr, obj.Procs(), obj.Registers())
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		fmt.Fprintf(os.Stderr, "tsserved: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// runSmoke drives one batched /getts through a running daemon and asserts
+// the happens-before property across the batch with /compare round trips.
+func runSmoke(url string) error {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	c := tsserve.NewClient(url, nil)
+
+	h, err := c.Health(ctx)
+	if err != nil {
+		return fmt.Errorf("healthz: %w", err)
+	}
+	if h.Status != "ok" {
+		return fmt.Errorf("healthz status %q", h.Status)
+	}
+
+	// One-shot objects serve batches of one; take the batch as separate
+	// requests then — each completed request happens-before the next. Their
+	// budget is n total timestamps, so cap the smoke batch at what the
+	// daemon has left (the metrics report how many calls it already served).
+	want := 8
+	var batch []tsspace.Timestamp
+	if h.OneShot {
+		m, err := c.Metrics(ctx)
+		if err != nil {
+			return fmt.Errorf("metrics: %w", err)
+		}
+		if remaining := h.Procs - int(m.Calls); remaining < want {
+			want = remaining
+		}
+		if want < 2 {
+			return fmt.Errorf("one-shot budget nearly spent (%d of %d calls served): too few timestamps left to order", m.Calls, h.Procs)
+		}
+		for i := 0; i < want; i++ {
+			one, err := c.GetTS(ctx, 1)
+			if err != nil {
+				return fmt.Errorf("getts %d: %w", i, err)
+			}
+			batch = append(batch, one...)
+		}
+	} else {
+		if batch, err = c.GetTS(ctx, want); err != nil {
+			return fmt.Errorf("batched getts: %w", err)
+		}
+	}
+	if len(batch) != want {
+		return fmt.Errorf("got %d timestamps, want %d", len(batch), want)
+	}
+
+	// Every pair, both directions: i < j must compare before, never after.
+	for i := 0; i < len(batch); i++ {
+		for j := i + 1; j < len(batch); j++ {
+			before, err := c.Compare(ctx, batch[i], batch[j])
+			if err != nil {
+				return fmt.Errorf("compare(%d, %d): %w", i, j, err)
+			}
+			after, err := c.Compare(ctx, batch[j], batch[i])
+			if err != nil {
+				return fmt.Errorf("compare(%d, %d): %w", j, i, err)
+			}
+			if !before || after {
+				return fmt.Errorf("happens-before violated: ts[%d]=%v vs ts[%d]=%v (before=%v after=%v)",
+					i, batch[i], j, batch[j], before, after)
+			}
+		}
+	}
+
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		return fmt.Errorf("metrics: %w", err)
+	}
+	if int(m.Calls) < want {
+		return fmt.Errorf("metrics counted %d calls, want ≥ %d", m.Calls, want)
+	}
+	fmt.Printf("smoke: %s n=%d: %d timestamps strictly ordered (%d compare round trips); %d calls served\n",
+		h.Algorithm, h.Procs, len(batch), len(batch)*(len(batch)-1), m.Calls)
+	return nil
+}

@@ -5,11 +5,16 @@
 // workloads: a seeded random maximal interleaving (default), phased
 // batches, mixed churn, or an explicit adversarial schedule.
 //
+// The -alg flag accepts any name in the algorithm registry, mutants
+// included, so counterexample artifacts from tscheck -cexdir replay
+// verbatim (such runs exit 1 with the violation). -algs lists the catalog.
+//
 // Usage:
 //
-//	tstrace [-alg sqrt|simple|collect|dense|collect-stale-scan] [-n 4] [-calls 1] [-seed 1]
+//	tstrace [-alg sqrt] [-n 4] [-calls 1] [-seed 1]
 //	        [-workload random|phased|churn] [-group 2] [-width 2]
 //	        [-schedule 0,1,0,2,...]
+//	tstrace -algs
 package main
 
 import (
@@ -17,19 +22,17 @@ import (
 	"fmt"
 	"os"
 
+	"strings"
+
 	"tsspace/internal/engine"
 	"tsspace/internal/report"
 	"tsspace/internal/sched"
 	"tsspace/internal/timestamp"
-	"tsspace/internal/timestamp/collect"
-	"tsspace/internal/timestamp/dense"
-	"tsspace/internal/timestamp/mutant"
-	"tsspace/internal/timestamp/simple"
-	"tsspace/internal/timestamp/sqrt"
+	_ "tsspace/internal/timestamp/all" // self-registering algorithm catalog
 )
 
 func main() {
-	algName := flag.String("alg", "sqrt", "algorithm: sqrt | simple | collect | dense")
+	algName := flag.String("alg", "sqrt", "algorithm: one of "+strings.Join(timestamp.Names(), " | ")+" (or a registered mutant)")
 	n := flag.Int("n", 4, "processes")
 	calls := flag.Int("calls", 1, "getTS calls per process (long-lived algorithms only)")
 	seed := flag.Int64("seed", 1, "schedule seed")
@@ -37,25 +40,33 @@ func main() {
 	group := flag.Int("group", 2, "batch size for -workload phased")
 	width := flag.Int("width", 2, "live-process window for -workload churn")
 	schedule := flag.String("schedule", "", "explicit comma-separated schedule (overrides -workload)")
+	algs := flag.Bool("algs", false, "list the registered algorithms (mutants marked) and exit")
 	flag.Parse()
 
-	var alg timestamp.Algorithm
-	switch *algName {
-	case "sqrt":
-		alg = sqrt.New(*n)
-	case "simple":
-		alg = simple.New(*n)
-	case "collect":
-		alg = collect.New(*n)
-	case "dense":
-		alg = dense.New(*n)
-	case "collect-stale-scan":
-		// The deliberately broken mutant, so counterexample artifacts from
-		// tscheck -cexdir replay verbatim (the run exits 1 with the
-		// violation).
-		alg = mutant.NewStaleScan(*n)
-	default:
-		fmt.Fprintf(os.Stderr, "tstrace: unknown algorithm %q\n", *algName)
+	if *algs {
+		for _, name := range timestamp.AllNames() {
+			info, _ := timestamp.Lookup(name)
+			mark := " "
+			if info.Mutant {
+				mark = "!"
+			}
+			fmt.Printf("%s %-22s %s\n", mark, info.Name, info.Summary)
+		}
+		return
+	}
+
+	info, ok := timestamp.Lookup(*algName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "tstrace: unknown algorithm %q (have %v)\n", *algName, timestamp.AllNames())
+		os.Exit(2)
+	}
+	if *n < info.MinProcs {
+		fmt.Fprintf(os.Stderr, "tstrace: %s needs at least %d processes, -n is %d\n", info.Name, info.MinProcs, *n)
+		os.Exit(2)
+	}
+	alg := info.New(*n)
+	if !engine.Simulable[timestamp.Timestamp](alg) {
+		fmt.Fprintf(os.Stderr, "tstrace: %s cannot run under the deterministic scheduler\n", info.Name)
 		os.Exit(2)
 	}
 	if alg.OneShot() {

@@ -1,0 +1,68 @@
+package tsspace_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+
+	"tsspace"
+)
+
+// A long-lived object with default settings: attach a session, take
+// timestamps, compare them.
+func ExampleNew() {
+	obj, err := tsspace.New() // long-lived "collect" object, 16 processes
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer obj.Close()
+
+	ctx := context.Background()
+	s, err := obj.Attach(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer s.Detach()
+
+	t1, _ := s.GetTS(ctx)
+	t2, _ := s.GetTS(ctx)
+	fmt.Println(obj.Compare(t1, t2), obj.Compare(t2, t1))
+	// Output: true false
+}
+
+// A one-shot object issues one timestamp per attached process: n sessions
+// get n totally ordered timestamps, and the budget is enforced with typed
+// errors.
+func ExampleSession_GetTS() {
+	obj, err := tsspace.New(tsspace.WithAlgorithm("sqrt"), tsspace.WithProcs(4))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer obj.Close()
+
+	ctx := context.Background()
+	var prev tsspace.Timestamp
+	for i := 0; i < 4; i++ {
+		s, err := obj.Attach(ctx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ts, err := s.GetTS(ctx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if i > 0 {
+			fmt.Println(obj.Compare(prev, ts))
+		}
+		prev = ts
+		s.Detach()
+	}
+	_, err = obj.Attach(ctx)
+	fmt.Println(errors.Is(err, tsspace.ErrExhausted))
+	// Output:
+	// true
+	// true
+	// true
+	// true
+}

@@ -2,9 +2,10 @@
 // with a long-lived shared-memory timestamp object, verify the
 // happens-before property with the checker, and contrast with Lamport and
 // vector clocks (which need cooperative message stamping rather than
-// shared registers). The run uses the engine's mixed-churn workload:
-// at most three workers are alive at once — a worker that finishes its
-// actions leaves and the next one joins — yet the timestamps stay totally
+// shared registers). The churn is real session churn through the public
+// SDK: nine logical workers funnel through an object with only three
+// paper-processes — a worker that finishes its actions detaches and its
+// process id is leased to the next one — yet the timestamps stay totally
 // ordered across the membership changes, because the object's guarantees
 // are about the process *namespace*, not the live set.
 //
@@ -14,54 +15,94 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
+	"sync"
 
+	"tsspace"
 	"tsspace/internal/clock"
-	"tsspace/internal/engine"
-	"tsspace/internal/report"
-	"tsspace/internal/timestamp"
-	"tsspace/internal/timestamp/dense"
+	"tsspace/internal/hbcheck"
 )
 
+// record is one audit-log entry: (worker, action, timestamp).
+type record struct {
+	worker, action int
+	ts             tsspace.Timestamp
+}
+
 func main() {
-	const workers = 5 // worker 4 is the silent process: it never writes a register
-	const actionsPerWorker = 4
-	const poolWidth = 3 // live workers at any moment
+	const workers = 9          // logical workers over the run
+	const actionsPerWorker = 4 // getTS() calls per worker
+	const poolWidth = 3        // paper-processes: live workers at any moment
 
-	// The dense long-lived object: n−1 registers for n processes.
-	alg := dense.New(workers)
-	fmt.Printf("long-lived timestamps for %d workers from %d registers (n−1), ≤%d workers live at once\n\n",
-		workers, alg.Registers(), poolWidth)
-
-	rep, err := engine.Run(engine.Config[timestamp.Timestamp]{
-		Alg:      alg,
-		World:    engine.Atomic,
-		N:        workers,
-		Workload: engine.Churn{Width: poolWidth, CallsPerProc: actionsPerWorker},
-	})
+	// The dense long-lived object: n−1 registers for n processes. Process
+	// n−1 is the silent one — it never writes a register.
+	obj, err := tsspace.New(
+		tsspace.WithAlgorithm("dense"),
+		tsspace.WithProcs(poolWidth),
+		tsspace.WithMetering(),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer obj.Close()
+	fmt.Printf("long-lived timestamps for %d workers from %d registers (n−1), ≤%d workers live at once\n\n",
+		workers, obj.Registers(), poolWidth)
 
-	// The specification holds on the real execution, across joins/leaves.
-	if err := rep.Verify(alg.Compare); err != nil {
+	// Each worker attaches (blocking until a process id frees up), logs its
+	// actions, and detaches. The recorder stamps every call's interval so
+	// the happens-before property can be checked across the whole run.
+	var (
+		rec hbcheck.Recorder[tsspace.Timestamp]
+		lg  []record
+		mu  sync.Mutex
+		wg  sync.WaitGroup
+		ctx = context.Background()
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s, err := obj.Attach(ctx)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer s.Detach()
+			for a := 0; a < actionsPerWorker; a++ {
+				start := rec.Begin()
+				ts, err := s.GetTS(ctx)
+				if err != nil {
+					log.Fatal(err)
+				}
+				rec.End(w, a, start, ts)
+				mu.Lock()
+				lg = append(lg, record{worker: w, action: a, ts: ts})
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// The specification holds on the real execution, across joins/leaves
+	// and process-id recycling.
+	if err := hbcheck.Check(rec.Events(), obj.Compare); err != nil {
 		log.Fatalf("happens-before violated: %v", err)
 	}
-	fmt.Println("happens-before property verified over all", len(rep.Events), "getTS() calls")
+	fmt.Println("happens-before property verified over all", len(lg), "getTS() calls")
 
-	// Each event is one log record: (worker, action, timestamp).
-	lg := rep.Events
-	sort.Slice(lg, func(i, j int) bool { return alg.Compare(lg[i].Val, lg[j].Val) })
+	sort.Slice(lg, func(i, j int) bool { return obj.Compare(lg[i].ts, lg[j].ts) })
 	fmt.Println("\nlog in timestamp order (first 10):")
 	for _, r := range lg[:10] {
-		fmt.Printf("  %v worker %d action-%d\n", r.Val, r.Pid, r.Seq)
+		fmt.Printf("  %v worker %d action-%d\n", r.ts, r.worker, r.action)
 	}
-	fmt.Printf("\nregisters written: %d (the silent worker %d wrote none)\n",
-		rep.Space.Written, workers-1)
-	fmt.Println(report.Summary(rep))
-	fmt.Println()
+
+	u, _ := obj.Usage()
+	st := obj.Stats()
+	fmt.Printf("\nregisters written: %d (the silent process %d wrote none)\n", u.Written, poolWidth-1)
+	fmt.Printf("%s · n=%d: %d getTS() calls over %d sessions, %d reads / %d writes\n\n",
+		obj.Algorithm(), obj.Procs(), st.Calls, st.Attaches, u.Reads, u.Writes)
 
 	// Contrast: the same ordering problem in a message-passing world.
 	lamportVectorDemo()

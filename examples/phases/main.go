@@ -1,9 +1,18 @@
-// Phases: a walkthrough of Algorithm 4's phase machinery (§6 of the
-// paper). Issues timestamps through the engine's sequential workload,
-// printing the register array and the running phase accounting after every
-// getTS() (the engine's BaseMem override plus OnCall observer make the raw
-// register state visible mid-run), then verifies the §6.3 claims on the
-// recorded trace.
+// Phases: watch Algorithm 4 (§6 of the paper) consume register space
+// phase by phase, through the public SDK. M sequential clients each take
+// one timestamp from the one-shot sqrt object; after every call the
+// example prints the object's write footprint (from WithMetering's usage
+// report). A register is non-⊥ exactly once it has been written, so the
+// footprint bar is the phase structure: phase k runs while k registers
+// are non-⊥, and a timestamp (rnd, turn) returned in phase k has rnd ∈
+// {k, k+1}.
+//
+// The walkthrough verifies the SDK-observable §6 claims: the written set
+// grows monotonically from the left, stays within the ⌈2√M⌉ budget
+// (Lemma 6.5), and the last register is the sentinel that is read but
+// never written (Lemma 6.14). The deeper per-phase invalidation
+// accounting (Claims 6.10/6.13) needs the implementation's tracer hooks:
+// see `go run ./cmd/tscover -phases`.
 //
 // Run with:
 //
@@ -11,78 +20,82 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
 
-	"tsspace/internal/engine"
-	"tsspace/internal/register"
-	"tsspace/internal/timestamp"
-	"tsspace/internal/timestamp/sqrt"
+	"tsspace"
 )
 
 func main() {
 	const m = 10
-	alg := sqrt.NewBounded(m)
-	tracer := &sqrt.ChronoTracer{}
-	alg.SetTracer(tracer)
-	mem := register.NewAtomicArray(alg.Registers())
-
-	fmt.Printf("Algorithm 4 with M = %d calls: %d registers (⌈2√M⌉), last one a sentinel\n\n", m, alg.Registers())
-	fmt.Println("call  timestamp  registers  (■ = non-⊥; phase k ⇔ k registers non-⊥)")
-
-	call := 0
-	run, err := engine.Run(engine.Config[timestamp.Timestamp]{
-		Alg:     alg,
-		World:   engine.Atomic,
-		N:       m,
-		BaseMem: mem,
-		// One call per process id, strictly sequential: the getTS-ids only
-		// need to be distinct (§6.1), so the pids double as call numbers.
-		Workload: engine.Sequential{},
-		OnCall: func(pid, seq int, ts timestamp.Timestamp) {
-			call++
-			fmt.Printf("%4d  %-9v  %s\n", call, ts, bar(mem, alg.Registers()))
-		},
-	})
+	obj, err := tsspace.New(
+		tsspace.WithAlgorithm("sqrt"), // one-shot: M = n = procs
+		tsspace.WithProcs(m),
+		tsspace.WithMetering(),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer obj.Close()
 
-	rep, err := sqrt.AnalyzePhases(tracer.Events())
-	if err != nil {
-		log.Fatal(err)
+	fmt.Printf("Algorithm 4 with M = %d calls: %d registers (⌈2√M⌉), last one a sentinel\n\n",
+		m, obj.Registers())
+	fmt.Println("call  timestamp  phase  registers  (■ = written/non-⊥; phase k ⇔ k registers non-⊥)")
+
+	ctx := context.Background()
+	var last tsspace.Timestamp
+	for call := 1; call <= m; call++ {
+		s, err := obj.Attach(ctx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ts, err := s.GetTS(ctx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		s.Detach()
+
+		u, _ := obj.Usage()
+		fmt.Printf("%4d  %-9v  %5d  %s\n", call, ts, u.Written, bar(u))
+
+		// Sequential calls are happens-before ordered: strictly increasing.
+		if call > 1 && !obj.Compare(last, ts) {
+			log.Fatalf("call %d: %v not after %v", call, ts, last)
+		}
+		last = ts
 	}
-	fmt.Printf("\nphase accounting (§6.3):\n")
-	for _, st := range rep.PerPhase {
-		fmt.Printf("  phase %d: %d writes, %d invalidation writes (Claim 6.10: completed phase ϕ has exactly ϕ)\n",
-			st.Phase, st.Writes, st.Invalidations)
+
+	u, _ := obj.Usage()
+	fmt.Printf("\nregisters written: %d of %d — within the ⌈2√M⌉ budget (Lemma 6.5)\n",
+		u.Written, u.Registers)
+	if u.WriteCounts[u.Registers-1] != 0 {
+		log.Fatal("sentinel register was written — Lemma 6.14 violated")
 	}
-	fmt.Printf("total invalidation writes: %d ≤ 2M = %d (Claim 6.13)\n", rep.InvalidationWrites, 2*m)
-	if err := sqrt.VerifyCompletedPhases(rep); err != nil {
-		log.Fatalf("claim violated: %v", err)
+	if u.ReadCounts[u.Registers-1] == 0 {
+		log.Fatal("sentinel register was never read")
 	}
-	fmt.Printf("registers written: %d of %d (sequential executions stay near √(2M) ≈ %.1f)\n",
-		run.Space.Written, alg.Registers(), 1.41*sqrtF(m))
+	fmt.Printf("sentinel register %d: read %d times, written never (Lemma 6.14)\n",
+		u.Registers-1, u.ReadCounts[u.Registers-1])
+	for i := 1; i < len(u.WriteCounts); i++ {
+		if u.WriteCounts[i] > 0 && u.WriteCounts[i-1] == 0 {
+			log.Fatalf("register %d written before register %d: phases do not skip", i, i-1)
+		}
+	}
+	fmt.Println("written set is a prefix: phases consume registers strictly left to right")
 }
 
-func bar(mem register.Mem, m int) string {
+// bar renders the per-register write footprint: ■ for written (non-⊥)
+// registers, · for ⊥.
+func bar(u tsspace.Usage) string {
 	var b strings.Builder
-	for i := 0; i < m; i++ {
-		if mem.Read(i) != nil {
+	for _, w := range u.WriteCounts {
+		if w > 0 {
 			b.WriteString("■")
 		} else {
 			b.WriteString("·")
 		}
 	}
 	return b.String()
-}
-
-func sqrtF(m int) float64 {
-	x := float64(m)
-	z := x
-	for i := 0; i < 20; i++ {
-		z = (z + x/z) / 2
-	}
-	return z
 }

@@ -15,8 +15,9 @@ func TestRun(t *testing.T) {
 	}
 	for _, want := range []string{
 		"Algorithm 4 with M",
-		"phase accounting",
-		"Claim 6.13",
+		"⌈2√M⌉ budget (Lemma 6.5)",
+		"sentinel register",
+		"strictly left to right",
 	} {
 		if !strings.Contains(string(out), want) {
 			t.Errorf("output missing %q:\n%s", want, out)

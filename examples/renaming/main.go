@@ -1,9 +1,10 @@
 // Renaming: order-based renaming from one-shot timestamps — one of the
 // "inherently one-time" applications motivating the one-shot object (§1,
 // §3 of the paper; cf. Attiya–Fouren adaptive renaming). Each process with
-// a large original identifier takes one timestamp through the engine's
-// one-shot workload; its new name is the rank of its timestamp among all
-// issued ones.
+// a large original identifier attaches an SDK session and takes one
+// timestamp; its new name is the rank of its timestamp among all issued
+// ones. The object's one-shot budget is the renaming capacity: an
+// (n+1)-th client is refused with the typed exhaustion error.
 //
 // Because concurrent getTS() calls may receive equal timestamps (the
 // specification only constrains happens-before ordered pairs), ranks are
@@ -16,14 +17,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
 	"math/rand"
 	"sort"
+	"sync"
 
-	"tsspace/internal/engine"
-	"tsspace/internal/timestamp"
-	"tsspace/internal/timestamp/simple"
+	"tsspace"
 )
 
 func main() {
@@ -44,29 +46,43 @@ func main() {
 		}
 	}
 
-	// The §5 simple one-shot object: ⌈n/2⌉ two-writer registers. The engine
-	// enforces the algorithm's two-writer discipline during the run.
-	alg := simple.New(n)
-	fmt.Printf("renaming %d processes through %d registers (⌈n/2⌉)\n\n", n, alg.Registers())
-
-	rep, err := engine.Run(engine.Config[timestamp.Timestamp]{
-		Alg:      alg,
-		World:    engine.Atomic,
-		N:        n,
-		Workload: engine.OneShot{},
-	})
+	// The §5 simple one-shot object: ⌈n/2⌉ two-writer registers. The SDK's
+	// register stack enforces the algorithm's two-writer discipline.
+	obj, err := tsspace.New(
+		tsspace.WithAlgorithm("simple"),
+		tsspace.WithProcs(n),
+		tsspace.WithMetering(),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer obj.Close()
+	fmt.Printf("renaming %d processes through %d registers (⌈n/2⌉)\n\n", n, obj.Registers())
 
 	type slot struct {
 		orig int
-		ts   timestamp.Timestamp
+		ts   tsspace.Timestamp
 	}
+	ctx := context.Background()
 	slots := make([]slot, n)
-	for _, ev := range rep.Events {
-		slots[ev.Pid] = slot{origIDs[ev.Pid], ev.Val}
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s, err := obj.Attach(ctx)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer s.Detach()
+			ts, err := s.GetTS(ctx)
+			if err != nil {
+				log.Fatal(err)
+			}
+			slots[i] = slot{origIDs[i], ts}
+		}(i)
 	}
+	wg.Wait()
 
 	// New name = rank by (timestamp, original id).
 	order := make([]int, n)
@@ -75,10 +91,10 @@ func main() {
 	}
 	sort.Slice(order, func(a, b int) bool {
 		sa, sb := slots[order[a]], slots[order[b]]
-		if alg.Compare(sa.ts, sb.ts) {
+		if obj.Compare(sa.ts, sb.ts) {
 			return true
 		}
-		if alg.Compare(sb.ts, sa.ts) {
+		if obj.Compare(sb.ts, sa.ts) {
 			return false
 		}
 		return sa.orig < sb.orig // concurrent tie: break by original id
@@ -103,6 +119,11 @@ func main() {
 		}
 		used[name] = true
 	}
-	fmt.Printf("\nall %d names unique in [1, %d]; registers written: %d\n",
-		n, n, rep.Space.Written)
+	u, _ := obj.Usage()
+	fmt.Printf("\nall %d names unique in [1, %d]; registers written: %d\n", n, n, u.Written)
+
+	// One-shot means one-time: the names are spent.
+	if _, err := obj.Attach(ctx); errors.Is(err, tsspace.ErrExhausted) {
+		fmt.Println("an 11th client is refused: the one-shot namespace is exhausted")
+	}
 }

@@ -52,7 +52,12 @@ type parked struct {
 // assertions are the caller's concern via the recorder).
 func StaleRelease(n int) (*Result, error) {
 	alg := sqrt.New(n)
-	sys, rec := timestamp.NewSimSystem(alg, n, 1)
+	sys, rec, _ := engine.NewSimSystem(engine.Config[timestamp.Timestamp]{
+		Alg:      alg,
+		World:    engine.Simulated,
+		N:        n,
+		Workload: engine.OneShot{},
+	})
 	defer sys.Close()
 
 	res := &Result{M: n, Registers: alg.Registers()}

@@ -3,6 +3,7 @@ package adversary
 import (
 	"fmt"
 
+	"tsspace/internal/engine"
 	"tsspace/internal/hbcheck"
 	"tsspace/internal/sched"
 	"tsspace/internal/timestamp"
@@ -28,7 +29,12 @@ import (
 // scheduling; see EXPERIMENTS.md (E3).
 func DoubleCross(n int) (*Result, error) {
 	alg := sqrt.New(n)
-	sys, rec := timestamp.NewSimSystem(alg, n, 1)
+	sys, rec, _ := engine.NewSimSystem(engine.Config[timestamp.Timestamp]{
+		Alg:      alg,
+		World:    engine.Simulated,
+		N:        n,
+		Workload: engine.OneShot{},
+	})
 	defer sys.Close()
 
 	res := &Result{M: n, Registers: alg.Registers()}

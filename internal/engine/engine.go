@@ -52,12 +52,30 @@ const (
 	Simulated
 )
 
-// String returns "atomic" or "simulated".
+// String returns "atomic" or "simulated"; values outside the enum render
+// as "World(n)" instead of silently claiming to be simulated.
 func (w World) String() string {
-	if w == Atomic {
+	switch w {
+	case Atomic:
 		return "atomic"
+	case Simulated:
+		return "simulated"
+	default:
+		return fmt.Sprintf("World(%d)", int(w))
 	}
-	return "simulated"
+}
+
+// ParseWorld is the inverse of String for flag parsing: it accepts
+// "atomic" or "simulated".
+func ParseWorld(s string) (World, error) {
+	switch s {
+	case "atomic":
+		return Atomic, nil
+	case "simulated":
+		return Simulated, nil
+	default:
+		return 0, fmt.Errorf("engine: unknown world %q (want atomic or simulated)", s)
+	}
 }
 
 // Errors reported by the engine.
@@ -286,6 +304,30 @@ func runSim[T any](cfg Config[T], wl Workload, maxCalls int) (*Report[T], error)
 	rep.Steps = sys.Steps()
 	rep.Trace = sys.Trace()
 	return rep, nil
+}
+
+// SequentialTimestamps runs n×calls getTS() strictly sequentially on real
+// memory — p0's calls, then p1's, … when byProcess; round-robin by call
+// index otherwise — and returns the timestamps in issue order. Every
+// consecutive pair is happens-before ordered, so the sequence must be
+// strictly increasing under the algorithm's compare: the no-concurrency
+// baseline the scenario tests and space experiments start from.
+func SequentialTimestamps[T any](alg Algorithm[T], n, calls int, byProcess bool) ([]T, error) {
+	if calls < 1 {
+		return nil, nil
+	}
+	out := make([]T, 0, n*calls)
+	_, err := Run(Config[T]{
+		Alg:      alg,
+		World:    Atomic,
+		N:        n,
+		Workload: Sequential{CallsPerProc: calls, RoundRobin: !byProcess},
+		OnCall:   func(pid, seq int, ts T) { out = append(out, ts) },
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // NewSimSystem builds a deterministic-scheduler system whose processes run

@@ -418,3 +418,28 @@ func TestNewSimSystemResults(t *testing.T) {
 		t.Errorf("metered %d writes, want 4", meter.Report().Writes)
 	}
 }
+
+func TestWorldStringAndParse(t *testing.T) {
+	cases := map[engine.World]string{
+		engine.Atomic:    "atomic",
+		engine.Simulated: "simulated",
+		engine.World(7):  "World(7)", // invalid values must not render as "simulated"
+		engine.World(-1): "World(-1)",
+	}
+	for w, want := range cases {
+		if got := w.String(); got != want {
+			t.Errorf("World(%d).String() = %q, want %q", int(w), got, want)
+		}
+	}
+	for _, w := range []engine.World{engine.Atomic, engine.Simulated} {
+		got, err := engine.ParseWorld(w.String())
+		if err != nil || got != w {
+			t.Errorf("ParseWorld(%q) = (%v, %v), want round trip", w.String(), got, err)
+		}
+	}
+	for _, bad := range []string{"", "Atomic", "sim", "World(7)"} {
+		if _, err := engine.ParseWorld(bad); err == nil {
+			t.Errorf("ParseWorld(%q) accepted", bad)
+		}
+	}
+}

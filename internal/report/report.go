@@ -15,10 +15,7 @@ import (
 	"tsspace/internal/lowerbound"
 	"tsspace/internal/mc"
 	"tsspace/internal/timestamp"
-	"tsspace/internal/timestamp/collect"
-	"tsspace/internal/timestamp/dense"
-	"tsspace/internal/timestamp/simple"
-	"tsspace/internal/timestamp/sqrt"
+	_ "tsspace/internal/timestamp/all" // the tables roster the full catalog by name
 )
 
 // BudgetRow is one line of the E8 budget table.
@@ -39,11 +36,11 @@ func Budgets(ns []int) []BudgetRow {
 		rows = append(rows, BudgetRow{
 			N:           n,
 			LBLongLived: lowerbound.LongLivedLower(n),
-			Collect:     collect.New(n).Registers(),
-			Dense:       dense.New(n).Registers(),
+			Collect:     timestamp.MustNew("collect", n).Registers(),
+			Dense:       timestamp.MustNew("dense", n).Registers(),
 			LBOneShot:   lowerbound.OneShotLower(n),
-			Simple:      simple.New(n).Registers(),
-			Sqrt:        sqrt.New(n).Registers(),
+			Simple:      timestamp.MustNew("simple", n).Registers(),
+			Sqrt:        timestamp.MustNew("sqrt", n).Registers(),
 		})
 	}
 	return rows
@@ -79,8 +76,9 @@ type MeasuredRow struct {
 func Measured(ns []int, advCap int) ([]MeasuredRow, error) {
 	rows := make([]MeasuredRow, 0, len(ns))
 	for _, n := range ns {
-		row := MeasuredRow{N: n, SqrtAdv: -1, SqrtMin: -1, SqrtBudget: sqrt.New(n).Registers()}
-		for _, alg := range []timestamp.Algorithm{collect.New(n), dense.New(n), simple.New(n)} {
+		row := MeasuredRow{N: n, SqrtAdv: -1, SqrtMin: -1, SqrtBudget: timestamp.MustNew("sqrt", n).Registers()}
+		for _, name := range []string{"collect", "dense", "simple"} {
+			alg := timestamp.MustNew(name, n)
 			var wl engine.Workload = engine.OneShot{}
 			if !alg.OneShot() {
 				wl = engine.LongLived{CallsPerProc: 2}

@@ -1,0 +1,19 @@
+// Package all registers every timestamp implementation of the
+// reproduction with the registry in tsspace/internal/timestamp, mutants
+// included. Blank-import it to get the full catalog:
+//
+//	import _ "tsspace/internal/timestamp/all"
+//
+// The public tsspace SDK and every CLI import it; a consumer that wants a
+// smaller attack surface can instead blank-import just the implementation
+// packages it needs, since each one registers itself from init().
+package all
+
+import (
+	_ "tsspace/internal/timestamp/collect"
+	_ "tsspace/internal/timestamp/dense"
+	_ "tsspace/internal/timestamp/fas"
+	_ "tsspace/internal/timestamp/mutant"
+	_ "tsspace/internal/timestamp/simple"
+	_ "tsspace/internal/timestamp/sqrt"
+)

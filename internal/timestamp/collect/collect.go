@@ -25,6 +25,15 @@ type Alg struct {
 
 var _ timestamp.Algorithm = (*Alg)(nil)
 
+func init() {
+	timestamp.Register(timestamp.Info{
+		Name:         "collect",
+		Summary:      "long-lived collect over n single-writer registers (Θ(n), exactly optimal for static timestamps)",
+		New:          func(n int) timestamp.Algorithm { return New(n) },
+		ExploreCalls: 2, // the long-lived guarantees only bite on repeated calls
+	})
+}
+
 // New returns a collect timestamp object for n processes.
 func New(n int) *Alg {
 	if n < 1 {

@@ -5,12 +5,42 @@ import (
 	"fmt"
 	"testing"
 
+	"tsspace/internal/engine"
 	"tsspace/internal/timestamp"
 	"tsspace/internal/timestamp/collect"
 	"tsspace/internal/timestamp/dense"
 	"tsspace/internal/timestamp/simple"
 	"tsspace/internal/timestamp/sqrt"
 )
+
+// The conformance suite drives every implementation through the engine —
+// the replacement path for the deleted runner.go shims.
+
+// seqTS runs n×calls strictly sequential getTS() calls on real memory.
+func seqTS(alg timestamp.Algorithm, n, calls int, byProcess bool) ([]timestamp.Timestamp, error) {
+	return engine.SequentialTimestamps[timestamp.Timestamp](alg, n, calls, byProcess)
+}
+
+// runConcurrent is the maximal-contention real-goroutine run.
+func runConcurrent(alg timestamp.Algorithm, n, calls int) (*engine.Report[timestamp.Timestamp], error) {
+	return engine.Run(engine.Config[timestamp.Timestamp]{
+		Alg:      alg,
+		World:    engine.Atomic,
+		N:        n,
+		Workload: engine.LongLived{CallsPerProc: calls},
+	})
+}
+
+// cfgSim is the simulated-world config for exploration and sampling.
+func cfgSim(alg timestamp.Algorithm, n, calls int, seed int64) engine.Config[timestamp.Timestamp] {
+	return engine.Config[timestamp.Timestamp]{
+		Alg:      alg,
+		World:    engine.Simulated,
+		N:        n,
+		Workload: engine.LongLived{CallsPerProc: calls},
+		Seed:     seed,
+	}
+}
 
 // algsFor returns every implementation configured for n processes, paired
 // with its guaranteed space bound (registers written).
@@ -44,7 +74,7 @@ func TestSequentialStrictlyIncreasing(t *testing.T) {
 					if alg.OneShot() {
 						calls = 1
 					}
-					ts, err := timestamp.SequentialTimestamps(alg, n, calls, byProcess)
+					ts, err := seqTS(alg, n, calls, byProcess)
 					if err != nil {
 						t.Fatal(err)
 					}
@@ -70,14 +100,14 @@ func TestConcurrentHappensBefore(t *testing.T) {
 					calls = 1
 				}
 				for rep := 0; rep < 20; rep++ {
-					report, err := timestamp.RunConcurrent(alg, n, calls)
+					report, err := runConcurrent(alg, n, calls)
 					if err != nil {
 						t.Fatal(err)
 					}
 					if len(report.Events) != n*calls {
 						t.Fatalf("events = %d, want %d", len(report.Events), n*calls)
 					}
-					if err := report.Verify(alg); err != nil {
+					if err := report.Verify(alg.Compare); err != nil {
 						t.Fatal(err)
 					}
 				}
@@ -95,12 +125,12 @@ func TestSpaceBounds(t *testing.T) {
 				if alg.OneShot() {
 					calls = 1
 				}
-				report, err := timestamp.RunConcurrent(alg, n, calls)
+				report, err := runConcurrent(alg, n, calls)
 				if err != nil {
 					t.Fatal(err)
 				}
-				if err := timestamp.CheckSpaceBound(report, ta.spaceBound); err != nil {
-					t.Error(err)
+				if report.Space.Written > ta.spaceBound {
+					t.Errorf("%s wrote %d registers, bound %d", alg.Name(), report.Space.Written, ta.spaceBound)
 				}
 			})
 		}
@@ -117,7 +147,7 @@ func TestExhaustiveTwoProcessesOneShot(t *testing.T) {
 	for _, ta := range algsFor(4) {
 		alg := ta.alg
 		t.Run(alg.Name(), func(t *testing.T) {
-			visits, err := timestamp.Explore(alg, 2, 1, caps[alg.Name()], 10_000)
+			visits, err := engine.Explore(cfgSim(alg, 2, 1, 0), caps[alg.Name()], 10_000)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -134,7 +164,7 @@ func TestExhaustiveTwoProcessesOneShot(t *testing.T) {
 func TestExhaustiveTwoProcessesTwoCalls(t *testing.T) {
 	for _, alg := range []timestamp.Algorithm{collect.New(2), dense.New(2)} {
 		t.Run(alg.Name(), func(t *testing.T) {
-			visits, err := timestamp.Explore(alg, 2, 2, 3000, 100_000)
+			visits, err := engine.Explore(cfgSim(alg, 2, 2, 0), 3000, 100_000)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -154,7 +184,7 @@ func TestSampledSchedules(t *testing.T) {
 				if alg.OneShot() {
 					calls = 1
 				}
-				if err := timestamp.Sample(alg, n, calls, 50, int64(n)*7919); err != nil {
+				if err := engine.Sample(cfgSim(alg, n, calls, int64(n)*7919), 50); err != nil {
 					t.Fatal(err)
 				}
 			})
@@ -172,8 +202,8 @@ func TestOneShotEnforcement(t *testing.T) {
 			if _, err := alg.GetTS(mem, 0, 1); !errors.Is(err, timestamp.ErrOneShot) {
 				t.Errorf("second call err = %v, want ErrOneShot", err)
 			}
-			if _, err := timestamp.RunConcurrent(alg, 2, 2); !errors.Is(err, timestamp.ErrOneShot) {
-				t.Errorf("RunConcurrent calls=2 err = %v, want ErrOneShot", err)
+			if _, err := runConcurrent(alg, 2, 2); !errors.Is(err, engine.ErrOneShot) {
+				t.Errorf("concurrent calls=2 err = %v, want engine.ErrOneShot", err)
 			}
 		})
 	}

@@ -40,6 +40,24 @@ type Alg struct {
 
 var _ timestamp.Algorithm = (*Alg)(nil)
 
+func init() {
+	timestamp.Register(timestamp.Info{
+		Name:         "dense",
+		Summary:      "long-lived collect variant on n−1 registers via a dense timestamp universe (Ellen–Fatourou–Ruppert)",
+		New:          func(n int) timestamp.Algorithm { return New(n) },
+		MinProcs:     2,
+		ExploreCalls: 2,
+	})
+	timestamp.Register(timestamp.Info{
+		Name:         "dense-two-silent",
+		Summary:      "broken n−2-register dense variant with two silent processes (demonstrates where the trick stops)",
+		New:          func(n int) timestamp.Algorithm { return TwoSilent(n) },
+		MinProcs:     3,
+		ExploreCalls: 2,
+		Mutant:       true,
+	})
+}
+
 // New returns a dense timestamp object for n ≥ 2 processes using n−1
 // registers.
 func New(n int) *Alg {

@@ -6,18 +6,30 @@ import (
 	"testing/quick"
 
 	"tsspace/internal/timestamp"
-	"tsspace/internal/timestamp/collect"
+	_ "tsspace/internal/timestamp/collect" // self-registers "collect"
 	"tsspace/internal/timestamp/dense"
 	"tsspace/internal/timestamp/simple"
 )
 
-func ExampleSequentialTimestamps() {
-	// Three processes draw two timestamps each from the n-register collect
-	// object, round-robin; sequential calls are happens-before ordered, so
-	// the timestamps strictly increase.
-	alg := collect.New(3)
-	ts, err := timestamp.SequentialTimestamps(alg, 3, 2, false)
-	if err != nil {
+func ExampleMustNew() {
+	// Resolve an implementation through the registry (the collect package
+	// registered itself from init()) and draw two timestamps per process,
+	// round-robin; sequential calls are happens-before ordered, so the
+	// timestamps strictly increase.
+	alg := timestamp.MustNew("collect", 3)
+	mem := timestamp.NewMem(alg)
+	var ts []timestamp.Timestamp
+	for seq := 0; seq < 2; seq++ {
+		for pid := 0; pid < 3; pid++ {
+			t, err := alg.GetTS(mem, pid, seq)
+			if err != nil {
+				fmt.Println(err)
+				return
+			}
+			ts = append(ts, t)
+		}
+	}
+	if err := timestamp.CheckStrictlyIncreasing(ts, alg.Compare); err != nil {
 		fmt.Println(err)
 		return
 	}

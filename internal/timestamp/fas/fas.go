@@ -43,6 +43,15 @@ type Alg struct {
 
 var _ timestamp.Algorithm = (*Alg)(nil)
 
+func init() {
+	timestamp.Register(timestamp.Info{
+		Name:         "fas",
+		Summary:      "long-lived counter from a single fetch-and-store object (§7 contrast; atomic world only)",
+		New:          func(n int) timestamp.Algorithm { return New(n) },
+		ExploreCalls: 2,
+	})
+}
+
 // New returns a fetch-and-store timestamp object. It is long-lived and
 // supports any number of processes; n is accepted for interface symmetry
 // but unused.

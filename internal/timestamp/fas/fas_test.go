@@ -6,6 +6,7 @@ import (
 	"sync"
 	"testing"
 
+	"tsspace/internal/engine"
 	"tsspace/internal/timestamp"
 )
 
@@ -65,11 +66,16 @@ func TestConcurrentPerfectTickets(t *testing.T) {
 func TestHappensBeforeConcurrent(t *testing.T) {
 	alg := New(6)
 	for rep := 0; rep < 10; rep++ {
-		report, err := timestamp.RunConcurrent(alg, 6, 5)
+		report, err := engine.Run(engine.Config[timestamp.Timestamp]{
+			Alg:      alg,
+			World:    engine.Atomic,
+			N:        6,
+			Workload: engine.LongLived{CallsPerProc: 5},
+		})
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := report.Verify(alg); err != nil {
+		if err := report.Verify(alg.Compare); err != nil {
 			t.Fatal(err)
 		}
 		alg = New(6) // fresh chain per repetition

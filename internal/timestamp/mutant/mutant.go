@@ -44,6 +44,16 @@ type StaleScan struct {
 
 var _ timestamp.Algorithm = (*StaleScan)(nil)
 
+func init() {
+	timestamp.Register(timestamp.Info{
+		Name:         "collect-stale-scan",
+		Summary:      "collect with a stale-scan caching bug (caught by exploration; replays tscheck counterexamples)",
+		New:          func(n int) timestamp.Algorithm { return NewStaleScan(n) },
+		ExploreCalls: 2,
+		Mutant:       true,
+	})
+}
+
 // NewStaleScan returns the broken collect variant for n processes.
 func NewStaleScan(n int) *StaleScan {
 	if n < 1 {

@@ -1,0 +1,123 @@
+package timestamp
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Info describes one registered timestamp implementation: the metadata the
+// harnesses and CLIs need to construct and roster it without importing its
+// package. Implementations self-register from their package init(), so any
+// consumer that blank-imports tsspace/internal/timestamp/all (or the
+// specific implementation packages it wants) sees the full catalog. The
+// registry is the single name→constructor table of the reproduction — the
+// CLI -alg flags, the conformance rosters, the benchmarks and the public
+// tsspace SDK all resolve algorithms here.
+type Info struct {
+	// Name is the registry key, as accepted by -alg flags and
+	// tsspace.WithAlgorithm.
+	Name string
+	// Summary is a one-line description for flag help and service health
+	// endpoints.
+	Summary string
+	// New constructs the implementation for n processes (for one-shot
+	// objects n is also the total call budget M).
+	New func(n int) Algorithm
+	// MinProcs is the smallest process count the constructor accepts;
+	// values < 1 mean 1.
+	MinProcs int
+	// ExploreCalls is the per-process call count model-checking harnesses
+	// use at their smallest process counts (1 for one-shot objects; > 1
+	// where repeated calls are what exposes bugs); values < 1 mean 1.
+	ExploreCalls int
+	// Mutant marks deliberately broken implementations: resolvable by
+	// Lookup (so counterexamples replay by name) but excluded from All and
+	// Names, which roster only correct algorithms.
+	Mutant bool
+}
+
+var registry = struct {
+	sync.RWMutex
+	m map[string]Info
+}{m: make(map[string]Info)}
+
+// Register adds an implementation to the catalog. It is intended to be
+// called from package init() functions and panics on an empty name, a nil
+// constructor, or a duplicate registration — all programmer errors.
+func Register(info Info) {
+	if info.Name == "" {
+		panic("timestamp: Register with empty name")
+	}
+	if info.New == nil {
+		panic(fmt.Sprintf("timestamp: Register(%q) with nil constructor", info.Name))
+	}
+	if info.MinProcs < 1 {
+		info.MinProcs = 1
+	}
+	if info.ExploreCalls < 1 {
+		info.ExploreCalls = 1
+	}
+	registry.Lock()
+	defer registry.Unlock()
+	if _, dup := registry.m[info.Name]; dup {
+		panic(fmt.Sprintf("timestamp: Register(%q) called twice", info.Name))
+	}
+	registry.m[info.Name] = info
+}
+
+// Lookup returns the registration for name, including mutants.
+func Lookup(name string) (Info, bool) {
+	registry.RLock()
+	defer registry.RUnlock()
+	info, ok := registry.m[name]
+	return info, ok
+}
+
+// MustNew constructs the named implementation for n processes, panicking
+// if the name is not registered. It is the registry-driven replacement for
+// importing an implementation package just to call its New.
+func MustNew(name string, n int) Algorithm {
+	info, ok := Lookup(name)
+	if !ok {
+		panic(fmt.Sprintf("timestamp: no algorithm %q registered (have %v)", name, AllNames()))
+	}
+	return info.New(n)
+}
+
+// All returns the registered non-mutant implementations sorted by name:
+// the default roster of every conformance sweep.
+func All() []Info {
+	registry.RLock()
+	defer registry.RUnlock()
+	out := make([]Info, 0, len(registry.m))
+	for _, info := range registry.m {
+		if !info.Mutant {
+			out = append(out, info)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Names returns the sorted names of the non-mutant implementations.
+func Names() []string {
+	all := All()
+	names := make([]string, len(all))
+	for i, info := range all {
+		names[i] = info.Name
+	}
+	return names
+}
+
+// AllNames returns every registered name, mutants included, sorted.
+func AllNames() []string {
+	registry.RLock()
+	defer registry.RUnlock()
+	names := make([]string, 0, len(registry.m))
+	for name := range registry.m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,80 @@
+package timestamp_test
+
+import (
+	"reflect"
+	"testing"
+
+	"tsspace/internal/timestamp"
+	_ "tsspace/internal/timestamp/all"
+)
+
+// The default catalog: every implementation package self-registers from
+// init(), so blank-importing all must yield exactly this roster.
+func TestRegistryCatalog(t *testing.T) {
+	want := []string{"collect", "dense", "fas", "simple", "sqrt"}
+	if got := timestamp.Names(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Names() = %v, want %v", got, want)
+	}
+	wantAll := []string{"collect", "collect-stale-scan", "dense", "dense-two-silent", "fas", "simple", "sqrt", "sqrt-broken-norepair"}
+	if got := timestamp.AllNames(); !reflect.DeepEqual(got, wantAll) {
+		t.Errorf("AllNames() = %v, want %v", got, wantAll)
+	}
+	for _, info := range timestamp.All() {
+		if info.Mutant {
+			t.Errorf("All() includes mutant %q", info.Name)
+		}
+		if info.Summary == "" {
+			t.Errorf("%q registered without a summary", info.Name)
+		}
+		if info.MinProcs < 1 || info.ExploreCalls < 1 {
+			t.Errorf("%q has unnormalized metadata: MinProcs=%d ExploreCalls=%d",
+				info.Name, info.MinProcs, info.ExploreCalls)
+		}
+	}
+}
+
+func TestRegistryLookupAndMustNew(t *testing.T) {
+	info, ok := timestamp.Lookup("sqrt")
+	if !ok {
+		t.Fatal("sqrt not registered")
+	}
+	alg := info.New(16)
+	if alg.Name() != "sqrt" || !alg.OneShot() {
+		t.Errorf("sqrt constructor built %q (one-shot %v)", alg.Name(), alg.OneShot())
+	}
+	// Mutants resolve by Lookup so tscheck counterexamples replay by name.
+	if mut, ok := timestamp.Lookup("collect-stale-scan"); !ok || !mut.Mutant {
+		t.Errorf("collect-stale-scan Lookup = (%+v, %v), want a mutant registration", mut, ok)
+	}
+	if _, ok := timestamp.Lookup("nope"); ok {
+		t.Error("Lookup of unregistered name succeeded")
+	}
+
+	if got := timestamp.MustNew("dense", 4).Registers(); got != 3 {
+		t.Errorf("MustNew(dense, 4).Registers() = %d, want 3", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew of unregistered name did not panic")
+		}
+	}()
+	timestamp.MustNew("nope", 4)
+}
+
+// The panic paths reject programmer errors before touching the catalog, so
+// exercising them leaves the global registry unpolluted.
+func TestRegisterRejectsBadRegistrations(t *testing.T) {
+	mustPanic := func(name string, info timestamp.Info) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: Register did not panic", name)
+			}
+		}()
+		timestamp.Register(info)
+	}
+	valid := func(n int) timestamp.Algorithm { return timestamp.MustNew("collect", n) }
+	mustPanic("empty name", timestamp.Info{New: valid})
+	mustPanic("nil constructor", timestamp.Info{Name: "broken-registration"})
+	mustPanic("duplicate", timestamp.Info{Name: "collect", New: valid})
+}

@@ -4,13 +4,20 @@ import (
 	"errors"
 	"testing"
 
+	"tsspace/internal/engine"
 	"tsspace/internal/register"
 )
 
-// fake is a minimal valid algorithm used to test the harness itself: a
-// collect over n single-writer registers (a one-register collect is NOT a
-// correct timestamp object — stale writers downgrade the counter and the
-// checker catches it; see TestSampleRejectsOneRegisterCollect).
+// This file kept its name when the legacy runner.go compat shims were
+// deleted: it covers the same harness behaviors — concurrent runs,
+// sequential baselines, exploration, sampling, discipline enforcement —
+// against their replacement path, internal/engine, using a minimal fake
+// algorithm so the harness itself (not an implementation) is under test.
+
+// fake is a minimal valid algorithm: a collect over n single-writer
+// registers (a one-register collect is NOT a correct timestamp object —
+// stale writers downgrade the counter and the checker catches it; see
+// TestSampleRejectsOneRegisterCollect).
 type fake struct {
 	n       int // registers/processes; 0 means 1
 	oneShot bool
@@ -47,6 +54,26 @@ func (f *fake) GetTS(mem register.Mem, pid, seq int) (Timestamp, error) {
 	return Timestamp{Rnd: ts}, nil
 }
 
+// run is one atomic-world engine run of the fake.
+func run(alg Algorithm, n, calls int) (*engine.Report[Timestamp], error) {
+	return engine.Run(engine.Config[Timestamp]{
+		Alg:      alg,
+		World:    engine.Atomic,
+		N:        n,
+		Workload: engine.LongLived{CallsPerProc: calls},
+	})
+}
+
+func simCfg(alg Algorithm, n, calls int, seed int64) engine.Config[Timestamp] {
+	return engine.Config[Timestamp]{
+		Alg:      alg,
+		World:    engine.Simulated,
+		N:        n,
+		Workload: engine.LongLived{CallsPerProc: calls},
+		Seed:     seed,
+	}
+}
+
 func TestLessLexicographic(t *testing.T) {
 	cases := []struct {
 		a, b Timestamp
@@ -69,7 +96,7 @@ func TestLessLexicographic(t *testing.T) {
 
 func TestSequentialTimestampsBothOrders(t *testing.T) {
 	for _, byProcess := range []bool{true, false} {
-		ts, err := SequentialTimestamps(&fake{n: 3}, 3, 2, byProcess)
+		ts, err := engine.SequentialTimestamps[Timestamp](&fake{n: 3}, 3, 2, byProcess)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -79,6 +106,10 @@ func TestSequentialTimestampsBothOrders(t *testing.T) {
 		if err := CheckStrictlyIncreasing(ts, Less); err != nil {
 			t.Errorf("byProcess=%v: %v", byProcess, err)
 		}
+	}
+	// calls < 1 is the degenerate no-op it always was: no work, no error.
+	if ts, err := engine.SequentialTimestamps[Timestamp](&fake{n: 3}, 3, 0, true); err != nil || len(ts) != 0 {
+		t.Errorf("SequentialTimestamps(calls=0) = (%v, %v), want empty", ts, err)
 	}
 }
 
@@ -96,48 +127,22 @@ func TestCheckStrictlyIncreasingErrors(t *testing.T) {
 	}
 }
 
-func TestCheckSpaceBound(t *testing.T) {
-	rep := &RunReport{Alg: "fake", Space: register.SpaceReport{Written: 3}}
-	if err := CheckSpaceBound(rep, 3); err != nil {
-		t.Errorf("bound met but rejected: %v", err)
-	}
-	err := CheckSpaceBound(rep, 2)
-	if !errors.Is(err, ErrSpaceExceeded) {
-		t.Errorf("err = %v, want ErrSpaceExceeded", err)
-	}
-}
-
-// calls < 1 is the degenerate no-op it always was: an empty report, no
-// getTS executed (the engine's workloads would clamp it to 1).
-func TestRunConcurrentZeroCalls(t *testing.T) {
-	rep, err := RunConcurrent(&fake{n: 3}, 3, 0)
+func TestConcurrentRunReportsSpace(t *testing.T) {
+	rep, err := run(&fake{n: 3}, 3, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rep.Events) != 0 || rep.Calls != 0 || rep.Space.Writes != 0 {
-		t.Errorf("calls=0 ran work: %d events, Calls=%d, %d writes", len(rep.Events), rep.Calls, rep.Space.Writes)
+	if len(rep.Events) != 6 {
+		t.Errorf("events = %d, want 6", len(rep.Events))
 	}
-	if rep.Space.Registers != 3 {
-		t.Errorf("Space.Registers = %d, want 3", rep.Space.Registers)
-	}
-	ts, err := SequentialTimestamps(&fake{n: 3}, 3, 0, true)
-	if err != nil || len(ts) != 0 {
-		t.Errorf("SequentialTimestamps(calls=0) = (%v, %v), want empty", ts, err)
+	if rep.Space.Registers != 3 || rep.Space.Written != 3 || rep.Space.Writes != 6 {
+		t.Errorf("space = %+v, want 3 registers, 3 written, 6 writes", rep.Space)
 	}
 }
 
-func TestRunConcurrentRejectsOneShotRepeat(t *testing.T) {
-	if _, err := RunConcurrent(&fake{oneShot: true}, 2, 3); !errors.Is(err, ErrOneShot) {
-		t.Errorf("err = %v, want ErrOneShot", err)
-	}
-}
-
-func TestRunConcurrentPropagatesAlgError(t *testing.T) {
-	// One-shot algorithm driven with calls=1 but a pid issuing seq>0 can't
-	// happen through the runner; instead use a failing algorithm.
-	_, err := RunConcurrent(&failing{}, 2, 1)
-	if err == nil || !errors.Is(err, errBoom) {
-		t.Errorf("err = %v, want errBoom", err)
+func TestConcurrentRunRejectsOneShotRepeat(t *testing.T) {
+	if _, err := run(&fake{oneShot: true}, 2, 3); !errors.Is(err, engine.ErrOneShot) {
+		t.Errorf("err = %v, want engine.ErrOneShot", err)
 	}
 }
 
@@ -149,19 +154,10 @@ func (f *failing) GetTS(register.Mem, int, int) (Timestamp, error) {
 	return Timestamp{}, errBoom
 }
 
-func TestRunReportVerifyCatchesBadCompare(t *testing.T) {
-	rep, err := RunConcurrent(&fake{n: 4}, 4, 2)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := rep.Verify(&fake{}); err != nil {
-		t.Fatalf("valid run rejected: %v", err)
-	}
-	// An algorithm whose compare is constant-false must fail verification
-	// (the fake's history has hb pairs).
-	bad := &constFalse{}
-	if err := hbCheckWith(rep, bad); err == nil {
-		t.Error("constant-false compare must fail verification")
+func TestConcurrentRunPropagatesAlgError(t *testing.T) {
+	_, err := run(&failing{}, 2, 1)
+	if err == nil || !errors.Is(err, errBoom) {
+		t.Errorf("err = %v, want errBoom", err)
 	}
 }
 
@@ -169,27 +165,42 @@ type constFalse struct{ fake }
 
 func (c *constFalse) Compare(a, b Timestamp) bool { return false }
 
-func hbCheckWith(rep *RunReport, alg Algorithm) error { return rep.Verify(alg) }
+func TestReportVerifyCatchesBadCompare(t *testing.T) {
+	rep, err := run(&fake{n: 4}, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Verify((&fake{}).Compare); err != nil {
+		t.Fatalf("valid run rejected: %v", err)
+	}
+	// A constant-false compare must fail verification (the fake's history
+	// has happens-before pairs).
+	if err := rep.Verify((&constFalse{}).Compare); err == nil {
+		t.Error("constant-false compare must fail verification")
+	}
+}
 
-func TestMemForAppliesQuorum(t *testing.T) {
+func TestDisciplineAppliedPerPid(t *testing.T) {
 	alg := &fake{table: [][]int{{0}}} // register 0 writable only by pid 0
 	meter := register.NewMeter(NewMem(alg))
 
-	// pid 0 may write.
-	if _, err := alg.GetTS(memFor(alg, meter, 0), 0, 0); err != nil {
+	// pid 0 may write through its stack.
+	mem0 := register.Wrap(meter, register.DisciplineFor(alg.WriterTable(), 0))
+	if _, err := alg.GetTS(mem0, 0, 0); err != nil {
 		t.Fatal(err)
 	}
-	// pid 1 must panic through the quorum.
+	// pid 1 must panic through the discipline layer.
 	defer func() {
 		if recover() == nil {
-			t.Error("quorum violation not enforced")
+			t.Error("discipline violation not enforced")
 		}
 	}()
-	_, _ = alg.GetTS(memFor(alg, meter, 1), 1, 0)
+	mem1 := register.Wrap(meter, register.DisciplineFor(alg.WriterTable(), 1))
+	_, _ = alg.GetTS(mem1, 1, 0)
 }
 
 func TestExploreCountsAndVerifies(t *testing.T) {
-	visits, err := Explore(&fake{n: 2}, 2, 1, 0, 1000)
+	visits, err := engine.Explore(simCfg(&fake{n: 2}, 2, 1, 0), 0, 1000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -200,7 +211,7 @@ func TestExploreCountsAndVerifies(t *testing.T) {
 }
 
 func TestSampleRuns(t *testing.T) {
-	if err := Sample(&fake{n: 3}, 3, 2, 25, 5); err != nil {
+	if err := engine.Sample(simCfg(&fake{n: 3}, 3, 2, 5), 25); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -209,18 +220,9 @@ func TestSampleRuns(t *testing.T) {
 // counter so a later call re-issues an already-completed timestamp. The
 // sampled-schedule harness must find and reject it.
 func TestSampleRejectsOneRegisterCollect(t *testing.T) {
-	err := Sample(&fake{n: 1}, 3, 2, 50, 5)
+	err := engine.Sample(simCfg(&fake{n: 1}, 3, 2, 5), 50)
 	if err == nil {
 		t.Error("one-register collect must violate the spec under sampled schedules")
-	}
-}
-
-// A constant-timestamp algorithm is rejected already by sequential
-// interleavings.
-func TestExploreRejectsConstantTimestamp(t *testing.T) {
-	_, err := Explore(&constant{}, 2, 1, 0, 1000)
-	if err == nil {
-		t.Error("constant-timestamp algorithm must violate the spec in sequential interleavings")
 	}
 }
 
@@ -230,4 +232,13 @@ func (c *constant) GetTS(mem register.Mem, pid, seq int) (Timestamp, error) {
 	mem.Read(0)
 	mem.Write(0, int64(1))
 	return Timestamp{Rnd: 1}, nil
+}
+
+// A constant-timestamp algorithm is rejected already by sequential
+// interleavings.
+func TestExploreRejectsConstantTimestamp(t *testing.T) {
+	_, err := engine.Explore(simCfg(&constant{}, 2, 1, 0), 0, 1000)
+	if err == nil {
+		t.Error("constant-timestamp algorithm must violate the spec in sequential interleavings")
+	}
 }

@@ -35,6 +35,14 @@ type Alg struct {
 
 var _ timestamp.Algorithm = (*Alg)(nil)
 
+func init() {
+	timestamp.Register(timestamp.Info{
+		Name:    "simple",
+		Summary: "one-shot object on ⌈n/2⌉ two-writer registers (Algorithms 1–2, §5)",
+		New:     func(n int) timestamp.Algorithm { return New(n) },
+	})
+}
+
 // New returns a simple one-shot timestamp object for n processes.
 func New(n int) *Alg {
 	if n < 1 {

@@ -7,11 +7,24 @@ import (
 	"sort"
 	"testing"
 
+	"tsspace/internal/engine"
 	"tsspace/internal/hbcheck"
 	"tsspace/internal/sched"
 	"tsspace/internal/timestamp"
 	"tsspace/internal/timestamp/sqrt"
 )
+
+// newSim builds a one-shot (one call per process) simulated system for alg
+// through the engine — the replacement for the deleted runner shims.
+func newSim(alg timestamp.Algorithm, n int) (*sched.System, *hbcheck.Recorder[timestamp.Timestamp]) {
+	sys, rec, _ := engine.NewSimSystem(engine.Config[timestamp.Timestamp]{
+		Alg:      alg,
+		World:    engine.Simulated,
+		N:        n,
+		Workload: engine.OneShot{},
+	})
+	return sys, rec
+}
 
 // driver drives one-shot getTS calls, one per process, through the
 // deterministic scheduler with fine-grained control.
@@ -24,7 +37,7 @@ type driver struct {
 
 func newDriver(t *testing.T, alg *sqrt.Alg, n int) *driver {
 	t.Helper()
-	sys, rec := timestamp.NewSimSystem(alg, n, 1)
+	sys, rec := newSim(alg, n)
 	t.Cleanup(sys.Close)
 	return &driver{t: t, sys: sys, rec: rec, alg: alg}
 }
@@ -250,7 +263,7 @@ func TestScenario61BrokenVariantViolates(t *testing.T) {
 // the race), so the checker result above is attributable to the repair.
 func TestBrokenVariantSequentiallyFine(t *testing.T) {
 	alg := sqrt.NewWithoutRepair(12)
-	got, err := timestamp.SequentialTimestamps(alg, 12, 1, true)
+	got, err := engine.SequentialTimestamps[timestamp.Timestamp](alg, 12, 1, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -266,7 +279,12 @@ func TestBrokenVariantSequentiallyFine(t *testing.T) {
 // for the broken variant (the §6.1 bug needs ≥ 3 participants and a
 // developed phase structure).
 func TestBrokenVariantTwoProcExhaustive(t *testing.T) {
-	if _, err := timestamp.Explore(sqrt.NewWithoutRepair(2), 2, 1, 3000, 10_000); err != nil {
+	if _, err := engine.Explore(engine.Config[timestamp.Timestamp]{
+		Alg:      sqrt.NewWithoutRepair(2),
+		World:    engine.Simulated,
+		N:        2,
+		Workload: engine.OneShot{},
+	}, 3000, 10_000); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -294,7 +312,7 @@ func TestRandomizedPhaseInvariants(t *testing.T) {
 		alg := sqrt.New(n)
 		tracer := &sqrt.ChronoTracer{}
 		alg.SetTracer(tracer)
-		sys, rec := timestamp.NewSimSystem(alg, n, 1)
+		sys, rec := newSim(alg, n)
 		rng := rand.New(rand.NewSource(seed))
 		// Batches of random size 1..4 run concurrently; batches run in
 		// sequence, so phases develop while real races still occur.
@@ -360,7 +378,7 @@ func TestRandomizedPhaseInvariants(t *testing.T) {
 func TestLemma21OnSqrt(t *testing.T) {
 	for i := 0; i < 2; i++ {
 		alg := sqrt.New(5)
-		sys, _ := timestamp.NewSimSystem(alg, 5, 1)
+		sys, _ := newSim(alg, 5)
 
 		// p0, p1, p2 are B0, B1, B2: run each until poised to write; all
 		// must cover register 0 (paper R[1]).
@@ -413,7 +431,7 @@ func TestWaitFreeStepBound(t *testing.T) {
 
 	maxSteps := 0
 	for seed := int64(1); seed <= 10; seed++ {
-		sys, _ := timestamp.NewSimSystem(alg, n, 1)
+		sys, _ := newSim(alg, n)
 		rng := rand.New(rand.NewSource(seed))
 		live := map[int]bool{}
 		for pid := 0; pid < n; pid++ {

@@ -73,6 +73,20 @@ type Alg struct {
 
 var _ timestamp.Algorithm = (*Alg)(nil)
 
+func init() {
+	timestamp.Register(timestamp.Info{
+		Name:    "sqrt",
+		Summary: "one-shot object on ⌈2√n⌉ registers (Algorithms 3–4, Theorem 1.3 — space-optimal)",
+		New:     func(n int) timestamp.Algorithm { return New(n) },
+	})
+	timestamp.Register(timestamp.Info{
+		Name:    "sqrt-broken-norepair",
+		Summary: "Algorithm 4 without the line 10–11 repair (reproduces the §6.1 failure mode)",
+		New:     func(n int) timestamp.Algorithm { return NewWithoutRepair(n) },
+		Mutant:  true,
+	})
+}
+
 // New returns the one-shot object for n processes: M = n, one getTS() per
 // process, ⌈2√n⌉ registers (Theorem 1.3).
 func New(n int) *Alg {

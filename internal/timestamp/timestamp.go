@@ -81,3 +81,19 @@ type Algorithm interface {
 func NewMem(alg Algorithm) *register.AtomicArray {
 	return register.NewAtomicArray(alg.Registers())
 }
+
+// CheckStrictlyIncreasing verifies that each adjacent pair of timestamps
+// is ordered by compare in the forward direction only — the shape every
+// sequential execution must produce, since consecutive sequential calls
+// are happens-before ordered.
+func CheckStrictlyIncreasing(ts []Timestamp, compare func(a, b Timestamp) bool) error {
+	for i := 1; i < len(ts); i++ {
+		if !compare(ts[i-1], ts[i]) {
+			return fmt.Errorf("timestamp %d: compare(%v, %v) = false, want true", i, ts[i-1], ts[i])
+		}
+		if compare(ts[i], ts[i-1]) {
+			return fmt.Errorf("timestamp %d: compare(%v, %v) = true, want false", i, ts[i], ts[i-1])
+		}
+	}
+	return nil
+}

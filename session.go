@@ -1,0 +1,239 @@
+package tsspace
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"tsspace/internal/register"
+	"tsspace/internal/timestamp"
+)
+
+// Object is a shared timestamp object: a fixed namespace of n
+// paper-processes whose ids are leased to Sessions by Attach and recycled
+// by Detach. All methods are safe for concurrent use.
+type Object struct {
+	info    timestamp.Info
+	alg     timestamp.Algorithm
+	procs   int
+	oneShot bool
+	meter   *register.Meter // nil when metering is off
+	mems    []register.Mem  // per-pid middleware stacks over one shared array
+	free    chan int        // recyclable pids; capacity procs
+	closed  chan struct{}   // closed by Close
+	once    sync.Once
+
+	mu        sync.Mutex
+	seqs      []int         // per-pid getTS count, persists across leases
+	retired   int           // one-shot pids that spent their call
+	active    int           // currently attached sessions
+	exhausted chan struct{} // one-shot only: closed when retired == procs
+
+	calls    atomic.Uint64
+	attaches atomic.Uint64
+}
+
+// Algorithm returns the registry name of the implementation backing the
+// object.
+func (o *Object) Algorithm() string { return o.info.Name }
+
+// Procs returns n, the number of paper-processes.
+func (o *Object) Procs() int { return o.procs }
+
+// OneShot reports whether the object issues at most one timestamp per
+// process id (and therefore at most n in total).
+func (o *Object) OneShot() bool { return o.oneShot }
+
+// Registers returns the size of the object's register array — the space
+// the paper's theorems bound.
+func (o *Object) Registers() int { return o.alg.Registers() }
+
+// Compare implements the object's compare(t1, t2): true iff t1 is ordered
+// before t2. For timestamps returned by this object it realizes the
+// happens-before property of §2.
+func (o *Object) Compare(t1, t2 Timestamp) bool { return o.alg.Compare(t1, t2) }
+
+// Attach leases a free process id and returns a Session bound to it. When
+// every id is leased it blocks until one is recycled, ctx is done, the
+// object is closed, or — for one-shot objects — the timestamp budget is
+// exhausted.
+func (o *Object) Attach(ctx context.Context) (*Session, error) {
+	select {
+	case <-o.closed:
+		return nil, ErrClosed
+	default:
+	}
+	select {
+	case pid := <-o.free:
+		o.attaches.Add(1)
+		o.mu.Lock()
+		o.active++
+		o.mu.Unlock()
+		return &Session{obj: o, pid: pid}, nil
+	case <-o.exhausted: // nil (blocks forever) unless one-shot
+		return nil, fmt.Errorf("%w: all %d process slots have issued their timestamp", ErrExhausted, o.procs)
+	case <-o.closed:
+		return nil, ErrClosed
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Close shuts the object down: subsequent Attach and GetTS calls report
+// ErrClosed and blocked Attach calls wake up. Close is idempotent and
+// does not wait for attached sessions.
+func (o *Object) Close() error {
+	o.once.Do(func() { close(o.closed) })
+	return nil
+}
+
+// Usage reports the object's register-space footprint. The boolean is
+// false when the object was built without WithMetering, in which case only
+// Registers is populated.
+func (o *Object) Usage() (Usage, bool) {
+	if o.meter == nil {
+		return Usage{Registers: o.alg.Registers()}, false
+	}
+	rep := o.meter.Report()
+	return Usage{
+		Registers:   rep.Registers,
+		Written:     rep.Written,
+		WrittenSet:  rep.WrittenSet,
+		Reads:       rep.Reads,
+		Writes:      rep.Writes,
+		ReadCounts:  rep.ReadCounts,
+		WriteCounts: rep.WriteCounts,
+	}, true
+}
+
+// Stats returns the object's traffic counters.
+func (o *Object) Stats() Stats {
+	o.mu.Lock()
+	active := o.active
+	o.mu.Unlock()
+	return Stats{
+		Calls:          o.calls.Load(),
+		Attaches:       o.attaches.Load(),
+		ActiveSessions: active,
+	}
+}
+
+// Usage is the register-space footprint of an object (cf. the paper's
+// space measures: Θ(√n) one-shot vs Θ(n) long-lived).
+type Usage struct {
+	// Registers is the allocated array size (the budget).
+	Registers int
+	// Written is the number of distinct registers written so far;
+	// WrittenSet lists them in increasing order.
+	Written    int
+	WrittenSet []int
+	// Reads and Writes are total operation counts; ReadCounts and
+	// WriteCounts break them down per register.
+	Reads, Writes           uint64
+	ReadCounts, WriteCounts []uint64
+}
+
+// Stats are the object's lifetime traffic counters.
+type Stats struct {
+	// Calls is the number of successful GetTS calls.
+	Calls uint64
+	// Attaches is the number of sessions handed out.
+	Attaches uint64
+	// ActiveSessions is the number of currently attached sessions.
+	ActiveSessions int
+}
+
+// Session is one leased process id. A session serializes its own GetTS
+// calls (it models one logical client); for parallelism attach more
+// sessions. Sessions must be Detached when done so their process id can
+// serve the next client.
+type Session struct {
+	obj *Object
+	pid int
+
+	mu       sync.Mutex
+	detached bool
+	calls    int
+}
+
+// Pid returns the leased paper-process id (0 ≤ pid < Object.Procs). It is
+// diagnostic: two sessions alive at the same time never share a pid, but
+// ids are recycled across time.
+func (s *Session) Pid() int { return s.pid }
+
+// Calls returns the number of timestamps this session has taken.
+func (s *Session) Calls() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.calls
+}
+
+// Compare is shorthand for the object's Compare.
+func (s *Session) Compare(t1, t2 Timestamp) bool { return s.obj.Compare(t1, t2) }
+
+// GetTS performs one getTS() instance as this session's process. The
+// sequence number the implementation contract requires is tracked
+// per-process inside the object, surviving lease recycling. ctx is
+// checked on entry only: the algorithms are wait-free, so a started call
+// always completes in a bounded number of its own steps.
+func (s *Session) GetTS(ctx context.Context) (Timestamp, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.detached {
+		return Timestamp{}, ErrDetached
+	}
+	o := s.obj
+	select {
+	case <-o.closed:
+		return Timestamp{}, ErrClosed
+	default:
+	}
+	if err := ctx.Err(); err != nil {
+		return Timestamp{}, err
+	}
+	o.mu.Lock()
+	seq := o.seqs[s.pid]
+	o.mu.Unlock()
+	if o.oneShot && seq > 0 {
+		return Timestamp{}, fmt.Errorf("tsspace: process %d already issued its timestamp: %w", s.pid, ErrOneShot)
+	}
+	ts, err := o.alg.GetTS(o.mems[s.pid], s.pid, seq)
+	if err != nil {
+		return Timestamp{}, fmt.Errorf("tsspace: %s p%d getTS#%d: %w", o.info.Name, s.pid, seq, err)
+	}
+	o.mu.Lock()
+	o.seqs[s.pid]++
+	o.mu.Unlock()
+	o.calls.Add(1)
+	s.calls++
+	return ts, nil
+}
+
+// Detach releases the session's process id. On long-lived objects the id
+// immediately becomes leasable by the next Attach; on one-shot objects an
+// id whose timestamp has been issued is retired instead (recycling it
+// could never serve another GetTS), and retiring the last one trips
+// ErrExhausted for future Attach calls. Detach is idempotent.
+func (s *Session) Detach() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.detached {
+		return nil
+	}
+	s.detached = true
+	o := s.obj
+	o.mu.Lock()
+	o.active--
+	if o.oneShot && o.seqs[s.pid] > 0 {
+		o.retired++
+		if o.retired == o.procs {
+			close(o.exhausted)
+		}
+		o.mu.Unlock()
+		return nil
+	}
+	o.mu.Unlock()
+	o.free <- s.pid // cannot block: capacity procs, ids are unique
+	return nil
+}

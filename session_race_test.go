@@ -1,0 +1,121 @@
+package tsspace_test
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"tsspace"
+	"tsspace/internal/hbcheck"
+)
+
+// The churn workload of the ISSUE acceptance criteria: well over 1000
+// short-lived sessions contending for a 16-pid long-lived object. Run
+// under -race (CI does) it checks three properties at once:
+//
+//   - leasing never hands the same pid to two live sessions (the inFlight
+//     CAS below would observe the double lease);
+//   - per-pid sequence numbers survive recycling without races;
+//   - the happens-before property holds across every pair of calls, over
+//     session and lease boundaries.
+func TestSessionChurnRaceHappensBefore(t *testing.T) {
+	const (
+		procs    = 16
+		workers  = 32
+		sessions = 1280 // per the acceptance bar: ≥ 1000 through 16 pids
+		calls    = 3
+	)
+	ctx := context.Background()
+	obj := mustNew(t, tsspace.WithProcs(procs), tsspace.WithMetering())
+
+	var (
+		inFlight [procs]atomic.Bool
+		rec      hbcheck.Recorder[tsspace.Timestamp]
+		next     atomic.Int64 // session ids, used as event identity
+		wg       sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				id := int(next.Add(1)) - 1
+				if id >= sessions {
+					return
+				}
+				s, err := obj.Attach(ctx)
+				if err != nil {
+					t.Errorf("session %d: attach: %v", id, err)
+					return
+				}
+				if !inFlight[s.Pid()].CompareAndSwap(false, true) {
+					t.Errorf("session %d: pid %d double-leased", id, s.Pid())
+				}
+				for k := 0; k < calls; k++ {
+					start := rec.Begin()
+					ts, err := s.GetTS(ctx)
+					if err != nil {
+						t.Errorf("session %d call %d: %v", id, k, err)
+						break
+					}
+					rec.End(id, k, start, ts)
+				}
+				inFlight[s.Pid()].Store(false)
+				if err := s.Detach(); err != nil {
+					t.Errorf("session %d: detach: %v", id, err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	events := rec.Events()
+	if len(events) != sessions*calls {
+		t.Fatalf("recorded %d events, want %d", len(events), sessions*calls)
+	}
+	if err := hbcheck.Check(events, obj.Compare); err != nil {
+		t.Errorf("happens-before violated across session churn: %v", err)
+	}
+
+	st := obj.Stats()
+	if st.Calls != sessions*calls || st.Attaches != sessions || st.ActiveSessions != 0 {
+		t.Errorf("Stats = %+v, want %d calls / %d attaches / 0 active", st, sessions*calls, sessions)
+	}
+	if u, _ := obj.Usage(); u.Written != procs {
+		t.Errorf("collect over %d pids wrote %d registers, want %d", procs, u.Written, procs)
+	}
+}
+
+// One-shot churn: many logical clients race for a budget of n timestamps;
+// exactly n must win and the rest must see the typed exhaustion error.
+func TestOneShotChurnBudgetRace(t *testing.T) {
+	const procs = 16
+	ctx := context.Background()
+	obj := mustNew(t, tsspace.WithAlgorithm("sqrt"), tsspace.WithProcs(procs))
+
+	var issued, exhausted atomic.Int64
+	var wg sync.WaitGroup
+	for c := 0; c < 4*procs; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s, err := obj.Attach(ctx)
+			if err != nil {
+				exhausted.Add(1)
+				return
+			}
+			defer s.Detach()
+			if _, err := s.GetTS(ctx); err == nil {
+				issued.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if issued.Load() != procs {
+		t.Errorf("issued %d timestamps from a budget of %d", issued.Load(), procs)
+	}
+	if exhausted.Load() != 4*procs-procs {
+		t.Errorf("%d clients saw exhaustion, want %d", exhausted.Load(), 3*procs)
+	}
+}

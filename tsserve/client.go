@@ -1,0 +1,129 @@
+package tsserve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"tsspace"
+)
+
+// Client is the Go client of a tsserved daemon. The zero HTTP client of
+// NewClient is http.DefaultClient; batches and comparisons go over the
+// wire exactly as any other client's would.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient returns a client for the daemon at baseURL (e.g.
+// "http://127.0.0.1:8037"). hc may be nil for http.DefaultClient.
+func NewClient(baseURL string, hc *http.Client) *Client {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	return &Client{base: baseURL, hc: hc}
+}
+
+// BaseURL returns the daemon URL the client talks to.
+func (c *Client) BaseURL() string { return c.base }
+
+// APIError is a non-2xx response from the daemon. Is maps the wire codes
+// back to the SDK's typed errors, so errors.Is(err, tsspace.ErrExhausted)
+// works across the network boundary.
+type APIError struct {
+	StatusCode int
+	Code       string
+	Message    string
+}
+
+// Error renders the failure.
+func (e *APIError) Error() string {
+	return fmt.Sprintf("tsserve: %s (%d %s)", e.Message, e.StatusCode, e.Code)
+}
+
+// Is reports whether the wire code corresponds to target.
+func (e *APIError) Is(target error) bool {
+	switch target {
+	case tsspace.ErrExhausted:
+		return e.Code == CodeExhausted
+	case tsspace.ErrClosed:
+		return e.Code == CodeClosed
+	}
+	return false
+}
+
+// GetTS requests one batch of count timestamps (count < 1 means 1),
+// returned in issue order: each happens-before the next.
+func (c *Client) GetTS(ctx context.Context, count int) ([]tsspace.Timestamp, error) {
+	var resp GetTSResponse
+	if err := c.post(ctx, "/getts", GetTSRequest{Count: count}, &resp); err != nil {
+		return nil, err
+	}
+	out := make([]tsspace.Timestamp, len(resp.Timestamps))
+	for i, ts := range resp.Timestamps {
+		out[i] = ts.Timestamp()
+	}
+	return out, nil
+}
+
+// Compare asks the daemon whether t1 is ordered before t2.
+func (c *Client) Compare(ctx context.Context, t1, t2 tsspace.Timestamp) (bool, error) {
+	var resp CompareResponse
+	err := c.post(ctx, "/compare", CompareRequest{T1: FromTimestamp(t1), T2: FromTimestamp(t2)}, &resp)
+	return resp.Before, err
+}
+
+// Health fetches /healthz.
+func (c *Client) Health(ctx context.Context) (Health, error) {
+	var h Health
+	err := c.get(ctx, "/healthz", &h)
+	return h, err
+}
+
+// Metrics fetches /metrics.
+func (c *Client) Metrics(ctx context.Context) (Metrics, error) {
+	var m Metrics
+	err := c.get(ctx, "/metrics", &m)
+	return m, err
+}
+
+func (c *Client) post(ctx context.Context, path string, body, out any) error {
+	payload, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(payload))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return c.do(req, out)
+}
+
+func (c *Client) get(ctx context.Context, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return err
+	}
+	return c.do(req, out)
+}
+
+func (c *Client) do(req *http.Request, out any) error {
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var body ErrorBody
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			return &APIError{StatusCode: resp.StatusCode, Code: CodeInternal,
+				Message: fmt.Sprintf("undecodable error body: %v", err)}
+		}
+		return &APIError{StatusCode: resp.StatusCode, Code: body.Code, Message: body.Error}
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

@@ -1,0 +1,285 @@
+// Package tsserve puts a tsspace timestamp object behind an HTTP/JSON
+// front end, plus the matching Go client. It is the network form of the
+// paper's object: the four endpoints expose getTS()/compare() and nothing
+// of the register machinery.
+//
+//	POST /getts    {"count": k}        → {"pid": p, "timestamps": [{"rnd": r, "turn": t}, ...]}
+//	POST /compare  {"t1": ..., "t2": ...} → {"before": true}
+//	GET  /healthz                      → object identity and status
+//	GET  /metrics                      → space report + throughput counters
+//
+// A /getts request leases one SDK session for its whole batch: the k
+// timestamps are issued back to back by one paper-process, so each
+// happens-before the next and compare must order the batch strictly —
+// the invariant the CI smoke test asserts over the wire. Across requests,
+// the object's pid leasing maps any number of concurrent HTTP clients
+// onto the configured n paper-processes; when all are leased, requests
+// queue in Attach under the request context.
+//
+// The daemon in cmd/tsserved is a thin flag wrapper around NewServer;
+// tests and embedders can mount the Server on any mux.
+package tsserve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"tsspace"
+)
+
+// TS is the wire form of a timestamp: the (rnd, turn) pair of the
+// timestamp universe ℕ × (ℕ ∪ {0}), compared lexicographically by the
+// serving object.
+type TS struct {
+	Rnd  int64 `json:"rnd"`
+	Turn int64 `json:"turn"`
+}
+
+// FromTimestamp converts an SDK timestamp to its wire form.
+func FromTimestamp(t tsspace.Timestamp) TS { return TS{Rnd: t.Rnd, Turn: t.Turn} }
+
+// Timestamp converts the wire form back to an SDK timestamp.
+func (t TS) Timestamp() tsspace.Timestamp { return tsspace.Timestamp{Rnd: t.Rnd, Turn: t.Turn} }
+
+// GetTSRequest asks for a batch of count timestamps issued by one session
+// (count < 1 means 1).
+type GetTSRequest struct {
+	Count int `json:"count"`
+}
+
+// GetTSResponse carries the batch in issue order: Timestamps[i]
+// happens-before Timestamps[i+1]. Pid is the paper-process that served the
+// batch (diagnostic only).
+type GetTSResponse struct {
+	Pid        int  `json:"pid"`
+	Timestamps []TS `json:"timestamps"`
+}
+
+// CompareRequest asks whether t1 is ordered before t2.
+type CompareRequest struct {
+	T1 TS `json:"t1"`
+	T2 TS `json:"t2"`
+}
+
+// CompareResponse is the compare(t1, t2) verdict.
+type CompareResponse struct {
+	Before bool `json:"before"`
+}
+
+// Health is the /healthz body.
+type Health struct {
+	Status    string `json:"status"`
+	Algorithm string `json:"algorithm"`
+	Summary   string `json:"summary,omitempty"`
+	Procs     int    `json:"procs"`
+	Registers int    `json:"registers"`
+	OneShot   bool   `json:"one_shot"`
+}
+
+// Space is the register-space section of /metrics, present when the
+// object is metered.
+type Space struct {
+	Registers int    `json:"registers"`
+	Written   int    `json:"written"`
+	Reads     uint64 `json:"reads"`
+	Writes    uint64 `json:"writes"`
+}
+
+// Metrics is the /metrics body: the space report next to the throughput
+// counters.
+type Metrics struct {
+	Algorithm      string  `json:"algorithm"`
+	Procs          int     `json:"procs"`
+	Calls          uint64  `json:"calls"`
+	Batches        uint64  `json:"batches"`
+	Attaches       uint64  `json:"attaches"`
+	ActiveSessions int     `json:"active_sessions"`
+	UptimeSeconds  float64 `json:"uptime_seconds"`
+	CallsPerSecond float64 `json:"calls_per_second"`
+	Space          *Space  `json:"space,omitempty"`
+}
+
+// Error codes carried in error bodies, so clients can map failures back to
+// the SDK's typed errors without string matching.
+const (
+	CodeBadRequest = "bad_request"
+	CodeExhausted  = "exhausted"
+	CodeClosed     = "closed"
+	CodeInternal   = "internal"
+)
+
+// ErrorBody is the JSON body of every non-2xx response.
+type ErrorBody struct {
+	Code  string `json:"code"`
+	Error string `json:"error"`
+}
+
+// ServerConfig tunes NewServer.
+type ServerConfig struct {
+	// MaxBatch caps the count of one /getts request; values < 1 mean 1024.
+	MaxBatch int
+}
+
+// Server is the HTTP front end over one tsspace.Object. It implements
+// http.Handler.
+type Server struct {
+	obj      *tsspace.Object
+	summary  string
+	maxBatch int
+	start    time.Time
+	batches  atomic.Uint64
+	mux      *http.ServeMux
+}
+
+// NewServer builds the front end for obj. The caller keeps ownership of
+// obj (and closes it on shutdown).
+func NewServer(obj *tsspace.Object, cfg ServerConfig) *Server {
+	maxBatch := cfg.MaxBatch
+	if maxBatch < 1 {
+		maxBatch = 1024
+	}
+	s := &Server{obj: obj, maxBatch: maxBatch, start: time.Now(), mux: http.NewServeMux()}
+	for _, e := range tsspace.Catalog() {
+		if e.Name == obj.Algorithm() {
+			s.summary = e.Summary
+		}
+	}
+	s.mux.HandleFunc("POST /getts", s.handleGetTS)
+	s.mux.HandleFunc("POST /compare", s.handleCompare)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func (s *Server) handleGetTS(w http.ResponseWriter, r *http.Request) {
+	var req GetTSRequest
+	if err := decode(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
+		return
+	}
+	count := req.Count
+	if count < 1 {
+		count = 1
+	}
+	if count > s.maxBatch {
+		writeError(w, http.StatusBadRequest, CodeBadRequest,
+			fmt.Sprintf("count %d exceeds the batch cap %d", count, s.maxBatch))
+		return
+	}
+	if s.obj.OneShot() && count > 1 {
+		writeError(w, http.StatusBadRequest, CodeBadRequest,
+			fmt.Sprintf("a one-shot object issues one timestamp per process; ask for count 1, not %d", count))
+		return
+	}
+
+	sess, err := s.obj.Attach(r.Context())
+	if err != nil {
+		s.writeSDKError(w, r, err)
+		return
+	}
+	defer sess.Detach()
+
+	resp := GetTSResponse{Pid: sess.Pid(), Timestamps: make([]TS, 0, count)}
+	for i := 0; i < count; i++ {
+		ts, err := sess.GetTS(r.Context())
+		if err != nil {
+			s.writeSDKError(w, r, fmt.Errorf("timestamp %d/%d: %w", i+1, count, err))
+			return
+		}
+		resp.Timestamps = append(resp.Timestamps, FromTimestamp(ts))
+	}
+	s.batches.Add(1)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// writeSDKError maps SDK errors to their wire codes, so clients can
+// recover typed errors via APIError.Is regardless of where in the request
+// the failure happened (attach or mid-batch).
+func (s *Server) writeSDKError(w http.ResponseWriter, r *http.Request, err error) {
+	switch {
+	case errors.Is(err, tsspace.ErrExhausted) || errors.Is(err, tsspace.ErrOneShot):
+		writeError(w, http.StatusConflict, CodeExhausted, err.Error())
+	case errors.Is(err, tsspace.ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, CodeClosed, err.Error())
+	case r.Context().Err() != nil:
+		// The client went away while queued or mid-batch; any status works.
+		writeError(w, http.StatusServiceUnavailable, CodeInternal, err.Error())
+	default:
+		writeError(w, http.StatusInternalServerError, CodeInternal, err.Error())
+	}
+}
+
+func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
+	var req CompareRequest
+	if err := decode(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, CompareResponse{
+		Before: s.obj.Compare(req.T1.Timestamp(), req.T2.Timestamp()),
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, Health{
+		Status:    "ok",
+		Algorithm: s.obj.Algorithm(),
+		Summary:   s.summary,
+		Procs:     s.obj.Procs(),
+		Registers: s.obj.Registers(),
+		OneShot:   s.obj.OneShot(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	st := s.obj.Stats()
+	uptime := time.Since(s.start).Seconds()
+	m := Metrics{
+		Algorithm:      s.obj.Algorithm(),
+		Procs:          s.obj.Procs(),
+		Calls:          st.Calls,
+		Batches:        s.batches.Load(),
+		Attaches:       st.Attaches,
+		ActiveSessions: st.ActiveSessions,
+		UptimeSeconds:  uptime,
+	}
+	if uptime > 0 {
+		m.CallsPerSecond = float64(st.Calls) / uptime
+	}
+	if u, metered := s.obj.Usage(); metered {
+		m.Space = &Space{Registers: u.Registers, Written: u.Written, Reads: u.Reads, Writes: u.Writes}
+	}
+	writeJSON(w, http.StatusOK, m)
+}
+
+// decode reads a JSON body strictly; an empty body decodes to the zero
+// request.
+func decode(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil
+		}
+		return fmt.Errorf("bad request body: %w", err)
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, ErrorBody{Code: code, Error: msg})
+}

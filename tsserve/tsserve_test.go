@@ -1,0 +1,200 @@
+package tsserve_test
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"tsspace"
+	"tsspace/tsserve"
+)
+
+func newTestServer(t *testing.T, opts ...tsspace.Option) (*tsserve.Client, *tsspace.Object) {
+	t.Helper()
+	obj, err := tsspace.New(opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(tsserve.NewServer(obj, tsserve.ServerConfig{MaxBatch: 16}))
+	t.Cleanup(func() { srv.Close(); obj.Close() })
+	return tsserve.NewClient(srv.URL, srv.Client()), obj
+}
+
+// A batch is issued by one session back to back, so it must be strictly
+// increasing under the object's compare — verified both client-side and
+// over the /compare endpoint.
+func TestBatchedGetTSHappensBefore(t *testing.T) {
+	ctx := context.Background()
+	c, obj := newTestServer(t, tsspace.WithProcs(4), tsspace.WithMetering())
+
+	batch, err := c.GetTS(ctx, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != 5 {
+		t.Fatalf("got %d timestamps, want 5", len(batch))
+	}
+	for i := 0; i+1 < len(batch); i++ {
+		if !obj.Compare(batch[i], batch[i+1]) {
+			t.Errorf("batch[%d] %v not before batch[%d] %v", i, batch[i], i+1, batch[i+1])
+		}
+		before, err := c.Compare(ctx, batch[i], batch[i+1])
+		if err != nil || !before {
+			t.Errorf("/compare(batch[%d], batch[%d]) = (%v, %v), want true", i, i+1, before, err)
+		}
+		after, err := c.Compare(ctx, batch[i+1], batch[i])
+		if err != nil || after {
+			t.Errorf("/compare(batch[%d], batch[%d]) = (%v, %v), want false", i+1, i, after, err)
+		}
+	}
+}
+
+// Batches from different requests are ordered too when they do not
+// overlap: a completed batch happens-before a later one.
+func TestSequentialBatchesOrdered(t *testing.T) {
+	ctx := context.Background()
+	c, obj := newTestServer(t, tsspace.WithProcs(4))
+	first, err := c.GetTS(ctx, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := c.GetTS(ctx, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last, head := first[len(first)-1], second[0]; !obj.Compare(last, head) {
+		t.Errorf("batch boundary unordered: %v vs %v", last, head)
+	}
+}
+
+// Concurrent clients funnel through the object's pid pool: more clients
+// than pids must still all be served.
+func TestConcurrentClientsOverFewPids(t *testing.T) {
+	ctx := context.Background()
+	c, _ := newTestServer(t, tsspace.WithProcs(2))
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := c.GetTS(ctx, 2); err != nil {
+				t.Errorf("client: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Calls != 32 || m.Batches != 16 {
+		t.Errorf("metrics after load: %+v, want 32 calls / 16 batches", m)
+	}
+}
+
+func TestOneShotSemanticsOverTheWire(t *testing.T) {
+	ctx := context.Background()
+	c, _ := newTestServer(t, tsspace.WithAlgorithm("sqrt"), tsspace.WithProcs(2))
+
+	// Batches are rejected up front on one-shot objects.
+	var apiErr *tsserve.APIError
+	if _, err := c.GetTS(ctx, 2); !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusBadRequest {
+		t.Fatalf("one-shot batch err = %v, want 400", err)
+	}
+
+	t1, err := c.GetTS(ctx, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := c.GetTS(ctx, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before, err := c.Compare(ctx, t1[0], t2[0]); err != nil || !before {
+		t.Errorf("one-shot pair unordered: (%v, %v)", before, err)
+	}
+
+	// Budget spent: the typed exhaustion error crosses the wire.
+	_, err = c.GetTS(ctx, 1)
+	if !errors.Is(err, tsspace.ErrExhausted) {
+		t.Errorf("exhausted err = %v, want ErrExhausted via APIError.Is", err)
+	}
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusConflict || apiErr.Code != tsserve.CodeExhausted {
+		t.Errorf("exhausted wire form = %+v, want 409/%s", apiErr, tsserve.CodeExhausted)
+	}
+}
+
+func TestHealthzAndMetricsShape(t *testing.T) {
+	ctx := context.Background()
+	c, _ := newTestServer(t, tsspace.WithAlgorithm("sqrt"), tsspace.WithProcs(9), tsspace.WithMetering())
+	h, err := c.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Algorithm != "sqrt" || h.Procs != 9 || h.Registers != 6 || !h.OneShot {
+		t.Errorf("health = %+v", h)
+	}
+	if h.Summary == "" {
+		t.Error("health missing the catalog summary")
+	}
+
+	if _, err := c.GetTS(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Calls != 1 || m.Attaches != 1 || m.Space == nil {
+		t.Fatalf("metrics = %+v, want 1 call with a space section", m)
+	}
+	if m.Space.Registers != 6 || m.Space.Written < 1 {
+		t.Errorf("space = %+v", *m.Space)
+	}
+	if m.UptimeSeconds <= 0 || m.CallsPerSecond <= 0 {
+		t.Errorf("throughput fields not populated: %+v", m)
+	}
+}
+
+func TestRequestValidation(t *testing.T) {
+	c, obj := newTestServer(t, tsspace.WithProcs(2))
+	srvURL := strings.TrimSuffix(clientBase(c), "/")
+
+	cases := []struct {
+		name, method, path, body string
+		wantStatus               int
+	}{
+		{"oversized batch", "POST", "/getts", `{"count": 17}`, http.StatusBadRequest},
+		{"negative count means 1", "POST", "/getts", `{"count": -3}`, http.StatusOK},
+		{"empty body means 1", "POST", "/getts", ``, http.StatusOK},
+		{"unknown field", "POST", "/getts", `{"size": 2}`, http.StatusBadRequest},
+		{"malformed json", "POST", "/compare", `{`, http.StatusBadRequest},
+		{"wrong method getts", "GET", "/getts", ``, http.StatusMethodNotAllowed},
+		{"wrong method healthz", "POST", "/healthz", ``, http.StatusMethodNotAllowed},
+		{"unknown path", "GET", "/nope", ``, http.StatusNotFound},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req, err := http.NewRequest(tc.method, srvURL+tc.path, strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != tc.wantStatus {
+				t.Errorf("%s %s: status %d, want %d", tc.method, tc.path, resp.StatusCode, tc.wantStatus)
+			}
+		})
+	}
+	_ = obj
+}
+
+// clientBase exposes the client's base URL for raw-request tests.
+func clientBase(c *tsserve.Client) string { return c.BaseURL() }

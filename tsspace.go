@@ -1,0 +1,205 @@
+// Package tsspace is the public SDK of the reproduction: the paper's
+// unbounded timestamp object (§2) behind a session-based, context-aware
+// API.
+//
+// The paper's object has two operations — getTS() and compare(t1, t2) —
+// with one correctness requirement, the happens-before property: if a
+// getTS() instance returning t1 completes before another returning t2 is
+// invoked, then Compare(t1, t2) is true and Compare(t2, t1) is false.
+// The internal harnesses expose the *implementation* contract
+// (Algorithm.GetTS(mem, pid, seq)), which forces every caller to
+// hand-thread shared memory, process identifiers and per-process sequence
+// numbers. This package owns that plumbing:
+//
+//	obj, err := tsspace.New(tsspace.WithAlgorithm("sqrt"), tsspace.WithProcs(64))
+//	s, err := obj.Attach(ctx)       // lease one of the 64 paper-processes
+//	ts, err := s.GetTS(ctx)         // seq tracking, memory, discipline: handled
+//	before := obj.Compare(t1, t2)
+//	s.Detach()                      // the pid is recycled to the next session
+//
+// An Object is configured for a fixed number of paper-processes n, but
+// serves arbitrarily many logical clients: Attach leases a free process
+// id, Detach returns it, and per-process sequence numbers persist across
+// leases, so a long-lived object stays correct under unbounded session
+// churn (the paper's Θ(n) long-lived space bound is about the process
+// *namespace*, not the live set). One-shot objects (sqrt, simple) issue at
+// most one timestamp per process id; once all n are spent, Attach reports
+// ErrExhausted — that budget is the paper's M, not an implementation
+// limit.
+//
+// Algorithms are resolved by name through the registry in
+// internal/timestamp; this package blank-imports the full catalog, so
+// every implementation in the repository is available via WithAlgorithm.
+package tsspace
+
+import (
+	"errors"
+	"fmt"
+
+	"tsspace/internal/register"
+	"tsspace/internal/timestamp"
+	_ "tsspace/internal/timestamp/all" // the SDK ships the full algorithm catalog
+)
+
+// Timestamp is an element of the timestamp universe T = ℕ × (ℕ ∪ {0}):
+// a (Rnd, Turn) pair. Scalar-valued algorithms embed integers as (v, 0).
+// Timestamps are opaque tokens to SDK callers: the only meaningful
+// operation on them is the object's Compare.
+type Timestamp = timestamp.Timestamp
+
+// Typed errors of the SDK surface. Errors returned by Object and Session
+// methods match these with errors.Is.
+var (
+	// ErrUnknownAlgorithm is returned by New when WithAlgorithm names no
+	// registered implementation.
+	ErrUnknownAlgorithm = errors.New("tsspace: unknown algorithm")
+	// ErrClosed is returned once the object has been closed.
+	ErrClosed = errors.New("tsspace: object closed")
+	// ErrDetached is returned by calls on a detached session.
+	ErrDetached = errors.New("tsspace: session detached")
+	// ErrExhausted is returned by Attach on a one-shot object whose n
+	// process slots have all issued their timestamp.
+	ErrExhausted = errors.New("tsspace: one-shot object exhausted")
+	// ErrOneShot is returned by GetTS when a session of a one-shot object
+	// asks for a second timestamp. It aliases the algorithm-level sentinel
+	// so errors.Is works across layers.
+	ErrOneShot = timestamp.ErrOneShot
+)
+
+// AlgorithmInfo describes one catalog entry for discovery surfaces (flag
+// help, service health endpoints).
+type AlgorithmInfo struct {
+	Name    string // as accepted by WithAlgorithm
+	Summary string // one line
+}
+
+// Algorithms returns the names of the registered (correct) algorithm
+// implementations, sorted.
+func Algorithms() []string { return timestamp.Names() }
+
+// Catalog returns name and one-line summary for every registered (correct)
+// implementation, sorted by name.
+func Catalog() []AlgorithmInfo {
+	all := timestamp.All()
+	out := make([]AlgorithmInfo, len(all))
+	for i, info := range all {
+		out[i] = AlgorithmInfo{Name: info.Name, Summary: info.Summary}
+	}
+	return out
+}
+
+// config collects the New options.
+type config struct {
+	alg     string
+	procs   int
+	sharded bool
+	metered bool
+}
+
+// Option configures New.
+type Option func(*config) error
+
+// WithAlgorithm selects the implementation by registry name (see
+// Algorithms). The default is "collect", the simplest correct long-lived
+// object. Mutant names resolve too — they exist for harness replay and
+// must never back real work.
+func WithAlgorithm(name string) Option {
+	return func(c *config) error {
+		if name == "" {
+			return errors.New("tsspace: WithAlgorithm with empty name")
+		}
+		c.alg = name
+		return nil
+	}
+}
+
+// WithProcs sets the number of paper-processes n: the concurrency level of
+// the object and, for one-shot algorithms, the total timestamp budget. The
+// default is 16.
+func WithProcs(n int) Option {
+	return func(c *config) error {
+		if n < 1 {
+			return fmt.Errorf("tsspace: WithProcs(%d): need at least one process", n)
+		}
+		c.procs = n
+		return nil
+	}
+}
+
+// WithSharded backs the object with the cache-line-padded register array,
+// trading memory for the elimination of false sharing between adjacent
+// registers under heavy multi-core traffic.
+func WithSharded() Option {
+	return func(c *config) error {
+		c.sharded = true
+		return nil
+	}
+}
+
+// WithMetering records the register-space footprint of the object (see
+// Usage). Metering puts shared counters on the operation path; leave it
+// off for maximum throughput.
+func WithMetering() Option {
+	return func(c *config) error {
+		c.metered = true
+		return nil
+	}
+}
+
+// New constructs a timestamp object. With no options it is a long-lived
+// "collect" object for 16 processes, unsharded and unmetered.
+func New(opts ...Option) (*Object, error) {
+	cfg := config{alg: "collect", procs: 16}
+	for _, opt := range opts {
+		if err := opt(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	info, ok := timestamp.Lookup(cfg.alg)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q (have %v)", ErrUnknownAlgorithm, cfg.alg, timestamp.Names())
+	}
+	if cfg.procs < info.MinProcs {
+		return nil, fmt.Errorf("tsspace: algorithm %q needs at least %d processes, got %d",
+			info.Name, info.MinProcs, cfg.procs)
+	}
+	alg := info.New(cfg.procs)
+
+	var base register.Mem
+	if cfg.sharded {
+		base = register.NewShardedArray(alg.Registers())
+	} else {
+		base = register.NewAtomicArray(alg.Registers())
+	}
+	var meter *register.Meter
+	var metered register.Middleware
+	if cfg.metered {
+		meter = register.NewMeterSize(base.Size())
+		metered = register.Metered(meter)
+	}
+
+	o := &Object{
+		info:    info,
+		alg:     alg,
+		procs:   cfg.procs,
+		oneShot: alg.OneShot(),
+		meter:   meter,
+		mems:    make([]register.Mem, cfg.procs),
+		seqs:    make([]int, cfg.procs),
+		free:    make(chan int, cfg.procs),
+		closed:  make(chan struct{}),
+	}
+	// The per-process stack is fixed for the object's lifetime: metering
+	// (when on) plus the algorithm's declared writer discipline, so a
+	// buggy caller cannot silently break claims like Algorithm 2's
+	// 2-writer registers.
+	table := alg.WriterTable()
+	for pid := 0; pid < cfg.procs; pid++ {
+		o.mems[pid] = register.Wrap(base, metered, register.DisciplineFor(table, pid))
+		o.free <- pid
+	}
+	if o.oneShot {
+		o.exhausted = make(chan struct{})
+	}
+	return o, nil
+}

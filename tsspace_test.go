@@ -1,0 +1,286 @@
+// Tests for the public session-based SDK: construction options, typed
+// errors, pid-lease recycling and one-shot budget accounting.
+package tsspace_test
+
+import (
+	"context"
+	"errors"
+	"slices"
+	"testing"
+	"time"
+
+	"tsspace"
+)
+
+func mustNew(t *testing.T, opts ...tsspace.Option) *tsspace.Object {
+	t.Helper()
+	obj, err := tsspace.New(opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { obj.Close() })
+	return obj
+}
+
+func TestNewDefaultsAndOptions(t *testing.T) {
+	obj := mustNew(t)
+	if obj.Algorithm() != "collect" || obj.Procs() != 16 || obj.OneShot() {
+		t.Errorf("defaults: alg=%q procs=%d oneShot=%v, want collect/16/long-lived",
+			obj.Algorithm(), obj.Procs(), obj.OneShot())
+	}
+	if _, metered := obj.Usage(); metered {
+		t.Error("metering must default off")
+	}
+
+	sq := mustNew(t, tsspace.WithAlgorithm("sqrt"), tsspace.WithProcs(9), tsspace.WithSharded(), tsspace.WithMetering())
+	if sq.Algorithm() != "sqrt" || sq.Procs() != 9 || !sq.OneShot() {
+		t.Errorf("sqrt object: alg=%q procs=%d oneShot=%v", sq.Algorithm(), sq.Procs(), sq.OneShot())
+	}
+	if sq.Registers() != 6 { // ⌈2√9⌉
+		t.Errorf("sqrt Registers = %d, want 6", sq.Registers())
+	}
+	if u, metered := sq.Usage(); !metered || u.Registers != 6 {
+		t.Errorf("Usage = (%+v, %v), want metered with 6 registers", u, metered)
+	}
+}
+
+func TestNewErrors(t *testing.T) {
+	if _, err := tsspace.New(tsspace.WithAlgorithm("nope")); !errors.Is(err, tsspace.ErrUnknownAlgorithm) {
+		t.Errorf("unknown algorithm: err = %v, want ErrUnknownAlgorithm", err)
+	}
+	if _, err := tsspace.New(tsspace.WithAlgorithm("")); err == nil {
+		t.Error("empty algorithm name accepted")
+	}
+	if _, err := tsspace.New(tsspace.WithProcs(0)); err == nil {
+		t.Error("WithProcs(0) accepted")
+	}
+	// dense needs n ≥ 2: the registry's MinProcs must turn the constructor
+	// panic into an error.
+	if _, err := tsspace.New(tsspace.WithAlgorithm("dense"), tsspace.WithProcs(1)); err == nil {
+		t.Error("dense with 1 process accepted")
+	}
+}
+
+func TestCatalogMatchesRegistry(t *testing.T) {
+	names := tsspace.Algorithms()
+	if !slices.Contains(names, "collect") || !slices.Contains(names, "sqrt") {
+		t.Fatalf("Algorithms() = %v, missing core entries", names)
+	}
+	if slices.Contains(names, "collect-stale-scan") {
+		t.Error("Algorithms() lists a mutant")
+	}
+	cat := tsspace.Catalog()
+	if len(cat) != len(names) {
+		t.Fatalf("Catalog has %d entries, Algorithms %d", len(cat), len(names))
+	}
+	for _, e := range cat {
+		if e.Summary == "" {
+			t.Errorf("catalog entry %q has no summary", e.Name)
+		}
+	}
+}
+
+func TestSessionLifecycleAndTypedErrors(t *testing.T) {
+	ctx := context.Background()
+	obj := mustNew(t, tsspace.WithProcs(2))
+
+	s, err := obj.Attach(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1, err := s.GetTS(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := s.GetTS(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Compare(t1, t2) || s.Compare(t2, t1) {
+		t.Errorf("sequential calls not ordered: %v vs %v", t1, t2)
+	}
+	if s.Calls() != 2 {
+		t.Errorf("Calls = %d, want 2", s.Calls())
+	}
+	if err := s.Detach(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Detach(); err != nil {
+		t.Errorf("second Detach = %v, want idempotent nil", err)
+	}
+	if _, err := s.GetTS(ctx); !errors.Is(err, tsspace.ErrDetached) {
+		t.Errorf("GetTS after Detach = %v, want ErrDetached", err)
+	}
+
+	st := obj.Stats()
+	if st.Calls != 2 || st.Attaches != 1 || st.ActiveSessions != 0 {
+		t.Errorf("Stats = %+v, want 2 calls / 1 attach / 0 active", st)
+	}
+}
+
+// Sequence numbers persist across leases: the second lease of a pid must
+// continue that pid's call history, not restart it (the implementation
+// contract requires seq to count all previous calls by the process).
+func TestSeqPersistsAcrossLeases(t *testing.T) {
+	ctx := context.Background()
+	obj := mustNew(t, tsspace.WithProcs(1))
+	var last tsspace.Timestamp
+	for lease := 0; lease < 3; lease++ {
+		s, err := obj.Attach(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Pid() != 0 {
+			t.Fatalf("lease %d got pid %d from a 1-proc object", lease, s.Pid())
+		}
+		ts, err := s.GetTS(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lease > 0 && !obj.Compare(last, ts) {
+			t.Errorf("lease %d: %v not after %v", lease, ts, last)
+		}
+		last = ts
+		s.Detach()
+	}
+}
+
+func TestAttachBlocksUntilDetachOrContext(t *testing.T) {
+	ctx := context.Background()
+	obj := mustNew(t, tsspace.WithProcs(1))
+	s, err := obj.Attach(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// With the only pid leased, Attach must respect context cancellation.
+	short, cancel := context.WithTimeout(ctx, 20*time.Millisecond)
+	defer cancel()
+	if _, err := obj.Attach(short); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("Attach on drained pool = %v, want DeadlineExceeded", err)
+	}
+
+	// And it must wake up when the pid is recycled.
+	done := make(chan *tsspace.Session)
+	go func() {
+		s2, err := obj.Attach(ctx)
+		if err != nil {
+			t.Error(err)
+		}
+		done <- s2
+	}()
+	time.Sleep(10 * time.Millisecond)
+	s.Detach()
+	select {
+	case s2 := <-done:
+		if s2.Pid() != 0 {
+			t.Errorf("recycled pid = %d, want 0", s2.Pid())
+		}
+		s2.Detach()
+	case <-time.After(5 * time.Second):
+		t.Fatal("Attach did not wake up after Detach")
+	}
+}
+
+func TestOneShotBudgetAndExhaustion(t *testing.T) {
+	ctx := context.Background()
+	const procs = 4
+	obj := mustNew(t, tsspace.WithAlgorithm("sqrt"), tsspace.WithProcs(procs))
+
+	// A session that never calls GetTS recycles its pid without spending
+	// budget.
+	idle, err := obj.Attach(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idle.Detach()
+
+	var prev tsspace.Timestamp
+	for i := 0; i < procs; i++ {
+		s, err := obj.Attach(ctx)
+		if err != nil {
+			t.Fatalf("attach %d: %v", i, err)
+		}
+		ts, err := s.GetTS(ctx)
+		if err != nil {
+			t.Fatalf("getTS %d: %v", i, err)
+		}
+		if i > 0 && !obj.Compare(prev, ts) {
+			t.Errorf("timestamp %d (%v) not after %v", i, ts, prev)
+		}
+		prev = ts
+		// A second timestamp on a one-shot session is a typed error and
+		// must not consume anything.
+		if _, err := s.GetTS(ctx); !errors.Is(err, tsspace.ErrOneShot) {
+			t.Errorf("second GetTS = %v, want ErrOneShot", err)
+		}
+		s.Detach()
+	}
+	if _, err := obj.Attach(ctx); !errors.Is(err, tsspace.ErrExhausted) {
+		t.Errorf("Attach after %d one-shot calls = %v, want ErrExhausted", procs, err)
+	}
+}
+
+func TestCloseWakesAndFails(t *testing.T) {
+	ctx := context.Background()
+	obj, err := tsspace.New(tsspace.WithProcs(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := obj.Attach(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waiter := make(chan error)
+	go func() {
+		_, err := obj.Attach(ctx) // blocks: pool drained
+		waiter <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	if err := obj.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := obj.Close(); err != nil {
+		t.Errorf("second Close = %v, want idempotent nil", err)
+	}
+	select {
+	case err := <-waiter:
+		if !errors.Is(err, tsspace.ErrClosed) {
+			t.Errorf("blocked Attach after Close = %v, want ErrClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("blocked Attach not woken by Close")
+	}
+	if _, err := s.GetTS(ctx); !errors.Is(err, tsspace.ErrClosed) {
+		t.Errorf("GetTS after Close = %v, want ErrClosed", err)
+	}
+	if _, err := obj.Attach(ctx); !errors.Is(err, tsspace.ErrClosed) {
+		t.Errorf("Attach after Close = %v, want ErrClosed", err)
+	}
+}
+
+func TestMeteredUsageTracksSpace(t *testing.T) {
+	ctx := context.Background()
+	obj := mustNew(t, tsspace.WithProcs(4), tsspace.WithMetering())
+	for i := 0; i < 4; i++ {
+		s, err := obj.Attach(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.GetTS(ctx); err != nil {
+			t.Fatal(err)
+		}
+		s.Detach()
+	}
+	u, metered := obj.Usage()
+	if !metered {
+		t.Fatal("metering on but Usage reports unmetered")
+	}
+	// collect: every pid writes its own register once; each call scans all.
+	if u.Registers != 4 || u.Written != 4 || u.Writes != 4 || u.Reads != 16 {
+		t.Errorf("Usage = %+v, want 4 registers, 4 written, 4 writes, 16 reads", u)
+	}
+	if len(u.WrittenSet) != 4 || len(u.WriteCounts) != 4 {
+		t.Errorf("Usage sets: written %v, counts %v", u.WrittenSet, u.WriteCounts)
+	}
+}
