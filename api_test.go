@@ -30,6 +30,7 @@ func TestPublicSurface(t *testing.T) {
 	for _, pkg := range []struct{ name, dir string }{
 		{"tsspace", "."},
 		{"tsserve", "tsserve"},
+		{"tsload", "tsload"},
 	} {
 		t.Run(pkg.name, func(t *testing.T) {
 			got := publicSurface(t, pkg.dir)

@@ -9,9 +9,12 @@
 package tsspace_test
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"testing"
 
+	"tsspace"
 	"tsspace/internal/adversary"
 	"tsspace/internal/engine"
 	"tsspace/internal/lowerbound"
@@ -272,6 +275,7 @@ func benchThroughput(b *testing.B, mk func(int) timestamp.Algorithm) {
 			}
 			b.Run(fmt.Sprintf("n=%d/%s", n, mem), func(b *testing.B) {
 				alg := mk(n)
+				b.ReportAllocs()
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					// Unmetered: the shared meter would serialize the very
@@ -305,6 +309,7 @@ func perCall(b *testing.B, callsPerRun int) {
 func BenchmarkGetTS_SqrtOneShot(b *testing.B) {
 	for _, n := range []int{64, 1024} {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				run(b, engine.Config[timestamp.Timestamp]{
 					Alg: timestamp.MustNew("sqrt", n), World: engine.Atomic, N: n,
@@ -321,6 +326,7 @@ func BenchmarkGetTS_SqrtOneShot(b *testing.B) {
 func BenchmarkGetTS_Simple(b *testing.B) {
 	for _, n := range []int{64, 1024} {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				run(b, engine.Config[timestamp.Timestamp]{
 					Alg: timestamp.MustNew("simple", n), World: engine.Atomic, N: n,
@@ -329,6 +335,53 @@ func BenchmarkGetTS_Simple(b *testing.B) {
 			}
 			perCall(b, n)
 		})
+	}
+}
+
+// BenchmarkSession_GetTS_Parallel measures the public SDK's hot path under
+// real parallel sessions: attach once per worker, then GetTS back to back.
+// Unlike BenchmarkGetTS_* (one engine run per iteration), the unit of
+// iteration here is a single getTS call, so ns/op and allocs/op read
+// directly as per-call costs — the numbers the recorded trajectory tracks.
+func BenchmarkSession_GetTS_Parallel(b *testing.B) {
+	ctx := context.Background()
+	for _, alg := range []string{"collect", "dense"} {
+		for _, sharded := range []bool{false, true} {
+			mem := "flat"
+			if sharded {
+				mem = "sharded"
+			}
+			b.Run(fmt.Sprintf("%s/%s", alg, mem), func(b *testing.B) {
+				// One paper-process per parallel worker, so Attach never
+				// blocks regardless of GOMAXPROCS.
+				procs := runtime.GOMAXPROCS(0) * 2
+				opts := []tsspace.Option{tsspace.WithAlgorithm(alg), tsspace.WithProcs(procs)}
+				if sharded {
+					opts = append(opts, tsspace.WithSharded())
+				}
+				obj, err := tsspace.New(opts...)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer obj.Close()
+				b.ReportAllocs()
+				b.ResetTimer()
+				b.RunParallel(func(pb *testing.PB) {
+					s, err := obj.Attach(ctx)
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					defer s.Detach()
+					for pb.Next() {
+						if _, err := s.GetTS(ctx); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				})
+			})
+		}
 	}
 }
 

@@ -1,0 +1,399 @@
+// Command tsload drives paper-shaped workloads against timestamp objects
+// and records the repository's perf trajectory as machine-readable
+// BENCH_<scenario>.json files: throughput, p50/p90/p99/p999 latency, the
+// register-space report and driver-side allocation rates, per
+// (mix × target × algorithm) row.
+//
+// Each scenario is one of the built-in mixes (steady, churn, burst,
+// compare — see tsspace/tsload); each algorithm comes from the registry
+// (every non-mutant implementation by default); each row runs against the
+// in-process SDK and against tsserve over HTTP, so the delta between the
+// two prices the wire.
+//
+// Usage:
+//
+//	tsload [-scenarios all] [-algs all] [-targets inproc,http]
+//	       [-procs 64] [-oneshot-procs 4096] [-workers 16]
+//	       [-rate 0] [-duration 2s] [-warmup 300ms] [-maxops 0]
+//	       [-seed 1] [-out .] [-url http://...]
+//	tsload -mixes               list the workload mixes
+//	tsload -smoke               short closed-loop sweep (all mixes, both
+//	                            targets, collect + sqrt) gated on zero
+//	                            errors and zero happens-before violations;
+//	                            writes BENCH_smoke.json
+//
+// Without -url, HTTP rows self-host a tsserved-equivalent server on a
+// loopback listener per run, so every algorithm gets a fresh daemon (and a
+// fresh one-shot budget). With -url, HTTP rows run against that external
+// daemon instead — only for the algorithm it serves.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"slices"
+	"sort"
+	"strings"
+	"time"
+
+	"tsspace"
+	"tsspace/internal/timestamp"
+	"tsspace/tsload"
+	"tsspace/tsserve"
+)
+
+type options struct {
+	procs        int
+	oneshotProcs int
+	workers      int
+	rate         float64
+	duration     time.Duration
+	warmup       time.Duration
+	maxOps       uint64
+	seed         int64
+	url          string
+	hc           *http.Client // shared by every http row of the sweep
+}
+
+func main() {
+	scenarios := flag.String("scenarios", "all", "comma-separated mix names, or all: "+strings.Join(tsload.MixNames(), " | "))
+	algs := flag.String("algs", "all", "comma-separated algorithm names, or all: "+strings.Join(tsspace.Algorithms(), " | "))
+	targets := flag.String("targets", "inproc,http", "comma-separated backends: inproc | http")
+	procs := flag.Int("procs", 64, "paper-processes n for long-lived objects")
+	oneshotProcs := flag.Int("oneshot-procs", 4096, "paper-processes n (= timestamp budget M) for one-shot objects")
+	workers := flag.Int("workers", 16, "closed-loop concurrency / open-loop in-flight bound")
+	rate := flag.Float64("rate", 0, "open-loop arrivals per second; 0 = closed loop")
+	duration := flag.Duration("duration", 2*time.Second, "measure window per run")
+	warmup := flag.Duration("warmup", 300*time.Millisecond, "warmup before the measure window")
+	maxOps := flag.Uint64("maxops", 0, "end a run after this many measured ops; 0 = time-bounded")
+	seed := flag.Int64("seed", 1, "base seed of the per-worker RNGs")
+	out := flag.String("out", ".", "directory for BENCH_<scenario>.json")
+	url := flag.String("url", "", "external tsserved base URL for http rows (default: self-host per run)")
+	mixes := flag.Bool("mixes", false, "list the workload mixes and exit")
+	smoke := flag.Bool("smoke", false, "short gated sweep writing BENCH_smoke.json")
+	flag.Parse()
+
+	if *mixes {
+		for _, m := range tsload.Mixes() {
+			fmt.Printf("%-8s %s\n", m.Name, m.Summary)
+		}
+		return
+	}
+
+	opt := options{
+		procs: *procs, oneshotProcs: *oneshotProcs, workers: *workers,
+		rate: *rate, duration: *duration, warmup: *warmup,
+		maxOps: *maxOps, seed: *seed, url: *url,
+	}
+	opt.hc = newHTTPClient(opt.workers)
+	ctx := context.Background()
+
+	if opt.url != "" {
+		// An external daemon is shared by every http row of the sweep; a
+		// one-shot daemon has a single M-timestamp budget, so every row
+		// after the first measures an already-spent object. The smoke gate
+		// would fail spuriously on that — refuse; plain sweeps get a
+		// warning, since running one row to exhaustion is legitimate.
+		t, err := tsload.NewHTTP(ctx, opt.url, opt.hc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tsload: %v\n", err)
+			os.Exit(2)
+		}
+		if t.OneShot() {
+			if *smoke {
+				fmt.Fprintf(os.Stderr, "tsload: smoke needs a long-lived daemon, but %s serves one-shot %q "+
+					"(its single budget would be shared by every smoke row); spawn e.g. -alg collect, or drop -url\n",
+					opt.url, t.Algorithm())
+				os.Exit(2)
+			}
+			fmt.Fprintf(os.Stderr, "tsload: warning: daemon at %s serves one-shot %q — its single M-timestamp "+
+				"budget is shared by every http row of this sweep; rows after exhaustion will be empty\n",
+				opt.url, t.Algorithm())
+		}
+	}
+
+	if *smoke {
+		if err := runSmoke(ctx, *out, opt); err != nil {
+			fmt.Fprintf(os.Stderr, "tsload: smoke: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("tsload smoke ok")
+		return
+	}
+
+	mixList, err := parseMixes(*scenarios)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tsload: %v\n", err)
+		os.Exit(2)
+	}
+	algList, err := parseAlgs(*algs)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tsload: %v\n", err)
+		os.Exit(2)
+	}
+	targetList := strings.Split(*targets, ",")
+	for i, tgt := range targetList {
+		targetList[i] = strings.TrimSpace(tgt)
+		if targetList[i] != "inproc" && targetList[i] != "http" {
+			fmt.Fprintf(os.Stderr, "tsload: unknown target %q (want inproc or http)\n", tgt)
+			os.Exit(2)
+		}
+	}
+
+	for _, mix := range mixList {
+		results, err := sweep(ctx, mix, algList, targetList, opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tsload: %v\n", err)
+			os.Exit(1)
+		}
+		path, err := writeBench(*out, mix.Name, results)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tsload: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d rows)\n", path, len(results))
+	}
+}
+
+func parseMixes(s string) ([]tsload.Mix, error) {
+	if s == "all" {
+		return tsload.Mixes(), nil
+	}
+	var out []tsload.Mix
+	for _, name := range strings.Split(s, ",") {
+		m, ok := tsload.LookupMix(strings.TrimSpace(name))
+		if !ok {
+			return nil, fmt.Errorf("unknown mix %q (have %v)", name, tsload.MixNames())
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+func parseAlgs(s string) ([]string, error) {
+	if s == "all" {
+		return tsspace.Algorithms(), nil
+	}
+	var out []string
+	for _, name := range strings.Split(s, ",") {
+		name = strings.TrimSpace(name)
+		if _, ok := timestamp.Lookup(name); !ok {
+			return nil, fmt.Errorf("unknown algorithm %q (have %v)", name, timestamp.AllNames())
+		}
+		out = append(out, name)
+	}
+	return out, nil
+}
+
+// isOneShot consults the registry's declared flag.
+func isOneShot(alg string) bool {
+	info, ok := timestamp.Lookup(alg)
+	return ok && info.OneShot
+}
+
+// newHTTPClient builds the one client a whole sweep shares: every row has
+// identical transport needs, and reusing the pool avoids piling up idle
+// keep-alive connections row after row.
+func newHTTPClient(workers int) *http.Client {
+	return &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        4 * workers,
+		MaxIdleConnsPerHost: 4 * workers,
+	}}
+}
+
+// sweep runs one mix across algorithms × targets and collects the rows.
+func sweep(ctx context.Context, mix tsload.Mix, algs, targets []string, opt options) ([]tsload.Result, error) {
+	var results []tsload.Result
+	for _, alg := range algs {
+		for _, tgt := range targets {
+			res, skip, err := runOne(ctx, mix, alg, tgt, opt)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s/%s: %w", mix.Name, tgt, alg, err)
+			}
+			if skip {
+				continue
+			}
+			fmt.Println(row(res))
+			results = append(results, res)
+		}
+	}
+	return results, nil
+}
+
+// runOne builds a fresh target for (alg, kind) and drives mix against it.
+// skip is true for http rows against an external daemon serving a
+// different algorithm.
+func runOne(ctx context.Context, mix tsload.Mix, alg, kind string, opt options) (tsload.Result, bool, error) {
+	procs := opt.procs
+	if isOneShot(alg) {
+		procs = opt.oneshotProcs
+	}
+
+	var target tsload.Target
+	switch kind {
+	case "inproc":
+		obj, err := tsspace.New(tsspace.WithAlgorithm(alg), tsspace.WithProcs(procs), tsspace.WithMetering())
+		if err != nil {
+			return tsload.Result{}, false, err
+		}
+		t := tsload.NewInProc(obj)
+		defer t.Close()
+		target = t
+	case "http":
+		hc := opt.hc
+		if opt.url != "" {
+			t, err := tsload.NewHTTP(ctx, opt.url, hc)
+			if err != nil {
+				return tsload.Result{}, false, err
+			}
+			if t.Algorithm() != alg {
+				return tsload.Result{}, true, nil // daemon serves another algorithm
+			}
+			target = t
+		} else {
+			t, stop, err := selfHost(ctx, alg, procs, hc)
+			if err != nil {
+				return tsload.Result{}, false, err
+			}
+			defer stop()
+			target = t
+		}
+	default:
+		return tsload.Result{}, false, fmt.Errorf("unknown target kind %q", kind)
+	}
+
+	res, err := tsload.Run(ctx, tsload.Config{
+		Mix:      mix,
+		Target:   target,
+		Workers:  opt.workers,
+		Rate:     opt.rate,
+		Warmup:   opt.warmup,
+		Duration: opt.duration,
+		Seed:     opt.seed,
+		MaxOps:   opt.maxOps,
+	})
+	return res, false, err
+}
+
+// selfHost serves a fresh metered object over a loopback listener — a
+// per-run tsserved — and returns the target plus its teardown.
+func selfHost(ctx context.Context, alg string, procs int, hc *http.Client) (tsload.Target, func(), error) {
+	obj, err := tsspace.New(tsspace.WithAlgorithm(alg), tsspace.WithProcs(procs), tsspace.WithMetering())
+	if err != nil {
+		return nil, nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		obj.Close()
+		return nil, nil, err
+	}
+	srv := &http.Server{Handler: tsserve.NewServer(obj, tsserve.ServerConfig{})}
+	go func() { _ = srv.Serve(ln) }()
+	stop := func() {
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(shutdownCtx)
+		obj.Close()
+	}
+	target, err := tsload.NewHTTP(ctx, "http://"+ln.Addr().String(), hc)
+	if err != nil {
+		stop()
+		return nil, nil, err
+	}
+	return target, stop, nil
+}
+
+func writeBench(dir, scenario string, results []tsload.Result) (string, error) {
+	return tsload.WriteBench(dir, tsload.BenchReport{
+		Paper:       "conf_podc_HelmiHPW11",
+		Scenario:    scenario,
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Host:        tsload.CurrentHost(),
+		Results:     results,
+	})
+}
+
+// row renders one result as a log line.
+func row(r tsload.Result) string {
+	flags := ""
+	if r.BudgetSpent {
+		flags = " budget-spent"
+	}
+	if r.Errors > 0 {
+		flags += fmt.Sprintf(" errors=%d", r.Errors)
+	}
+	if r.HBViolations > 0 {
+		flags += fmt.Sprintf(" HB-VIOLATIONS=%d", r.HBViolations)
+	}
+	return fmt.Sprintf("%-8s %-6s %-10s %10.0f ops/s  p50=%-8s p99=%-8s p999=%-8s max=%-8s n=%d%s",
+		r.Mix, r.Target, r.Algorithm, r.Throughput,
+		time.Duration(r.LatencyNs.P50), time.Duration(r.LatencyNs.P99),
+		time.Duration(r.LatencyNs.P999), time.Duration(r.LatencyNs.Max),
+		r.Ops, flags)
+}
+
+// runSmoke is the CI gate: a short ops-bounded closed-loop sweep of every
+// mix against both targets for a long-lived and a one-shot algorithm,
+// failing on any error, any happens-before violation, or an empty row.
+// All rows land in one BENCH_smoke.json.
+func runSmoke(ctx context.Context, out string, opt options) error {
+	opt.workers = 4
+	opt.rate = 0
+	opt.duration = 2 * time.Second
+	opt.warmup = 50 * time.Millisecond
+	opt.maxOps = 1200
+	opt.oneshotProcs = 2048
+
+	algs := []string{"collect", "sqrt"}
+	if opt.url != "" {
+		// The external daemon's algorithm joins the roster, so the spawned
+		// tsserved is exercised no matter what it serves.
+		t, err := tsload.NewHTTP(ctx, opt.url, opt.hc)
+		if err != nil {
+			return err
+		}
+		algs = append(algs, t.Algorithm())
+		sort.Strings(algs)
+		algs = slices.Compact(algs)
+	}
+
+	var results []tsload.Result
+	for _, mix := range tsload.Mixes() {
+		rows, err := sweep(ctx, mix, algs, []string{"inproc", "http"}, opt)
+		if err != nil {
+			return err
+		}
+		results = append(results, rows...)
+	}
+
+	path, err := writeBench(out, "smoke", results)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d rows)\n", path, len(results))
+
+	seen := map[string]bool{}
+	for _, r := range results {
+		if r.Errors > 0 {
+			return fmt.Errorf("%s/%s/%s: %d op errors", r.Mix, r.Target, r.Algorithm, r.Errors)
+		}
+		if r.HBViolations > 0 {
+			return fmt.Errorf("%s/%s/%s: %d happens-before violations", r.Mix, r.Target, r.Algorithm, r.HBViolations)
+		}
+		if r.Ops == 0 {
+			return fmt.Errorf("%s/%s/%s: no measured ops", r.Mix, r.Target, r.Algorithm)
+		}
+		if r.LatencyNs.P50 > r.LatencyNs.P99 || r.LatencyNs.P99 > r.LatencyNs.P999 {
+			return fmt.Errorf("%s/%s/%s: percentiles not monotone: %v", r.Mix, r.Target, r.Algorithm, r.LatencyNs)
+		}
+		seen[r.Target] = true
+	}
+	if !seen["inproc"] || !seen["http"] {
+		return fmt.Errorf("smoke must cover both targets, saw %v", seen)
+	}
+	return nil
+}

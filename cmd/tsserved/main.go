@@ -83,12 +83,6 @@ func main() {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	go func() {
-		<-ctx.Done()
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-		defer cancel()
-		_ = srv.Shutdown(shutdownCtx)
-	}()
 
 	kind := "long-lived"
 	if obj.OneShot() {
@@ -96,11 +90,37 @@ func main() {
 	}
 	log.Printf("tsserved: serving %s (%s) on %s: n=%d processes, %d registers",
 		obj.Algorithm(), kind, *addr, obj.Procs(), obj.Registers())
-	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+
+	select {
+	case err := <-errCh:
+		// The listener died on its own (bad address, port taken).
 		fmt.Fprintf(os.Stderr, "tsserved: %v\n", err)
 		os.Exit(1)
+	case <-ctx.Done():
+		// SIGINT/SIGTERM: stop accepting, drain in-flight batches (a /getts
+		// batch keeps its session leased until the last timestamp is
+		// issued), then exit cleanly so load runs against a local daemon
+		// always end with complete responses.
+		stop() // a second signal kills immediately
+		log.Printf("tsserved: signal received, draining in-flight requests (%s timeout)", shutdownTimeout)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("tsserved: drain incomplete: %v", err)
+			_ = srv.Close()
+			os.Exit(1)
+		}
+		<-errCh // ListenAndServe has returned http.ErrServerClosed
+		log.Printf("tsserved: drained, bye")
 	}
 }
+
+// shutdownTimeout bounds the drain: in-flight requests get this long to
+// complete before the daemon gives up and closes their connections.
+const shutdownTimeout = 5 * time.Second
 
 // runSmoke drives one batched /getts through a running daemon and asserts
 // the happens-before property across the batch with /compare round trips.

@@ -1,0 +1,242 @@
+// Package hist is a log-bucketed latency histogram in the HdrHistogram
+// family: constant-space, constant-time recording with a bounded relative
+// error, safe for concurrent recording, and mergeable across workers.
+//
+// Values (nanoseconds, but the package is unit-agnostic) are placed in
+// buckets whose width doubles every subCount values: values below
+// 2·subCount land in exact unit buckets, and every larger bucket spans
+// value/subCount at most, so any quantile read off the histogram is within
+// a factor 1/(2·subCount) ≈ 1.6% of the sample it stands for. True Min and
+// Max are tracked exactly on the side.
+//
+// All methods are safe for concurrent use: Record is a handful of atomic
+// adds on a fixed array (no allocation, no locking), which is what lets
+// the tsload workers and the tsserve handlers record on the operation path.
+// Readers (Quantile, Summarize, Merge) see an atomically-consistent-enough
+// view: each counter is loaded atomically, so a snapshot taken while
+// writers are active is a valid histogram of *some* recent prefix of the
+// recorded values.
+package hist
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+const (
+	// subBits fixes the precision: each power-of-two range is split into
+	// subCount linear sub-buckets, bounding the relative quantile error by
+	// 1/(2·subCount).
+	subBits  = 5
+	subCount = 1 << subBits // 32
+
+	// numBuckets covers the full non-negative int64 range: exponents
+	// 0..(63-subBits) of subCount sub-buckets each, plus the exact region.
+	numBuckets = (64 - subBits) * subCount
+)
+
+// H is one histogram. The zero value is not ready for use; call New.
+type H struct {
+	counts [numBuckets]atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Int64
+	min    atomic.Int64 // valid only when count > 0
+	max    atomic.Int64
+}
+
+// New returns an empty histogram.
+func New() *H {
+	h := &H{}
+	h.min.Store(math.MaxInt64)
+	return h
+}
+
+// bucketIndex maps a value to its bucket. Values below 2·subCount are
+// exact; above, the top subBits+1 significant bits select the bucket.
+func bucketIndex(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	u := uint64(v)
+	if u < subCount {
+		return int(u)
+	}
+	exp := bits.Len64(u) - 1 - subBits // ≥ 0 here
+	sub := u >> uint(exp)              // in [subCount, 2·subCount)
+	return (exp+1)*subCount + int(sub) - subCount
+}
+
+// bucketMid returns the midpoint of bucket idx — the value reported for
+// any sample that landed in it.
+func bucketMid(idx int) int64 {
+	if idx < 2*subCount {
+		return int64(idx) // exact region: width-1 buckets
+	}
+	exp := idx/subCount - 1
+	sub := uint64(idx%subCount + subCount)
+	lo := sub << uint(exp)
+	width := uint64(1) << uint(exp)
+	return int64(lo + width/2)
+}
+
+// Record adds one value. Negative values are clamped to 0 (a latency
+// histogram records durations; a clock step backwards is noise, not data).
+//
+// count is published last: a reader that observes Count() > 0 is
+// guaranteed the min/max of at least that record are in place, so a live
+// Summarize never sees the empty-histogram min sentinel. In-flight
+// records that have updated buckets but not yet count only make min/max
+// more extreme, never less valid.
+func (h *H) Record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.counts[bucketIndex(v)].Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.min.Load()
+		if v >= cur || h.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	h.count.Add(1)
+}
+
+// Count returns the number of recorded values.
+func (h *H) Count() uint64 { return h.count.Load() }
+
+// Min returns the smallest recorded value (exact), or 0 when empty.
+func (h *H) Min() int64 {
+	if h.count.Load() == 0 {
+		return 0
+	}
+	return h.min.Load()
+}
+
+// Max returns the largest recorded value (exact), or 0 when empty.
+func (h *H) Max() int64 { return h.max.Load() }
+
+// Mean returns the arithmetic mean of the recorded values (exact, from the
+// running sum), or 0 when empty.
+func (h *H) Mean() float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / float64(n)
+}
+
+// Quantile returns an estimate of the q-quantile (0 ≤ q ≤ 1) of the
+// recorded values: the midpoint of the bucket holding the sample of rank
+// ⌈q·count⌉, so the estimate is within one bucket width (≤ value/subCount)
+// of that sample. Quantile(0) is Min and Quantile(1) is Max, both exact.
+// An empty histogram reports 0.
+func (h *H) Quantile(q float64) int64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.Min()
+	}
+	if q >= 1 {
+		return h.Max()
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen uint64
+	for i := range h.counts {
+		seen += h.counts[i].Load()
+		if seen >= rank {
+			return h.clamp(bucketMid(i))
+		}
+	}
+	return h.Max() // racing writers: rank computed from a newer count
+}
+
+// clamp keeps a bucket-midpoint estimate inside the exactly-tracked value
+// range, so no quantile ever reads above Max or below Min.
+func (h *H) clamp(v int64) int64 {
+	if mx := h.max.Load(); v > mx {
+		return mx
+	}
+	if mn := h.min.Load(); v < mn {
+		return mn
+	}
+	return v
+}
+
+// Merge adds other's recorded values into h. Merging is commutative and
+// associative (all histograms share one fixed bucket geometry), so
+// per-worker histograms fold into one in any order.
+func (h *H) Merge(other *H) {
+	if other == nil {
+		return
+	}
+	for i := range h.counts {
+		if c := other.counts[i].Load(); c > 0 {
+			h.counts[i].Add(c)
+		}
+	}
+	n := other.count.Load()
+	if n == 0 {
+		return
+	}
+	h.sum.Add(other.sum.Load())
+	for {
+		cur, v := h.min.Load(), other.min.Load()
+		if v >= cur || h.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur, v := h.max.Load(), other.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	h.count.Add(n) // last, as in Record: count > 0 implies min/max are set
+}
+
+// Summary is a fixed percentile digest of a histogram, the shape the
+// BENCH_*.json files and the /metrics endpoint publish.
+type Summary struct {
+	Count uint64  `json:"count"`
+	Min   int64   `json:"min"`
+	Mean  float64 `json:"mean"`
+	P50   int64   `json:"p50"`
+	P90   int64   `json:"p90"`
+	P99   int64   `json:"p99"`
+	P999  int64   `json:"p999"`
+	Max   int64   `json:"max"`
+}
+
+// Summarize digests the histogram into its fixed percentiles.
+func (h *H) Summarize() Summary {
+	return Summary{
+		Count: h.Count(),
+		Min:   h.Min(),
+		Mean:  h.Mean(),
+		P50:   h.Quantile(0.50),
+		P90:   h.Quantile(0.90),
+		P99:   h.Quantile(0.99),
+		P999:  h.Quantile(0.999),
+		Max:   h.Max(),
+	}
+}
+
+// String renders the digest for logs.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d min=%d p50=%d p90=%d p99=%d p999=%d max=%d",
+		s.Count, s.Min, s.P50, s.P90, s.P99, s.P999, s.Max)
+}

@@ -1,0 +1,233 @@
+package hist
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// exactQuantile returns the rank-⌈q·n⌉ element of sorted — the sample the
+// histogram's Quantile estimates.
+func exactQuantile(sorted []int64, q float64) int64 {
+	rank := int(math.Ceil(q * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// checkQuantiles asserts every estimated quantile is within one bucket
+// width of the exact sample: |est − exact| ≤ max(1, exact/subCount).
+func checkQuantiles(t *testing.T, h *H, values []int64) {
+	t.Helper()
+	sorted := append([]int64(nil), values...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for _, q := range []float64{0, 0.1, 0.25, 0.5, 0.9, 0.99, 0.999, 1} {
+		got := h.Quantile(q)
+		want := exactQuantile(sorted, q)
+		bound := want / subCount
+		if bound < 1 {
+			bound = 1
+		}
+		if diff := got - want; diff < -bound || diff > bound {
+			t.Errorf("Quantile(%v) = %d, exact sample %d: off by %d, bound %d",
+				q, got, want, diff, bound)
+		}
+	}
+	if h.Min() != sorted[0] {
+		t.Errorf("Min = %d, want %d (exact)", h.Min(), sorted[0])
+	}
+	if h.Max() != sorted[len(sorted)-1] {
+		t.Errorf("Max = %d, want %d (exact)", h.Max(), sorted[len(sorted)-1])
+	}
+}
+
+func TestQuantileAccuracyUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	values := make([]int64, 10000)
+	h := New()
+	for i := range values {
+		values[i] = rng.Int63n(5_000_000) // up to 5ms in ns
+		h.Record(values[i])
+	}
+	checkQuantiles(t, h, values)
+}
+
+func TestQuantileAccuracyLogNormal(t *testing.T) {
+	// Latency-shaped: a tight body with a heavy tail across many orders of
+	// magnitude — the regime the log bucketing exists for.
+	rng := rand.New(rand.NewSource(2))
+	values := make([]int64, 20000)
+	h := New()
+	for i := range values {
+		v := int64(math.Exp(rng.NormFloat64()*2 + 10)) // median e^10 ≈ 22µs
+		values[i] = v
+		h.Record(v)
+	}
+	checkQuantiles(t, h, values)
+}
+
+func TestQuantileAccuracySmallAndExactRegion(t *testing.T) {
+	values := []int64{0, 1, 1, 2, 3, 5, 8, 13, 21, 34, 55}
+	h := New()
+	for _, v := range values {
+		h.Record(v)
+	}
+	checkQuantiles(t, h, values)
+	// The sub-2·subCount region is exact, not just bounded.
+	if got := h.Quantile(0.5); got != 5 {
+		t.Errorf("median of %v = %d, want exactly 5", values, got)
+	}
+}
+
+func TestEmptyAndNegative(t *testing.T) {
+	h := New()
+	if h.Count() != 0 || h.Quantile(0.5) != 0 || h.Min() != 0 || h.Max() != 0 || h.Mean() != 0 {
+		t.Errorf("empty histogram not all-zero: %+v", h.Summarize())
+	}
+	h.Record(-17) // clamped to 0
+	if h.Count() != 1 || h.Min() != 0 || h.Max() != 0 {
+		t.Errorf("negative record not clamped to 0: %+v", h.Summarize())
+	}
+}
+
+func TestBucketRoundTrip(t *testing.T) {
+	// Every bucket's midpoint must map back to the same bucket, and indexes
+	// must be monotone in the value.
+	prev := -1
+	for _, v := range []int64{0, 1, 31, 32, 63, 64, 100, 1000, 1 << 20, 1<<40 + 12345, math.MaxInt64} {
+		idx := bucketIndex(v)
+		if idx < prev {
+			t.Errorf("bucketIndex not monotone at %d: %d < %d", v, idx, prev)
+		}
+		prev = idx
+		if idx < 0 || idx >= numBuckets {
+			t.Fatalf("bucketIndex(%d) = %d out of range [0, %d)", v, idx, numBuckets)
+		}
+		if back := bucketIndex(bucketMid(idx)); back != idx {
+			t.Errorf("bucketMid(%d) = %d maps to bucket %d", idx, bucketMid(idx), back)
+		}
+	}
+}
+
+func TestMergeAssociativityAndCommutativity(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	parts := make([]([]int64), 3)
+	var all []int64
+	for i := range parts {
+		parts[i] = make([]int64, 1000*(i+1))
+		for j := range parts[i] {
+			parts[i][j] = rng.Int63n(1 << uint(10+8*i))
+		}
+		all = append(all, parts[i]...)
+	}
+	fill := func(vs []int64) *H {
+		h := New()
+		for _, v := range vs {
+			h.Record(v)
+		}
+		return h
+	}
+
+	// (a ∪ b) ∪ c
+	left := fill(parts[0])
+	left.Merge(fill(parts[1]))
+	left.Merge(fill(parts[2]))
+	// a ∪ (c ∪ b) — different association and order
+	right := fill(parts[0])
+	cb := fill(parts[2])
+	cb.Merge(fill(parts[1]))
+	right.Merge(cb)
+	// direct recording of the union
+	direct := fill(all)
+
+	for _, h := range []*H{left, right} {
+		if h.Summarize() != direct.Summarize() {
+			t.Errorf("merge digest differs from direct recording:\n merged: %v\n direct: %v",
+				h.Summarize(), direct.Summarize())
+		}
+	}
+	if left.Summarize() != right.Summarize() {
+		t.Errorf("merge not associative/commutative:\n left:  %v\n right: %v",
+			left.Summarize(), right.Summarize())
+	}
+	checkQuantiles(t, left, all)
+}
+
+func TestMergeEmptyAndNil(t *testing.T) {
+	h := New()
+	h.Record(42)
+	h.Merge(nil)
+	h.Merge(New())
+	if h.Count() != 1 || h.Min() != 42 || h.Max() != 42 {
+		t.Errorf("merge with nil/empty changed the histogram: %+v", h.Summarize())
+	}
+	empty := New()
+	empty.Merge(h)
+	if empty.Count() != 1 || empty.Min() != 42 {
+		t.Errorf("merge into empty lost data: %+v", empty.Summarize())
+	}
+}
+
+func TestConcurrentRecord(t *testing.T) {
+	const workers = 8
+	const perWorker = 5000
+	h := New()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < perWorker; i++ {
+				h.Record(rng.Int63n(1_000_000))
+				if i%100 == 0 {
+					_ = h.Quantile(0.99) // concurrent reads must be safe too
+					_ = h.Summarize()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Count() != workers*perWorker {
+		t.Fatalf("Count = %d, want %d", h.Count(), workers*perWorker)
+	}
+	var sum uint64
+	for i := range h.counts {
+		sum += h.counts[i].Load()
+	}
+	if sum != workers*perWorker {
+		t.Fatalf("bucket counts sum to %d, want %d", sum, workers*perWorker)
+	}
+}
+
+func TestConcurrentMerge(t *testing.T) {
+	const workers = 8
+	const perWorker = 2000
+	parts := make([]*H, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		parts[w] = New()
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + w)))
+			for i := 0; i < perWorker; i++ {
+				parts[w].Record(rng.Int63n(1_000_000))
+			}
+		}(w)
+	}
+	wg.Wait()
+	total := New()
+	for _, p := range parts {
+		total.Merge(p)
+	}
+	if total.Count() != workers*perWorker {
+		t.Fatalf("merged Count = %d, want %d", total.Count(), workers*perWorker)
+	}
+}

@@ -1,0 +1,114 @@
+package all_test
+
+import (
+	"reflect"
+	"testing"
+
+	"tsspace/internal/timestamp"
+	_ "tsspace/internal/timestamp/all"
+)
+
+// The expected catalog: every implementation the repository ships, with
+// its one-shot and mutant flags. A new implementation package must be
+// added both to all.go and here — this test is the inventory check that
+// keeps the blank-import list honest.
+var expected = []struct {
+	name    string
+	oneShot bool
+	mutant  bool
+}{
+	{"collect", false, false},
+	{"collect-stale-scan", false, true},
+	{"dense", false, false},
+	{"dense-two-silent", false, true},
+	{"fas", false, false},
+	{"simple", true, false},
+	{"sqrt", true, false},
+	// The broken-repair mutant is the M-bounded long-lived form (§6
+	// header), so it is not one-shot.
+	{"sqrt-broken-norepair", false, true},
+}
+
+func TestCatalogComplete(t *testing.T) {
+	var wantAll, wantCorrect []string
+	for _, e := range expected {
+		wantAll = append(wantAll, e.name)
+		if !e.mutant {
+			wantCorrect = append(wantCorrect, e.name)
+		}
+	}
+	if got := timestamp.AllNames(); !reflect.DeepEqual(got, wantAll) {
+		t.Errorf("AllNames() = %v, want %v", got, wantAll)
+	}
+	if got := timestamp.Names(); !reflect.DeepEqual(got, wantCorrect) {
+		t.Errorf("Names() = %v, want %v (mutants must be excluded)", got, wantCorrect)
+	}
+}
+
+func TestCatalogInfoCoherent(t *testing.T) {
+	for _, e := range expected {
+		t.Run(e.name, func(t *testing.T) {
+			info, ok := timestamp.Lookup(e.name)
+			if !ok {
+				t.Fatalf("%q not registered", e.name)
+			}
+			if info.Name != e.name {
+				t.Errorf("Info.Name = %q, want %q", info.Name, e.name)
+			}
+			if info.Summary == "" {
+				t.Error("Info.Summary is empty")
+			}
+			if info.Mutant != e.mutant {
+				t.Errorf("Info.Mutant = %v, want %v", info.Mutant, e.mutant)
+			}
+			if info.New == nil {
+				t.Fatal("Info.New is nil")
+			}
+			if info.MinProcs < 1 || info.ExploreCalls < 1 {
+				t.Errorf("defaults not normalized: MinProcs=%d ExploreCalls=%d", info.MinProcs, info.ExploreCalls)
+			}
+			if info.OneShot != e.oneShot {
+				t.Errorf("Info.OneShot = %v, want %v", info.OneShot, e.oneShot)
+			}
+
+			// The constructor must work at its own declared minimum, and the
+			// constructed object's self-description must match the registration.
+			alg := info.New(info.MinProcs)
+			if alg == nil {
+				t.Fatalf("New(%d) returned nil", info.MinProcs)
+			}
+			if alg.OneShot() != info.OneShot {
+				t.Errorf("constructed OneShot() = %v contradicts Info.OneShot = %v", alg.OneShot(), info.OneShot)
+			}
+			if alg.Registers() < 1 {
+				t.Errorf("Registers() = %d, want ≥ 1", alg.Registers())
+			}
+			// Mutants deliberately reuse their base algorithm's Name() so
+			// counterexample traces render identically; correct algorithms
+			// must self-identify by their registry key.
+			if !e.mutant && alg.Name() != e.name {
+				t.Errorf("Name() = %q, want %q", alg.Name(), e.name)
+			}
+		})
+	}
+}
+
+func TestCatalogOneShotBudget(t *testing.T) {
+	// Every one-shot registration must reject a second call per process —
+	// the M-budget contract the SDK and the load driver build on.
+	for _, e := range expected {
+		if !e.oneShot || e.mutant {
+			continue
+		}
+		t.Run(e.name, func(t *testing.T) {
+			alg := timestamp.MustNew(e.name, 4)
+			mem := timestamp.NewMem(alg)
+			if _, err := alg.GetTS(mem, 0, 0); err != nil {
+				t.Fatalf("first getTS: %v", err)
+			}
+			if _, err := alg.GetTS(mem, 0, 1); err == nil {
+				t.Error("second getTS by the same process succeeded on a one-shot object")
+			}
+		})
+	}
+}

@@ -24,6 +24,12 @@ type Info struct {
 	// New constructs the implementation for n processes (for one-shot
 	// objects n is also the total call budget M).
 	New func(n int) Algorithm
+	// OneShot declares whether the implementation issues at most one
+	// timestamp per process. It must match what constructed instances
+	// report (the catalog test asserts it), and exists so consumers can
+	// plan capacity — e.g. pick a budget-sized process count — without
+	// constructing a throwaway object.
+	OneShot bool
 	// MinProcs is the smallest process count the constructor accepts;
 	// values < 1 mean 1.
 	MinProcs int

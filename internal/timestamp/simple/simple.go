@@ -40,6 +40,7 @@ func init() {
 		Name:    "simple",
 		Summary: "one-shot object on ⌈n/2⌉ two-writer registers (Algorithms 1–2, §5)",
 		New:     func(n int) timestamp.Algorithm { return New(n) },
+		OneShot: true,
 	})
 }
 

@@ -78,6 +78,7 @@ func init() {
 		Name:    "sqrt",
 		Summary: "one-shot object on ⌈2√n⌉ registers (Algorithms 3–4, Theorem 1.3 — space-optimal)",
 		New:     func(n int) timestamp.Algorithm { return New(n) },
+		OneShot: true,
 	})
 	timestamp.Register(timestamp.Info{
 		Name:    "sqrt-broken-norepair",

@@ -1,0 +1,107 @@
+package tsload
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Mix shapes the operation stream of a run, mirroring the scenario
+// vocabulary of internal/engine at the session level: what the engine
+// expresses as goroutine structure over (pid, seq) pairs, a mix expresses
+// as session lifecycles and op kinds over the public surfaces.
+type Mix struct {
+	// Name is the registry key ("steady", "churn", ...) and the scenario
+	// part of the BENCH_<name>.json file name.
+	Name string
+	// Summary is one line for flag help and reports.
+	Summary string
+	// AttachEvery is the number of getTS calls a worker performs per
+	// session lease before detaching and re-attaching; 0 keeps one session
+	// for the whole run (the long-lived steady state). Against one-shot
+	// targets the driver forces 1 — a one-shot paper-process has exactly
+	// one timestamp to give.
+	AttachEvery int
+	// CompareFrac is the fraction of operations that are compare(t1, t2)
+	// over previously issued timestamps instead of getTS, drawn per-op from
+	// the worker's seeded RNG.
+	CompareFrac float64
+	// BurstSize > 1 groups operations into bursts: open-loop arrivals come
+	// BurstSize at a time at the same intended instant (rate preserved on
+	// average); closed-loop workers pause for BurstGap between bursts.
+	BurstSize int
+}
+
+// Kind renders the mix parameters the way engine workloads render theirs.
+func (m Mix) Kind() string {
+	var parts []string
+	switch m.AttachEvery {
+	case 0:
+		parts = append(parts, "long-lived")
+	case 1:
+		parts = append(parts, "churn")
+	default:
+		parts = append(parts, fmt.Sprintf("reattach-every-%d", m.AttachEvery))
+	}
+	if m.CompareFrac > 0 {
+		parts = append(parts, fmt.Sprintf("compare=%.0f%%", m.CompareFrac*100))
+	}
+	if m.BurstSize > 1 {
+		parts = append(parts, fmt.Sprintf("burst=%d", m.BurstSize))
+	}
+	return strings.Join(parts, "/")
+}
+
+// builtinMixes is the scenario catalog: the four paper-shaped mixes every
+// cmd/tsload run sweeps. Order is presentation order.
+var builtinMixes = []Mix{
+	{
+		Name:        "steady",
+		Summary:     "long-lived steady state: every worker holds one session and issues timestamps back to back",
+		AttachEvery: 0,
+	},
+	{
+		Name:        "churn",
+		Summary:     "one-shot churn: attach, take one timestamp, detach — the session layer under maximal lease recycling",
+		AttachEvery: 1,
+	},
+	{
+		Name:        "burst",
+		Summary:     "phased bursts: operations arrive in groups with idle gaps, the engine's Phased shape as traffic",
+		AttachEvery: 0,
+		BurstSize:   16,
+	},
+	{
+		Name:        "compare",
+		Summary:     "compare-heavy read mix: 90% compare over previously issued timestamps, 10% getTS",
+		AttachEvery: 0,
+		CompareFrac: 0.9,
+	},
+}
+
+// Mixes returns the built-in mix catalog, sorted by name.
+func Mixes() []Mix {
+	out := append([]Mix(nil), builtinMixes...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// MixNames returns the sorted names of the built-in mixes.
+func MixNames() []string {
+	mixes := Mixes()
+	names := make([]string, len(mixes))
+	for i, m := range mixes {
+		names[i] = m.Name
+	}
+	return names
+}
+
+// LookupMix resolves a built-in mix by name.
+func LookupMix(name string) (Mix, bool) {
+	for _, m := range builtinMixes {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return Mix{}, false
+}

@@ -1,0 +1,85 @@
+package tsload
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+)
+
+// BenchSchema versions the BENCH_*.json layout.
+const BenchSchema = "tsload/bench/v1"
+
+// Host describes the machine a BENCH file was produced on.
+type Host struct {
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"num_cpu"`
+	GoVersion string `json:"go_version"`
+}
+
+// CurrentHost captures the running process's host facts.
+func CurrentHost() Host {
+	return Host{
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		GoVersion: runtime.Version(),
+	}
+}
+
+// BenchReport is the body of one BENCH_<scenario>.json file: the machine-
+// readable perf trajectory entry a cmd/tsload run leaves behind.
+type BenchReport struct {
+	Schema   string `json:"schema"`
+	Paper    string `json:"paper"`
+	Scenario string `json:"scenario"`
+	// GeneratedAt is RFC3339, stamped by the CLI.
+	GeneratedAt string   `json:"generated_at"`
+	Host        Host     `json:"host"`
+	Results     []Result `json:"results"`
+}
+
+// BenchFileName returns the canonical file name for a scenario's report.
+func BenchFileName(scenario string) string {
+	return fmt.Sprintf("BENCH_%s.json", scenario)
+}
+
+// WriteBench writes the report to dir/BENCH_<scenario>.json (indented, so
+// the trajectory diffs readably), creating dir if needed, and returns the
+// path.
+func WriteBench(dir string, rep BenchReport) (string, error) {
+	if rep.Schema == "" {
+		rep.Schema = BenchSchema
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, BenchFileName(rep.Scenario))
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// ReadBench loads a BENCH_*.json file back, for tooling that tracks the
+// trajectory.
+func ReadBench(path string) (BenchReport, error) {
+	var rep BenchReport
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return rep, fmt.Errorf("%s: %w", path, err)
+	}
+	if rep.Schema != BenchSchema {
+		return rep, fmt.Errorf("%s: schema %q, want %q", path, rep.Schema, BenchSchema)
+	}
+	return rep, nil
+}

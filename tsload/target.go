@@ -1,0 +1,193 @@
+package tsload
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"tsspace"
+	"tsspace/tsserve"
+)
+
+// Target is a timestamp object under load: the driver speaks this
+// interface only, so the same workload mix runs against the in-process SDK
+// and against a tsserved daemon over HTTP, and the difference between the
+// two BENCH rows is exactly the wire.
+type Target interface {
+	// Kind names the backend in reports: "inproc" or "http".
+	Kind() string
+	// Algorithm is the registry name of the implementation under load.
+	Algorithm() string
+	// Procs is the object's paper-process count n (for one-shot targets,
+	// also the total getTS budget).
+	Procs() int
+	// OneShot reports whether the object issues at most one timestamp per
+	// process — the driver re-leases after every getTS and treats budget
+	// exhaustion as the natural end of the run.
+	OneShot() bool
+	// Attach leases one session. Sessions are not safe for concurrent use;
+	// each driver worker holds its own.
+	Attach(ctx context.Context) (Session, error)
+	// Compare asks the object whether t1 is ordered before t2.
+	Compare(ctx context.Context, t1, t2 tsspace.Timestamp) (bool, error)
+	// Space reports the object's register-space footprint, when the
+	// backend exposes one (in-process metering, or the /metrics space
+	// section over HTTP).
+	Space(ctx context.Context) (SpaceReport, bool)
+	// Close releases whatever the target owns.
+	Close() error
+}
+
+// Session is one leased paper-process of a Target.
+type Session interface {
+	// GetTS performs one getTS() instance.
+	GetTS(ctx context.Context) (tsspace.Timestamp, error)
+	// Detach returns the lease.
+	Detach() error
+}
+
+// SpaceReport is the register-space footprint of a target, as recorded in
+// BENCH_*.json (cf. the paper's Θ(√n) one-shot vs Θ(n) long-lived bounds).
+type SpaceReport struct {
+	Registers int    `json:"registers"`
+	Written   int    `json:"written"`
+	Reads     uint64 `json:"reads"`
+	Writes    uint64 `json:"writes"`
+}
+
+// IsExhausted reports whether err is the one-shot budget running out, on
+// either side of the wire: the SDK's typed errors directly, or a tsserve
+// APIError carrying the exhausted code.
+func IsExhausted(err error) bool {
+	return errors.Is(err, tsspace.ErrExhausted) || errors.Is(err, tsspace.ErrOneShot)
+}
+
+// InProc is the in-process backend: the driver calls the tsspace SDK
+// directly, with no serialization or scheduling between it and the
+// registers.
+type InProc struct {
+	obj *tsspace.Object
+}
+
+// NewInProc wraps an SDK object as a load target. The target takes
+// ownership: Close closes the object.
+func NewInProc(obj *tsspace.Object) *InProc { return &InProc{obj: obj} }
+
+// Kind returns "inproc".
+func (t *InProc) Kind() string { return "inproc" }
+
+// Algorithm returns the object's registry name.
+func (t *InProc) Algorithm() string { return t.obj.Algorithm() }
+
+// Procs returns the object's paper-process count.
+func (t *InProc) Procs() int { return t.obj.Procs() }
+
+// OneShot reports the object's one-shot flag.
+func (t *InProc) OneShot() bool { return t.obj.OneShot() }
+
+// Attach leases an SDK session.
+func (t *InProc) Attach(ctx context.Context) (Session, error) {
+	s, err := t.obj.Attach(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return inProcSession{s}, nil
+}
+
+// Compare never fails in process.
+func (t *InProc) Compare(_ context.Context, t1, t2 tsspace.Timestamp) (bool, error) {
+	return t.obj.Compare(t1, t2), nil
+}
+
+// Space reports the object's metered usage, when metering is on.
+func (t *InProc) Space(context.Context) (SpaceReport, bool) {
+	u, metered := t.obj.Usage()
+	if !metered {
+		return SpaceReport{}, false
+	}
+	return SpaceReport{Registers: u.Registers, Written: u.Written, Reads: u.Reads, Writes: u.Writes}, true
+}
+
+// Close closes the owned object.
+func (t *InProc) Close() error { return t.obj.Close() }
+
+type inProcSession struct{ s *tsspace.Session }
+
+func (s inProcSession) GetTS(ctx context.Context) (tsspace.Timestamp, error) { return s.s.GetTS(ctx) }
+func (s inProcSession) Detach() error                                        { return s.s.Detach() }
+
+// HTTP is the wire backend: every getTS is one POST /getts (count 1) and
+// every compare one POST /compare against a tsserved daemon, so its BENCH
+// rows price the full HTTP/JSON round trip. The daemon leases a server-side
+// session per request; an HTTP Session therefore carries no lease state and
+// Detach is free.
+type HTTP struct {
+	client *tsserve.Client
+	health tsserve.Health
+}
+
+// NewHTTP probes the daemon at baseURL and wraps it as a load target. hc
+// may be nil for http.DefaultClient; for high worker counts pass a client
+// whose transport allows enough idle connections per host.
+func NewHTTP(ctx context.Context, baseURL string, hc *http.Client) (*HTTP, error) {
+	c := tsserve.NewClient(baseURL, hc)
+	h, err := c.Health(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("tsload: probing %s: %w", baseURL, err)
+	}
+	if h.Status != "ok" {
+		return nil, fmt.Errorf("tsload: daemon at %s reports status %q", baseURL, h.Status)
+	}
+	return &HTTP{client: c, health: h}, nil
+}
+
+// Kind returns "http".
+func (t *HTTP) Kind() string { return "http" }
+
+// Algorithm returns the daemon's algorithm, as reported by /healthz.
+func (t *HTTP) Algorithm() string { return t.health.Algorithm }
+
+// Procs returns the daemon object's paper-process count.
+func (t *HTTP) Procs() int { return t.health.Procs }
+
+// OneShot reports the daemon object's one-shot flag.
+func (t *HTTP) OneShot() bool { return t.health.OneShot }
+
+// Attach returns a stateless wire session (the daemon leases per request).
+func (t *HTTP) Attach(context.Context) (Session, error) { return httpSession{t.client}, nil }
+
+// Compare round-trips /compare.
+func (t *HTTP) Compare(ctx context.Context, t1, t2 tsspace.Timestamp) (bool, error) {
+	return t.client.Compare(ctx, t1, t2)
+}
+
+// Space reads the /metrics space section, when the daemon is metered.
+func (t *HTTP) Space(ctx context.Context) (SpaceReport, bool) {
+	m, err := t.client.Metrics(ctx)
+	if err != nil || m.Space == nil {
+		return SpaceReport{}, false
+	}
+	return SpaceReport{
+		Registers: m.Space.Registers, Written: m.Space.Written,
+		Reads: m.Space.Reads, Writes: m.Space.Writes,
+	}, true
+}
+
+// Close is a no-op: the daemon belongs to whoever started it.
+func (t *HTTP) Close() error { return nil }
+
+type httpSession struct{ c *tsserve.Client }
+
+func (s httpSession) GetTS(ctx context.Context) (tsspace.Timestamp, error) {
+	ts, err := s.c.GetTS(ctx, 1)
+	if err != nil {
+		return tsspace.Timestamp{}, err
+	}
+	if len(ts) == 0 {
+		return tsspace.Timestamp{}, errors.New("tsload: daemon returned an empty /getts batch")
+	}
+	return ts[0], nil
+}
+
+func (s httpSession) Detach() error { return nil }

@@ -1,0 +1,568 @@
+// Package tsload drives paper-shaped traffic against a timestamp object
+// and measures it: the workload-generation and latency-measurement layer
+// between the tsspace SDK and the repository's experiments.
+//
+// A run is a Mix (steady, churn, burst, compare — the engine's scenario
+// vocabulary lifted to the session level) applied to a Target (the
+// in-process SDK or a tsserved daemon over HTTP) under one of two pacing
+// disciplines:
+//
+//   - closed loop (Rate == 0): Workers goroutines issue operations back to
+//     back — throughput is whatever the target sustains, latency is pure
+//     service time.
+//   - open loop (Rate > 0): operations *arrive* on a fixed schedule
+//     regardless of how the target is doing, and each operation's latency
+//     is measured from its intended arrival, not from when a worker got
+//     around to it. A slow target therefore shows its queueing delay
+//     instead of silently suppressing it — the coordinated-omission trap
+//     open-loop pacing exists to avoid.
+//
+// Runs are warmup/measure windowed, deterministically seeded (op-kind and
+// compare-operand draws come from per-worker RNGs derived from Config.Seed)
+// and land per-op latencies in per-worker internal/hist histograms that
+// merge into one digest. One-shot targets end naturally when the paper's
+// M-timestamp budget is spent; the driver flags it instead of failing.
+//
+// As a free correctness check, every worker asserts the happens-before
+// property on its own operation stream: its getTS calls are sequential, so
+// an earlier timestamp must compare before a later one whenever a compare
+// op samples a pair. Violations are counted, not fatal.
+package tsload
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tsspace"
+	"tsspace/internal/hist"
+)
+
+// Config parameterizes one Run.
+type Config struct {
+	// Mix is the workload shape; see Mixes for the built-in catalog.
+	Mix Mix
+	// Target is the object under load. Run does not close it.
+	Target Target
+	// Workers is the closed-loop concurrency, or the consumer pool bound
+	// (max in-flight operations) under open-loop pacing; values < 1 mean 8.
+	Workers int
+	// Rate switches to open-loop pacing: intended operation arrivals per
+	// second. 0 runs closed-loop.
+	Rate float64
+	// Warmup is discarded time before the measure window.
+	Warmup time.Duration
+	// Duration is the measure window; values <= 0 mean 1s.
+	Duration time.Duration
+	// BurstGap is the closed-loop idle gap between bursts when the mix has
+	// BurstSize > 1; values <= 0 mean 500µs.
+	BurstGap time.Duration
+	// Seed feeds the per-worker RNGs; same seed, same op-kind and
+	// compare-operand decisions.
+	Seed int64
+	// MaxOps ends the run once this many operations have been measured;
+	// 0 means time-bounded only.
+	MaxOps uint64
+}
+
+// Result is one BENCH row: everything measured about one (mix, target,
+// algorithm) run. Latency values are nanoseconds.
+type Result struct {
+	Mix       string  `json:"mix"`
+	MixKind   string  `json:"mix_kind"`
+	Target    string  `json:"target"`
+	Algorithm string  `json:"algorithm"`
+	Procs     int     `json:"procs"`
+	Mode      string  `json:"mode"` // "closed" or "open"
+	Workers   int     `json:"workers"`
+	Rate      float64 `json:"rate_per_sec,omitempty"`
+	Seed      int64   `json:"seed"`
+
+	// Ops counts measured operations (GetTSOps + CompareOps). Errors and
+	// HBViolations count over the whole run, warmup included.
+	Ops          uint64 `json:"ops"`
+	GetTSOps     uint64 `json:"getts_ops"`
+	CompareOps   uint64 `json:"compare_ops"`
+	Errors       uint64 `json:"errors"`
+	HBViolations uint64 `json:"hb_violations"`
+	// Dropped counts open-loop arrivals that could not even be queued
+	// (dispatch backlog full). Non-zero means the latency digest
+	// understates the overload — read it as a saturation flag.
+	Dropped uint64 `json:"dropped,omitempty"`
+	// BudgetSpent marks a one-shot target ending the run by exhausting its
+	// M-timestamp budget.
+	BudgetSpent bool `json:"budget_spent,omitempty"`
+
+	ElapsedSeconds float64      `json:"elapsed_seconds"`
+	Throughput     float64      `json:"throughput_ops_per_sec"`
+	LatencyNs      hist.Summary `json:"latency_ns"`
+
+	// AllocsPerOp and BytesPerOp are driver-process heap deltas over the
+	// measure window divided by measured ops. In-process runs price the
+	// SDK's allocation path; HTTP runs price the client stack (plus the
+	// server's, when it shares the process).
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+
+	// Space is the target's register-space footprint after the run, when
+	// the backend exposes one.
+	Space *SpaceReport `json:"space,omitempty"`
+}
+
+const (
+	phaseWarm int32 = iota
+	phaseMeasure
+	phaseDone
+
+	ringCap = 64 // per-worker window of recent timestamps for compare ops
+)
+
+type run struct {
+	cfg      Config
+	burst    int
+	burstGap time.Duration
+	attachEv int
+	duration time.Duration
+	warmEnd  time.Time
+	warmCap  int64 // getTS issues that end warmup early (one-shot); -1 = none
+	maxOps   uint64
+	cancel   context.CancelFunc
+
+	phase          atomic.Int32
+	flipOnce       sync.Once
+	finishOnce     sync.Once
+	measureStartNs atomic.Int64
+	measureEndNs   atomic.Int64
+	doneNs         atomic.Int64
+	memStart       runtime.MemStats
+
+	issuedTS     atomic.Uint64 // getTS attempts, all phases (drives warmCap)
+	measured     atomic.Uint64
+	measuredTS   atomic.Uint64
+	measuredCmp  atomic.Uint64
+	errs         atomic.Uint64
+	hbViolations atomic.Uint64
+	dropped      atomic.Uint64
+	budgetSpent  atomic.Bool
+}
+
+// Run executes one workload against cfg.Target and returns its Result. It
+// returns an error only for unusable configurations or a cancelled ctx;
+// operation failures are counted in the Result instead.
+func Run(ctx context.Context, cfg Config) (Result, error) {
+	if cfg.Target == nil {
+		return Result{}, errors.New("tsload: Config.Target is nil")
+	}
+	if cfg.Mix.Name == "" {
+		return Result{}, errors.New("tsload: Config.Mix has no name")
+	}
+	if cfg.Workers < 1 {
+		cfg.Workers = 8
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = time.Second
+	}
+	if cfg.BurstGap <= 0 {
+		cfg.BurstGap = 500 * time.Microsecond
+	}
+
+	r := &run{
+		cfg:      cfg,
+		burst:    cfg.Mix.BurstSize,
+		burstGap: cfg.BurstGap,
+		attachEv: cfg.Mix.AttachEvery,
+		duration: cfg.Duration,
+		warmCap:  -1,
+		maxOps:   cfg.MaxOps,
+	}
+	if cfg.Target.OneShot() {
+		// One paper-process, one timestamp: every lease is single-use, and
+		// warmup may spend at most a fifth of the M = procs budget so the
+		// measure window still sees the rest.
+		r.attachEv = 1
+		r.warmCap = int64(cfg.Target.Procs()) / 5
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	r.cancel = cancel
+
+	start := time.Now()
+	r.warmEnd = start.Add(cfg.Warmup)
+	r.tick(start)
+
+	// The phase clock must advance even when every worker is blocked inside
+	// an operation (e.g. a daemon that accepts but never replies): a
+	// watchdog ticks the run so the Duration deadline always fires,
+	// cancelling runCtx and unblocking ctx-aware operations.
+	go func() {
+		t := time.NewTicker(25 * time.Millisecond)
+		defer t.Stop()
+		for {
+			select {
+			case <-runCtx.Done():
+				return
+			case now := <-t.C:
+				r.tick(now)
+			}
+		}
+	}()
+
+	hists := make([]*hist.H, cfg.Workers)
+	var wg sync.WaitGroup
+	var tokens chan token
+	if cfg.Rate > 0 {
+		tokens = make(chan token, tokenBacklog(cfg))
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r.dispatch(runCtx, tokens)
+		}()
+	}
+	for w := 0; w < cfg.Workers; w++ {
+		hists[w] = hist.New()
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r.worker(runCtx, w, hists[w], tokens)
+		}(w)
+	}
+	wg.Wait()
+	r.finish(time.Now())
+
+	var memEnd runtime.MemStats
+	runtime.ReadMemStats(&memEnd)
+
+	merged := hist.New()
+	for _, h := range hists {
+		merged.Merge(h)
+	}
+
+	res := Result{
+		Mix:          cfg.Mix.Name,
+		MixKind:      cfg.Mix.Kind(),
+		Target:       cfg.Target.Kind(),
+		Algorithm:    cfg.Target.Algorithm(),
+		Procs:        cfg.Target.Procs(),
+		Mode:         "closed",
+		Workers:      cfg.Workers,
+		Rate:         cfg.Rate,
+		Seed:         cfg.Seed,
+		Ops:          r.measured.Load(),
+		GetTSOps:     r.measuredTS.Load(),
+		CompareOps:   r.measuredCmp.Load(),
+		Errors:       r.errs.Load(),
+		HBViolations: r.hbViolations.Load(),
+		Dropped:      r.dropped.Load(),
+		BudgetSpent:  r.budgetSpent.Load(),
+		LatencyNs:    merged.Summarize(),
+	}
+	if cfg.Rate > 0 {
+		res.Mode = "open"
+	}
+	// A flip that lost the race against an early finish can leave
+	// measureStartNs ≥ doneNs; such a run measured nothing.
+	if ms := r.measureStartNs.Load(); ms > 0 && r.doneNs.Load() > ms {
+		res.ElapsedSeconds = float64(r.doneNs.Load()-ms) / 1e9
+	}
+	if res.ElapsedSeconds > 0 {
+		res.Throughput = float64(res.Ops) / res.ElapsedSeconds
+	}
+	if res.Ops > 0 {
+		res.AllocsPerOp = float64(memEnd.Mallocs-r.memStart.Mallocs) / float64(res.Ops)
+		res.BytesPerOp = float64(memEnd.TotalAlloc-r.memStart.TotalAlloc) / float64(res.Ops)
+	}
+	// Space is post-run metadata: against an unresponsive HTTP target it
+	// must not hang the run that the watchdog just ended.
+	spaceCtx, cancelSpace := context.WithTimeout(ctx, 5*time.Second)
+	defer cancelSpace()
+	if sp, ok := cfg.Target.Space(spaceCtx); ok {
+		res.Space = &sp
+	}
+	if err := ctx.Err(); err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// tokenBacklog sizes the open-loop dispatch queue to hold every intended
+// arrival of the run, so an overloaded target queues arrivals (and their
+// waiting time lands in the latency digest) instead of stalling the
+// arrival process itself.
+func tokenBacklog(cfg Config) int {
+	const max = 1 << 20
+	// Compare in float space: an extreme Rate must hit the cap, not
+	// overflow the int conversion.
+	est := cfg.Rate*(cfg.Warmup+cfg.Duration).Seconds()*1.2 + float64(2*cfg.Workers) + 64
+	if !(est < max) {
+		return max
+	}
+	return int(est)
+}
+
+// tick advances the phase machine: warmup ends on the clock or on the
+// one-shot warmup budget; the measure window ends on the clock or on
+// MaxOps. Returns the current phase.
+func (r *run) tick(now time.Time) int32 {
+	switch r.phase.Load() {
+	case phaseWarm:
+		if !now.Before(r.warmEnd) || (r.warmCap >= 0 && int64(r.issuedTS.Load()) >= r.warmCap) {
+			r.flipOnce.Do(func() {
+				ns := now.UnixNano()
+				r.measureStartNs.Store(ns)
+				r.measureEndNs.Store(ns + r.duration.Nanoseconds())
+				runtime.ReadMemStats(&r.memStart)
+				// CAS, not Store: finish() may have ended the run (one-shot
+				// exhaustion during warmup) while this flip was in flight,
+				// and done must never be resurrected to measure.
+				r.phase.CompareAndSwap(phaseWarm, phaseMeasure)
+			})
+		}
+	case phaseMeasure:
+		if now.UnixNano() >= r.measureEndNs.Load() ||
+			(r.maxOps > 0 && r.measured.Load() >= r.maxOps) {
+			r.finish(now)
+		}
+	}
+	return r.phase.Load()
+}
+
+// finish ends the run: it freezes the measured window's end time and
+// releases every blocked worker.
+func (r *run) finish(now time.Time) {
+	r.finishOnce.Do(func() {
+		r.doneNs.Store(now.UnixNano())
+		r.phase.Store(phaseDone)
+		r.cancel()
+	})
+}
+
+// token is one open-loop arrival. Latency is measured against intended —
+// if every worker is busy when the token's moment comes, the wait in the
+// queue is part of the operation's latency.
+type token struct {
+	intended time.Time
+	measured bool
+}
+
+// dispatch generates the open-loop arrival schedule: one token per
+// 1/Rate seconds, or BurstSize tokens at once every BurstSize/Rate seconds
+// for burst mixes.
+func (r *run) dispatch(ctx context.Context, tokens chan<- token) {
+	defer close(tokens)
+	interval := time.Duration(float64(time.Second) / r.cfg.Rate)
+	group := 1
+	if r.burst > 1 {
+		group = r.burst
+	}
+	next := time.Now()
+	for {
+		ph := r.tick(time.Now())
+		if ph == phaseDone {
+			return
+		}
+		for i := 0; i < group; i++ {
+			select {
+			case tokens <- token{intended: next, measured: ph == phaseMeasure}:
+			default:
+				r.dropped.Add(1)
+			}
+		}
+		next = next.Add(interval * time.Duration(group))
+		// Sleep to the next arrival in bounded slices, ticking in between:
+		// at low rates the inter-arrival gap can exceed what remains of the
+		// measure window, and nobody else may be awake to end the run.
+		for {
+			d := time.Until(next)
+			if d <= 0 {
+				break
+			}
+			if d > 25*time.Millisecond {
+				d = 25 * time.Millisecond
+			}
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(d):
+			}
+			if r.tick(time.Now()) == phaseDone {
+				return
+			}
+		}
+	}
+}
+
+// tsRing is a worker's window of its most recent timestamps, indexed by
+// issue order so compare operands carry their expected verdict.
+type tsRing struct {
+	buf [ringCap]tsspace.Timestamp
+	n   uint64
+}
+
+func (g *tsRing) push(ts tsspace.Timestamp) {
+	g.buf[g.n%ringCap] = ts
+	g.n++
+}
+
+// pair samples two distinct logical indices from the live window and
+// returns (earlier, later).
+func (g *tsRing) pair(rng *rand.Rand) (older, newer tsspace.Timestamp, ok bool) {
+	lo := uint64(0)
+	if g.n > ringCap {
+		lo = g.n - ringCap
+	}
+	window := g.n - lo
+	if window < 2 {
+		return older, newer, false
+	}
+	i := lo + uint64(rng.Int63n(int64(window)))
+	j := lo + uint64(rng.Int63n(int64(window)-1))
+	if j >= i {
+		j++
+	}
+	if i > j {
+		i, j = j, i
+	}
+	return g.buf[i%ringCap], g.buf[j%ringCap], true
+}
+
+// worker issues operations until the run ends: paced by tokens under open
+// loop, back to back (with burst gaps) under closed loop.
+func (r *run) worker(ctx context.Context, id int, h *hist.H, tokens <-chan token) {
+	rng := rand.New(rand.NewSource(r.cfg.Seed*1000003 + int64(id)))
+	var sess Session
+	var leaseCalls int
+	var ring tsRing
+	defer func() {
+		if sess != nil {
+			_ = sess.Detach()
+		}
+	}()
+
+	opsInBurst := 0
+	for {
+		now := time.Now()
+		ph := r.tick(now)
+		if ph == phaseDone {
+			return
+		}
+
+		var tok token
+		if tokens != nil { // open loop: wait for the next arrival
+			var open bool
+			select {
+			case tok, open = <-tokens:
+				if !open {
+					return
+				}
+			case <-ctx.Done():
+				return
+			}
+		} else if r.burst > 1 && opsInBurst >= r.burst { // closed loop: burst gap
+			opsInBurst = 0
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(r.burstGap):
+			}
+			ph = r.tick(time.Now())
+			if ph == phaseDone {
+				return
+			}
+		}
+
+		isCompare := false
+		if r.cfg.Mix.CompareFrac > 0 && ring.n >= 2 {
+			isCompare = rng.Float64() < r.cfg.Mix.CompareFrac
+		}
+
+		start := time.Now()
+		err := r.doOp(ctx, rng, &sess, &leaseCalls, &ring, isCompare)
+		end := time.Now()
+		opsInBurst++
+
+		if err != nil {
+			if IsExhausted(err) {
+				r.budgetSpent.Store(true)
+				r.finish(end)
+				return
+			}
+			if ctx.Err() != nil {
+				return
+			}
+			r.errs.Add(1)
+			continue
+		}
+
+		lat := end.Sub(start)
+		record := ph == phaseMeasure
+		if tokens != nil {
+			lat = end.Sub(tok.intended)
+			record = tok.measured
+		}
+		if record {
+			h.Record(lat.Nanoseconds())
+			r.measured.Add(1)
+			if isCompare {
+				r.measuredCmp.Add(1)
+			} else {
+				r.measuredTS.Add(1)
+			}
+		}
+	}
+}
+
+// doOp performs one operation: a compare over two previously issued
+// timestamps (asserting their happens-before verdict), or a getTS under
+// the mix's session-lease policy.
+func (r *run) doOp(ctx context.Context, rng *rand.Rand, sess *Session, leaseCalls *int, ring *tsRing, isCompare bool) error {
+	if isCompare {
+		older, newer, ok := ring.pair(rng)
+		if !ok {
+			// The worker only chooses compare with ≥ 2 ringed timestamps;
+			// surfacing this as an error keeps the GetTSOps/CompareOps
+			// split honest if that invariant ever breaks.
+			return errors.New("tsload: internal: compare op with fewer than 2 timestamps in the ring")
+		}
+		before, err := r.cfg.Target.Compare(ctx, older, newer)
+		if err != nil {
+			return err
+		}
+		if !before {
+			r.hbViolations.Add(1)
+		}
+		return nil
+	}
+
+	r.issuedTS.Add(1)
+	if *sess == nil {
+		s, err := r.cfg.Target.Attach(ctx)
+		if err != nil {
+			return err
+		}
+		*sess = s
+		*leaseCalls = 0
+	}
+	ts, err := (*sess).GetTS(ctx)
+	if err != nil {
+		// A dead lease must not wedge the worker: drop it either way.
+		_ = (*sess).Detach()
+		*sess = nil
+		return err
+	}
+	ring.push(ts)
+	*leaseCalls++
+	if r.attachEv > 0 && *leaseCalls >= r.attachEv {
+		err := (*sess).Detach()
+		*sess = nil
+		if err != nil {
+			return fmt.Errorf("tsload: detach: %w", err)
+		}
+	}
+	return nil
+}

@@ -7,6 +7,7 @@
 //	POST /compare  {"t1": ..., "t2": ...} → {"before": true}
 //	GET  /healthz                      → object identity and status
 //	GET  /metrics                      → space report + throughput counters
+//	                                     + per-endpoint latency percentiles
 //
 // A /getts request leases one SDK session for its whole batch: the k
 // timestamps are issued back to back by one paper-process, so each
@@ -30,6 +31,7 @@ import (
 	"time"
 
 	"tsspace"
+	"tsspace/internal/hist"
 )
 
 // TS is the wire form of a timestamp: the (rnd, turn) pair of the
@@ -90,18 +92,34 @@ type Space struct {
 	Writes    uint64 `json:"writes"`
 }
 
+// Latency is the per-endpoint latency section of /metrics: a percentile
+// digest (nanoseconds, measured server-side around the whole handler) per
+// operation endpoint, keyed "getts" and "compare". Digests come from the
+// same log-bucketed histograms the tsload driver uses, so server-side and
+// driver-side percentiles are directly comparable.
+type Latency struct {
+	Count  uint64  `json:"count"`
+	MeanNs float64 `json:"mean_ns"`
+	P50Ns  int64   `json:"p50_ns"`
+	P90Ns  int64   `json:"p90_ns"`
+	P99Ns  int64   `json:"p99_ns"`
+	P999Ns int64   `json:"p999_ns"`
+	MaxNs  int64   `json:"max_ns"`
+}
+
 // Metrics is the /metrics body: the space report next to the throughput
-// counters.
+// counters and per-endpoint latency percentiles.
 type Metrics struct {
-	Algorithm      string  `json:"algorithm"`
-	Procs          int     `json:"procs"`
-	Calls          uint64  `json:"calls"`
-	Batches        uint64  `json:"batches"`
-	Attaches       uint64  `json:"attaches"`
-	ActiveSessions int     `json:"active_sessions"`
-	UptimeSeconds  float64 `json:"uptime_seconds"`
-	CallsPerSecond float64 `json:"calls_per_second"`
-	Space          *Space  `json:"space,omitempty"`
+	Algorithm      string             `json:"algorithm"`
+	Procs          int                `json:"procs"`
+	Calls          uint64             `json:"calls"`
+	Batches        uint64             `json:"batches"`
+	Attaches       uint64             `json:"attaches"`
+	ActiveSessions int                `json:"active_sessions"`
+	UptimeSeconds  float64            `json:"uptime_seconds"`
+	CallsPerSecond float64            `json:"calls_per_second"`
+	Space          *Space             `json:"space,omitempty"`
+	Latency        map[string]Latency `json:"latency,omitempty"`
 }
 
 // Error codes carried in error bodies, so clients can map failures back to
@@ -134,6 +152,7 @@ type Server struct {
 	start    time.Time
 	batches  atomic.Uint64
 	mux      *http.ServeMux
+	lat      map[string]*hist.H // per-endpoint handler latency, ns
 }
 
 // NewServer builds the front end for obj. The caller keeps ownership of
@@ -143,17 +162,31 @@ func NewServer(obj *tsspace.Object, cfg ServerConfig) *Server {
 	if maxBatch < 1 {
 		maxBatch = 1024
 	}
-	s := &Server{obj: obj, maxBatch: maxBatch, start: time.Now(), mux: http.NewServeMux()}
+	s := &Server{
+		obj: obj, maxBatch: maxBatch, start: time.Now(), mux: http.NewServeMux(),
+		lat: map[string]*hist.H{"getts": hist.New(), "compare": hist.New()},
+	}
 	for _, e := range tsspace.Catalog() {
 		if e.Name == obj.Algorithm() {
 			s.summary = e.Summary
 		}
 	}
-	s.mux.HandleFunc("POST /getts", s.handleGetTS)
-	s.mux.HandleFunc("POST /compare", s.handleCompare)
+	s.mux.HandleFunc("POST /getts", s.timed("getts", s.handleGetTS))
+	s.mux.HandleFunc("POST /compare", s.timed("compare", s.handleCompare))
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
+}
+
+// timed records the whole handler's wall time — decode to flush — into the
+// endpoint's histogram, so /metrics reports what callers of that endpoint
+// experienced minus only the network.
+func (s *Server) timed(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		h(w, r)
+		s.lat[endpoint].Record(time.Since(start).Nanoseconds())
+	}
 }
 
 // ServeHTTP implements http.Handler.
@@ -256,6 +289,17 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	if u, metered := s.obj.Usage(); metered {
 		m.Space = &Space{Registers: u.Registers, Written: u.Written, Reads: u.Reads, Writes: u.Writes}
+	}
+	m.Latency = make(map[string]Latency, len(s.lat))
+	for endpoint, h := range s.lat {
+		if h.Count() == 0 {
+			continue
+		}
+		d := h.Summarize()
+		m.Latency[endpoint] = Latency{
+			Count: d.Count, MeanNs: d.Mean,
+			P50Ns: d.P50, P90Ns: d.P90, P99Ns: d.P99, P999Ns: d.P999, MaxNs: d.Max,
+		}
 	}
 	writeJSON(w, http.StatusOK, m)
 }

@@ -160,6 +160,60 @@ func TestHealthzAndMetricsShape(t *testing.T) {
 	}
 }
 
+func TestMetricsEndpointLatency(t *testing.T) {
+	ctx := context.Background()
+	c, _ := newTestServer(t, tsspace.WithProcs(4))
+
+	// Before any operation, the latency section has no endpoints.
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Latency) != 0 {
+		t.Errorf("latency reported before any op: %+v", m.Latency)
+	}
+
+	const batches = 20
+	var first, last tsspace.Timestamp
+	for i := 0; i < batches; i++ {
+		ts, err := c.GetTS(ctx, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = ts[0]
+		}
+		last = ts[1]
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := c.Compare(ctx, first, last); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	m, err = c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	getts, ok := m.Latency["getts"]
+	if !ok {
+		t.Fatalf("no getts latency in %+v", m.Latency)
+	}
+	if getts.Count != batches {
+		t.Errorf("getts latency count %d, want %d (per request, not per timestamp)", getts.Count, batches)
+	}
+	if getts.P50Ns <= 0 || getts.P50Ns > getts.P99Ns || getts.P99Ns > getts.P999Ns || getts.P999Ns > getts.MaxNs {
+		t.Errorf("getts percentiles not positive-monotone: %+v", getts)
+	}
+	cmp, ok := m.Latency["compare"]
+	if !ok || cmp.Count != 5 {
+		t.Errorf("compare latency = %+v (ok=%v), want count 5", cmp, ok)
+	}
+	if _, ok := m.Latency["healthz"]; ok {
+		t.Error("non-operation endpoints must not be timed")
+	}
+}
+
 func TestRequestValidation(t *testing.T) {
 	c, obj := newTestServer(t, tsspace.WithProcs(2))
 	srvURL := strings.TrimSuffix(clientBase(c), "/")
