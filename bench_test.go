@@ -385,6 +385,56 @@ func BenchmarkSession_GetTS_Parallel(b *testing.B) {
 	}
 }
 
+// BenchmarkSession_GetTSBatch prices batch amortization on the SDK hot
+// path: one op is one GetTSBatch of the given size into a caller-owned
+// buffer, under real parallel sessions on flat and sharded scalar
+// arrays. allocs/op must be 0 at every size (the v2 acceptance bar); the
+// ns/ts metric is the per-timestamp cost the EXPERIMENTS.md E13 table
+// tracks — batch=1 pays the full per-call guard tax, batch=256 amortizes
+// it to noise, and the register accesses per timestamp (the paper's
+// measure) are identical at every size.
+func BenchmarkSession_GetTSBatch(b *testing.B) {
+	ctx := context.Background()
+	for _, size := range []int{1, 16, 256} {
+		for _, sharded := range []bool{false, true} {
+			mem := "flat"
+			if sharded {
+				mem = "sharded"
+			}
+			b.Run(fmt.Sprintf("batch=%d/%s", size, mem), func(b *testing.B) {
+				procs := runtime.GOMAXPROCS(0) * 2
+				opts := []tsspace.Option{tsspace.WithProcs(procs)}
+				if sharded {
+					opts = append(opts, tsspace.WithSharded())
+				}
+				obj, err := tsspace.New(opts...)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer obj.Close()
+				b.ReportAllocs()
+				b.ResetTimer()
+				b.RunParallel(func(pb *testing.PB) {
+					s, err := obj.Attach(ctx)
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					defer s.Detach()
+					buf := make([]tsspace.Timestamp, size)
+					for pb.Next() {
+						if _, err := s.GetTSBatch(ctx, buf); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				})
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/(float64(b.N)*float64(size)), "ns/ts")
+			})
+		}
+	}
+}
+
 // Ablation — the line-13 scan's equality strategy: the paper's
 // value-equality double collect (sound by Claim 6.1(b)) vs the
 // version-stamped variant (sound universally). Same behaviour, different

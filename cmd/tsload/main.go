@@ -13,14 +13,23 @@
 // Usage:
 //
 //	tsload [-scenarios all] [-algs all] [-targets inproc,http]
-//	       [-procs 64] [-oneshot-procs 4096] [-workers 16]
+//	       [-batch 1] [-procs 64] [-oneshot-procs 4096] [-workers 16]
 //	       [-rate 0] [-duration 2s] [-warmup 300ms] [-maxops 0]
 //	       [-seed 1] [-out .] [-url http://...]
 //	tsload -mixes               list the workload mixes
 //	tsload -smoke               short closed-loop sweep (all mixes, both
-//	                            targets, collect + sqrt) gated on zero
-//	                            errors and zero happens-before violations;
-//	                            writes BENCH_smoke.json
+//	                            targets, collect + sqrt; plus a batch-size
+//	                            sweep 1/16/256 over wire v2 and a
+//	                            shim-vs-batch=1 equivalence leg) gated on
+//	                            zero errors and zero happens-before
+//	                            violations; writes BENCH_smoke.json
+//
+// -batch takes a comma-separated list of batch sizes (timestamps per getTS
+// op via SessionAPI.GetTSBatch) and multiplies the sweep, so one run
+// prices batch=1 vs 16 vs 256 on both sides of the wire. The http target
+// speaks wire v2 (one session leased per worker, batches pipelined on it);
+// the http-shim target drives the deprecated single-request /getts
+// endpoint for comparison.
 //
 // Without -url, HTTP rows self-host a tsserved-equivalent server on a
 // loopback listener per run, so every algorithm gets a fresh daemon (and a
@@ -37,6 +46,7 @@ import (
 	"os"
 	"slices"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -62,7 +72,8 @@ type options struct {
 func main() {
 	scenarios := flag.String("scenarios", "all", "comma-separated mix names, or all: "+strings.Join(tsload.MixNames(), " | "))
 	algs := flag.String("algs", "all", "comma-separated algorithm names, or all: "+strings.Join(tsspace.Algorithms(), " | "))
-	targets := flag.String("targets", "inproc,http", "comma-separated backends: inproc | http")
+	targets := flag.String("targets", "inproc,http", "comma-separated backends: inproc | http | http-shim")
+	batches := flag.String("batch", "1", "comma-separated batch sizes (timestamps per getTS op); multiplies the sweep")
 	procs := flag.Int("procs", 64, "paper-processes n for long-lived objects")
 	oneshotProcs := flag.Int("oneshot-procs", 4096, "paper-processes n (= timestamp budget M) for one-shot objects")
 	workers := flag.Int("workers", 16, "closed-loop concurrency / open-loop in-flight bound")
@@ -135,17 +146,24 @@ func main() {
 		fmt.Fprintf(os.Stderr, "tsload: %v\n", err)
 		os.Exit(2)
 	}
+	batchList, err := parseBatches(*batches)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tsload: %v\n", err)
+		os.Exit(2)
+	}
 	targetList := strings.Split(*targets, ",")
 	for i, tgt := range targetList {
 		targetList[i] = strings.TrimSpace(tgt)
-		if targetList[i] != "inproc" && targetList[i] != "http" {
-			fmt.Fprintf(os.Stderr, "tsload: unknown target %q (want inproc or http)\n", tgt)
+		switch targetList[i] {
+		case "inproc", "http", "http-shim":
+		default:
+			fmt.Fprintf(os.Stderr, "tsload: unknown target %q (want inproc, http or http-shim)\n", tgt)
 			os.Exit(2)
 		}
 	}
 
 	for _, mix := range mixList {
-		results, err := sweep(ctx, mix, algList, targetList, opt)
+		results, err := sweep(ctx, mix, algList, targetList, batchList, opt)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "tsload: %v\n", err)
 			os.Exit(1)
@@ -189,6 +207,19 @@ func parseAlgs(s string) ([]string, error) {
 	return out, nil
 }
 
+// parseBatches parses the -batch list of getTS batch sizes.
+func parseBatches(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		b, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || b < 1 {
+			return nil, fmt.Errorf("bad batch size %q (want positive integers)", part)
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}
+
 // isOneShot consults the registry's declared flag.
 func isOneShot(alg string) bool {
 	info, ok := timestamp.Lookup(alg)
@@ -205,20 +236,27 @@ func newHTTPClient(workers int) *http.Client {
 	}}
 }
 
-// sweep runs one mix across algorithms × targets and collects the rows.
-func sweep(ctx context.Context, mix tsload.Mix, algs, targets []string, opt options) ([]tsload.Result, error) {
+// sweep runs one mix across algorithms × targets × batch sizes and
+// collects the rows. One-shot algorithms skip batch sizes > 1 (the driver
+// would force them to 1 anyway, duplicating the batch=1 row).
+func sweep(ctx context.Context, mix tsload.Mix, algs, targets []string, batches []int, opt options) ([]tsload.Result, error) {
 	var results []tsload.Result
 	for _, alg := range algs {
 		for _, tgt := range targets {
-			res, skip, err := runOne(ctx, mix, alg, tgt, opt)
-			if err != nil {
-				return nil, fmt.Errorf("%s/%s/%s: %w", mix.Name, tgt, alg, err)
+			for _, batch := range batches {
+				if batch > 1 && isOneShot(alg) {
+					continue
+				}
+				res, skip, err := runOne(ctx, mix.WithBatch(batch), alg, tgt, opt)
+				if err != nil {
+					return nil, fmt.Errorf("%s/%s/%s/batch=%d: %w", mix.Name, tgt, alg, batch, err)
+				}
+				if skip {
+					continue
+				}
+				fmt.Println(row(res))
+				results = append(results, res)
 			}
-			if skip {
-				continue
-			}
-			fmt.Println(row(res))
-			results = append(results, res)
 		}
 	}
 	return results, nil
@@ -243,10 +281,14 @@ func runOne(ctx context.Context, mix tsload.Mix, alg, kind string, opt options) 
 		t := tsload.NewInProc(obj)
 		defer t.Close()
 		target = t
-	case "http":
+	case "http", "http-shim":
 		hc := opt.hc
+		newTarget := tsload.NewHTTP
+		if kind == "http-shim" {
+			newTarget = tsload.NewHTTPShim
+		}
 		if opt.url != "" {
-			t, err := tsload.NewHTTP(ctx, opt.url, hc)
+			t, err := newTarget(ctx, opt.url, hc)
 			if err != nil {
 				return tsload.Result{}, false, err
 			}
@@ -255,7 +297,7 @@ func runOne(ctx context.Context, mix tsload.Mix, alg, kind string, opt options) 
 			}
 			target = t
 		} else {
-			t, stop, err := selfHost(ctx, alg, procs, hc)
+			t, stop, err := selfHost(ctx, alg, procs, hc, newTarget)
 			if err != nil {
 				return tsload.Result{}, false, err
 			}
@@ -280,8 +322,10 @@ func runOne(ctx context.Context, mix tsload.Mix, alg, kind string, opt options) 
 }
 
 // selfHost serves a fresh metered object over a loopback listener — a
-// per-run tsserved — and returns the target plus its teardown.
-func selfHost(ctx context.Context, alg string, procs int, hc *http.Client) (tsload.Target, func(), error) {
+// per-run tsserved — and returns the target plus its teardown. newTarget
+// picks the client side (wire v2 or the deprecated shim).
+func selfHost(ctx context.Context, alg string, procs int, hc *http.Client,
+	newTarget func(context.Context, string, *http.Client) (*tsload.HTTP, error)) (tsload.Target, func(), error) {
 	obj, err := tsspace.New(tsspace.WithAlgorithm(alg), tsspace.WithProcs(procs), tsspace.WithMetering())
 	if err != nil {
 		return nil, nil, err
@@ -291,15 +335,17 @@ func selfHost(ctx context.Context, alg string, procs int, hc *http.Client) (tslo
 		obj.Close()
 		return nil, nil, err
 	}
-	srv := &http.Server{Handler: tsserve.NewServer(obj, tsserve.ServerConfig{})}
+	h := tsserve.NewServer(obj, tsserve.ServerConfig{})
+	srv := &http.Server{Handler: h}
 	go func() { _ = srv.Serve(ln) }()
 	stop := func() {
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		_ = srv.Shutdown(shutdownCtx)
+		h.Close()
 		obj.Close()
 	}
-	target, err := tsload.NewHTTP(ctx, "http://"+ln.Addr().String(), hc)
+	target, err := newTarget(ctx, "http://"+ln.Addr().String(), hc)
 	if err != nil {
 		stop()
 		return nil, nil, err
@@ -320,8 +366,11 @@ func writeBench(dir, scenario string, results []tsload.Result) (string, error) {
 // row renders one result as a log line.
 func row(r tsload.Result) string {
 	flags := ""
+	if r.BatchSize > 1 {
+		flags = fmt.Sprintf(" batch=%d (%d ts)", r.BatchSize, r.Timestamps)
+	}
 	if r.BudgetSpent {
-		flags = " budget-spent"
+		flags += " budget-spent"
 	}
 	if r.Errors > 0 {
 		flags += fmt.Sprintf(" errors=%d", r.Errors)
@@ -329,7 +378,7 @@ func row(r tsload.Result) string {
 	if r.HBViolations > 0 {
 		flags += fmt.Sprintf(" HB-VIOLATIONS=%d", r.HBViolations)
 	}
-	return fmt.Sprintf("%-8s %-6s %-10s %10.0f ops/s  p50=%-8s p99=%-8s p999=%-8s max=%-8s n=%d%s",
+	return fmt.Sprintf("%-8s %-9s %-10s %10.0f ops/s  p50=%-8s p99=%-8s p999=%-8s max=%-8s n=%d%s",
 		r.Mix, r.Target, r.Algorithm, r.Throughput,
 		time.Duration(r.LatencyNs.P50), time.Duration(r.LatencyNs.P99),
 		time.Duration(r.LatencyNs.P999), time.Duration(r.LatencyNs.Max),
@@ -338,8 +387,11 @@ func row(r tsload.Result) string {
 
 // runSmoke is the CI gate: a short ops-bounded closed-loop sweep of every
 // mix against both targets for a long-lived and a one-shot algorithm,
-// failing on any error, any happens-before violation, or an empty row.
-// All rows land in one BENCH_smoke.json.
+// plus a batch-size leg (1/16/256 over wire v2 and in process) and a
+// deprecated-shim leg whose batch-of-1 behaviour must be equivalent to
+// wire v2's. It fails on any error, any happens-before violation, an
+// empty row, or a batch row whose timestamp accounting does not match its
+// batch size. All rows land in one BENCH_smoke.json.
 func runSmoke(ctx context.Context, out string, opt options) error {
 	opt.workers = 4
 	opt.rate = 0
@@ -349,9 +401,12 @@ func runSmoke(ctx context.Context, out string, opt options) error {
 	opt.oneshotProcs = 2048
 
 	algs := []string{"collect", "sqrt"}
+	batchAlg := "collect" // the long-lived algorithm of the batch and shim legs
 	if opt.url != "" {
 		// The external daemon's algorithm joins the roster, so the spawned
-		// tsserved is exercised no matter what it serves.
+		// tsserved is exercised no matter what it serves. It is known
+		// long-lived here (main refuses one-shot daemons for smoke), so the
+		// batch legs run against it too.
 		t, err := tsload.NewHTTP(ctx, opt.url, opt.hc)
 		if err != nil {
 			return err
@@ -359,16 +414,34 @@ func runSmoke(ctx context.Context, out string, opt options) error {
 		algs = append(algs, t.Algorithm())
 		sort.Strings(algs)
 		algs = slices.Compact(algs)
+		batchAlg = t.Algorithm()
 	}
 
 	var results []tsload.Result
 	for _, mix := range tsload.Mixes() {
-		rows, err := sweep(ctx, mix, algs, []string{"inproc", "http"}, opt)
+		rows, err := sweep(ctx, mix, algs, []string{"inproc", "http"}, []int{1}, opt)
 		if err != nil {
 			return err
 		}
 		results = append(results, rows...)
 	}
+
+	// Batch-size leg: the steady mix at 16 and 256 timestamps per op, in
+	// process and over wire v2 (batch=1 is already covered above).
+	steady, _ := tsload.LookupMix("steady")
+	batchRows, err := sweep(ctx, steady, []string{batchAlg}, []string{"inproc", "http"}, []int{16, 256}, opt)
+	if err != nil {
+		return err
+	}
+	results = append(results, batchRows...)
+
+	// Shim leg: the deprecated single-request endpoint at batch 1, to hold
+	// against the wire-v2 batch=1 row below.
+	shimRows, err := sweep(ctx, steady, []string{batchAlg}, []string{"http-shim"}, []int{1}, opt)
+	if err != nil {
+		return err
+	}
+	results = append(results, shimRows...)
 
 	path, err := writeBench(out, "smoke", results)
 	if err != nil {
@@ -390,10 +463,49 @@ func runSmoke(ctx context.Context, out string, opt options) error {
 		if r.LatencyNs.P50 > r.LatencyNs.P99 || r.LatencyNs.P99 > r.LatencyNs.P999 {
 			return fmt.Errorf("%s/%s/%s: percentiles not monotone: %v", r.Mix, r.Target, r.Algorithm, r.LatencyNs)
 		}
+		// A measured getTS op only records after a full, error-free batch,
+		// so the timestamp count must be exactly ops × batch.
+		if r.Timestamps != r.GetTSOps*uint64(r.BatchSize) {
+			return fmt.Errorf("%s/%s/%s: %d timestamps from %d getTS ops at batch %d",
+				r.Mix, r.Target, r.Algorithm, r.Timestamps, r.GetTSOps, r.BatchSize)
+		}
 		seen[r.Target] = true
 	}
-	if !seen["inproc"] || !seen["http"] {
-		return fmt.Errorf("smoke must cover both targets, saw %v", seen)
+	if !seen["inproc"] || !seen["http"] || !seen["http-shim"] {
+		return fmt.Errorf("smoke must cover inproc, http and http-shim, saw %v", seen)
 	}
+	return checkShimEquivalence(results, batchAlg)
+}
+
+// checkShimEquivalence holds the deprecated single-request shim against
+// wire v2 at batch 1: same steady mix, same algorithm, same gates — and
+// identical single-call semantics (every getTS op yields exactly one
+// timestamp on both paths). Latencies are not compared; the shim pays an
+// extra server-side attach per op by design, and pricing that is the
+// point of keeping both rows.
+func checkShimEquivalence(results []tsload.Result, alg string) error {
+	find := func(target string) *tsload.Result {
+		for i := range results {
+			r := &results[i]
+			if r.Mix == "steady" && r.Target == target && r.Algorithm == alg && r.BatchSize == 1 {
+				return r
+			}
+		}
+		return nil
+	}
+	shim, v2 := find("http-shim"), find("http")
+	if shim == nil || v2 == nil {
+		return fmt.Errorf("shim equivalence: missing steady batch=1 rows (shim %v, v2 %v)", shim != nil, v2 != nil)
+	}
+	for _, r := range []*tsload.Result{shim, v2} {
+		if r.Timestamps != r.GetTSOps {
+			return fmt.Errorf("shim equivalence: %s issued %d timestamps over %d single-call ops", r.Target, r.Timestamps, r.GetTSOps)
+		}
+	}
+	if shim.Procs != v2.Procs || shim.Algorithm != v2.Algorithm {
+		return fmt.Errorf("shim equivalence: rows describe different objects: %s/%d vs %s/%d",
+			shim.Algorithm, shim.Procs, v2.Algorithm, v2.Procs)
+	}
+	fmt.Printf("shim ≡ batch=1: %d vs %d single-call ops, both clean\n", shim.Ops, v2.Ops)
 	return nil
 }

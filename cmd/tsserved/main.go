@@ -5,24 +5,28 @@
 // any number of concurrent requests onto the configured n paper-processes
 // through session leasing.
 //
-// Endpoints: POST /getts (batched), POST /compare, GET /healthz,
-// GET /metrics (space report + throughput). See tsspace/tsserve.
+// Endpoints: wire v2 sessions (POST /session, POST /session/{id}/getts,
+// DELETE /session/{id}), POST /getts (deprecated single-request shim),
+// POST /compare, GET /healthz, GET /metrics (space report + throughput).
+// See tsspace/tsserve.
 //
 // Usage:
 //
 //	tsserved [-addr :8037] [-alg collect] [-procs 64] [-sharded]
-//	         [-unmetered] [-maxbatch 1024]
+//	         [-unmetered] [-maxbatch 1024] [-session-ttl 60s]
 //	tsserved -algs                 list the servable algorithms
 //	tsserved -smoke URL            run the end-to-end smoke check against
 //	                               a running daemon and exit 0/1
 //
-// The smoke mode is the CI gate: it requests one batch, asserts the
-// happens-before order across it via /compare round trips (both
-// directions), and checks /metrics counted the traffic.
+// The smoke mode is the CI gate: it leases a wire-v2 session, pipelines
+// batches on it, asserts the happens-before order across them via
+// /compare round trips (both directions), checks the deprecated
+// single-request shim agrees, and checks /metrics counted the traffic.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -43,7 +47,8 @@ func main() {
 	procs := flag.Int("procs", 64, "paper-processes n: the object's concurrency level (and, for one-shot algorithms, the total timestamp budget)")
 	sharded := flag.Bool("sharded", false, "cache-line-padded register array")
 	unmetered := flag.Bool("unmetered", false, "drop space metering from the register path (disables the /metrics space section)")
-	maxBatch := flag.Int("maxbatch", 1024, "largest /getts batch")
+	maxBatch := flag.Int("maxbatch", 1024, "largest getts batch (v1 or session-scoped)")
+	sessionTTL := flag.Duration("session-ttl", 60*time.Second, "idle time before a wire session's lease is reaped and its pid recycled")
 	algs := flag.Bool("algs", false, "list the servable algorithms and exit")
 	smoke := flag.String("smoke", "", "run the smoke check against the daemon at this URL and exit")
 	flag.Parse()
@@ -77,9 +82,11 @@ func main() {
 	}
 	defer obj.Close()
 
+	front := tsserve.NewServer(obj, tsserve.ServerConfig{MaxBatch: *maxBatch, SessionTTL: *sessionTTL})
+	defer front.Close()
 	srv := &http.Server{
 		Addr:    *addr,
-		Handler: tsserve.NewServer(obj, tsserve.ServerConfig{MaxBatch: *maxBatch}),
+		Handler: front,
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -122,8 +129,10 @@ func main() {
 // complete before the daemon gives up and closes their connections.
 const shutdownTimeout = 5 * time.Second
 
-// runSmoke drives one batched /getts through a running daemon and asserts
-// the happens-before property across the batch with /compare round trips.
+// runSmoke drives a wire-v2 session (two pipelined batches on one lease),
+// the deprecated single-request shim, and the /compare endpoint through a
+// running daemon, asserting the happens-before property across the whole
+// stream with round trips in both directions.
 func runSmoke(url string) error {
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
@@ -137,10 +146,11 @@ func runSmoke(url string) error {
 		return fmt.Errorf("healthz status %q", h.Status)
 	}
 
-	// One-shot objects serve batches of one; take the batch as separate
-	// requests then — each completed request happens-before the next. Their
-	// budget is n total timestamps, so cap the smoke batch at what the
-	// daemon has left (the metrics report how many calls it already served).
+	// One-shot objects serve batches of one; take the stream as separate
+	// single-call requests then — each completed request happens-before the
+	// next. Their budget is n total timestamps, so cap the smoke stream at
+	// what the daemon has left (the metrics report how many calls it
+	// already served).
 	want := 8
 	var batch []tsspace.Timestamp
 	if h.OneShot {
@@ -162,9 +172,32 @@ func runSmoke(url string) error {
 			batch = append(batch, one...)
 		}
 	} else {
-		if batch, err = c.GetTS(ctx, want); err != nil {
-			return fmt.Errorf("batched getts: %w", err)
+		// Wire v2: one lease, two pipelined batches (ordered within and
+		// across batches), explicit detach — then the deprecated shim
+		// appends two more, which must order after the detached session's.
+		sess, err := c.Attach(ctx)
+		if err != nil {
+			return fmt.Errorf("session attach: %w", err)
 		}
+		buf := make([]tsspace.Timestamp, 3)
+		for b := 0; b < 2; b++ {
+			n, err := sess.GetTSBatch(ctx, buf)
+			if err != nil {
+				return fmt.Errorf("session batch %d: %w", b, err)
+			}
+			batch = append(batch, buf[:n]...)
+		}
+		if err := sess.Detach(); err != nil {
+			return fmt.Errorf("session detach: %w", err)
+		}
+		if _, err := sess.GetTS(ctx); !errors.Is(err, tsspace.ErrDetached) {
+			return fmt.Errorf("getts on a detached session = %v, want ErrDetached", err)
+		}
+		shim, err := c.GetTS(ctx, 2)
+		if err != nil {
+			return fmt.Errorf("deprecated /getts shim: %w", err)
+		}
+		batch = append(batch, shim...)
 	}
 	if len(batch) != want {
 		return fmt.Errorf("got %d timestamps, want %d", len(batch), want)

@@ -31,6 +31,36 @@ func ExampleNew() {
 	// Output: true false
 }
 
+// Batches amortize the session plumbing: one GetTSBatch fills a
+// caller-owned slice with back-to-back timestamps — each happens-before
+// the next — without allocating.
+func ExampleSession_GetTSBatch() {
+	obj, err := tsspace.New() // long-lived "collect" object, 16 processes
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer obj.Close()
+
+	ctx := context.Background()
+	s, err := obj.Attach(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer s.Detach()
+
+	batch := make([]tsspace.Timestamp, 4)
+	n, err := s.GetTSBatch(ctx, batch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ordered := true
+	for i := 0; i+1 < n; i++ {
+		ordered = ordered && obj.Compare(batch[i], batch[i+1])
+	}
+	fmt.Println(n, ordered)
+	// Output: 4 true
+}
+
 // A one-shot object issues one timestamp per attached process: n sessions
 // get n totally ordered timestamps, and the budget is enforced with typed
 // errors.

@@ -51,8 +51,10 @@ func main() {
 	fmt.Printf("long-lived timestamps for %d workers from %d registers (n−1), ≤%d workers live at once\n\n",
 		workers, obj.Registers(), poolWidth)
 
-	// Each worker attaches (blocking until a process id frees up), logs its
-	// actions, and detaches. The recorder stamps every call's interval so
+	// Each worker attaches (blocking until a process id frees up), stamps
+	// all its actions with one GetTSBatch — the SessionAPI batch surface:
+	// one entry check, caller-owned buffer, every timestamp happens-before
+	// the next — and detaches. The recorder stamps the batch's interval so
 	// the happens-before property can be checked across the whole run.
 	var (
 		rec hbcheck.Recorder[tsspace.Timestamp]
@@ -70,17 +72,19 @@ func main() {
 				log.Fatal(err)
 			}
 			defer s.Detach()
-			for a := 0; a < actionsPerWorker; a++ {
-				start := rec.Begin()
-				ts, err := s.GetTS(ctx)
-				if err != nil {
-					log.Fatal(err)
-				}
-				rec.End(w, a, start, ts)
-				mu.Lock()
-				lg = append(lg, record{worker: w, action: a, ts: ts})
-				mu.Unlock()
+			batch := make([]tsspace.Timestamp, actionsPerWorker)
+			start := rec.Begin()
+			if _, err := s.GetTSBatch(ctx, batch); err != nil {
+				log.Fatal(err)
 			}
+			mu.Lock()
+			for a, ts := range batch {
+				// Timestamps of one batch share the batch's interval; their
+				// within-batch order is guaranteed by GetTSBatch itself.
+				rec.End(w, a, start, ts)
+				lg = append(lg, record{worker: w, action: a, ts: ts})
+			}
+			mu.Unlock()
 		}(w)
 	}
 	wg.Wait()

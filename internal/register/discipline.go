@@ -51,9 +51,15 @@ func SWMRTable(n int) [][]int {
 }
 
 // Handle returns a Mem bound to process pid; writes through it are checked
-// against the permission table.
+// against the permission table. When the wrapped memory provides the
+// scalar fast path (Int64Mem), the handle forwards it with the same check,
+// so the discipline layer never forces boxing.
 func (q *WriteQuorum) Handle(pid int) Mem {
-	return &quorumHandle{q: q, pid: pid}
+	h := &quorumHandle{q: q, pid: pid}
+	if im, ok := q.inner.(Int64Mem); ok {
+		return &quorumInt64Handle{quorumHandle: h, im: im}
+	}
+	return h
 }
 
 type quorumHandle struct {
@@ -66,19 +72,35 @@ var _ Mem = (*quorumHandle)(nil)
 func (h *quorumHandle) Size() int        { return h.q.inner.Size() }
 func (h *quorumHandle) Read(i int) Value { return h.q.inner.Read(i) }
 
-func (h *quorumHandle) Write(i int, v Value) {
+// check panics unless pid may write register i.
+func (h *quorumHandle) check(i int) {
 	allowed := h.q.writers[i]
-	if allowed != nil {
-		ok := false
-		for _, w := range allowed {
-			if w == h.pid {
-				ok = true
-				break
-			}
-		}
-		if !ok {
-			panic(fmt.Sprintf("register: process %d is not a permitted writer of register %d (writers %v)", h.pid, i, allowed))
+	if allowed == nil {
+		return
+	}
+	for _, w := range allowed {
+		if w == h.pid {
+			return
 		}
 	}
+	panic(fmt.Sprintf("register: process %d is not a permitted writer of register %d (writers %v)", h.pid, i, allowed))
+}
+
+func (h *quorumHandle) Write(i int, v Value) {
+	h.check(i)
 	h.q.inner.Write(i, v)
+}
+
+type quorumInt64Handle struct {
+	*quorumHandle
+	im Int64Mem
+}
+
+var _ Int64Mem = (*quorumInt64Handle)(nil)
+
+func (h *quorumInt64Handle) ReadInt64(i int) (int64, bool) { return h.im.ReadInt64(i) }
+
+func (h *quorumInt64Handle) WriteInt64(i int, v int64) {
+	h.check(i)
+	h.im.WriteInt64(i, v)
 }

@@ -1,0 +1,158 @@
+package register
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Int64Mem is the boxing-free fast path for scalar-valued algorithms
+// (collect, dense): register contents are int64 timestamps, read and
+// written without the Value interface conversion and without the
+// immutable-cell allocation of the generic arrays. Algorithms probe for it
+// with a type assertion and fall back to the generic Mem operations, so
+// the same algorithm code runs on every memory.
+//
+// The capability composes like VersionedMem: a middleware layer forwards
+// Int64Mem when (and only when) its substrate provides it, so a metered or
+// write-disciplined stack over an Int64Array keeps the allocation-free
+// path end to end.
+type Int64Mem interface {
+	Mem
+	// ReadInt64 returns the value of register i; ok is false for ⊥.
+	ReadInt64(i int) (v int64, ok bool)
+	// WriteInt64 atomically replaces the value of register i.
+	WriteInt64(i int, v int64)
+}
+
+// Int64Array is a wait-free MWMR register array specialized for int64
+// values: one machine word per register, so reads are a single atomic load
+// and writes a single atomic store — no boxing, no cell allocation, no CAS
+// loop. The generic Read/Write operations interoperate with the scalar
+// ones on the same storage (a generic Write must carry an int64).
+//
+// Unlike AtomicArray it does not implement VersionedMem: a packed word has
+// no room for a write count. The versioned double-collect scan is only
+// used by the sqrt family, whose register values are not scalars anyway.
+type Int64Array struct {
+	words []atomic.Uint64
+}
+
+var _ Int64Mem = (*Int64Array)(nil)
+
+// NewInt64Array returns an array of m scalar registers, all initialized
+// to ⊥.
+func NewInt64Array(m int) *Int64Array {
+	if m < 0 {
+		panic(fmt.Sprintf("register: negative size %d", m))
+	}
+	return &Int64Array{words: make([]atomic.Uint64, m)}
+}
+
+// packInt64 encodes v so that the zero word keeps meaning ⊥. The +1
+// shift only distinguishes ⊥ for non-negative values (-1 would wrap to
+// the ⊥ word and silently read back as unset), so negative values are
+// rejected loudly — scalar register values are timestamps, which are
+// non-negative by construction.
+func packInt64(v int64) uint64 {
+	if v < 0 {
+		panic(fmt.Sprintf("register: scalar arrays hold non-negative timestamps, got %d", v))
+	}
+	return uint64(v) + 1
+}
+
+func unpackInt64(w uint64) (int64, bool) {
+	if w == 0 {
+		return 0, false
+	}
+	return int64(w - 1), true
+}
+
+// Size returns the number of registers.
+func (a *Int64Array) Size() int { return len(a.words) }
+
+// ReadInt64 returns the value of register i without boxing.
+func (a *Int64Array) ReadInt64(i int) (int64, bool) {
+	return unpackInt64(a.words[i].Load())
+}
+
+// WriteInt64 atomically replaces the value of register i without
+// allocating.
+func (a *Int64Array) WriteInt64(i int, v int64) {
+	a.words[i].Store(packInt64(v))
+}
+
+// Read returns the current value of register i boxed as a Value (nil
+// for ⊥). It exists for Mem compatibility; hot paths use ReadInt64.
+func (a *Int64Array) Read(i int) Value {
+	v, ok := a.ReadInt64(i)
+	if !ok {
+		return nil
+	}
+	return v
+}
+
+// Write replaces register i; v must be an int64 (the array is
+// scalar-specialized, and a silent widening would corrupt the store).
+func (a *Int64Array) Write(i int, v Value) {
+	x, ok := v.(int64)
+	if !ok {
+		panic(fmt.Sprintf("register: Int64Array.Write(%d, %T): scalar arrays hold int64 values only", i, v))
+	}
+	a.WriteInt64(i, x)
+}
+
+// paddedWord is one scalar register padded out to a full cache line.
+type paddedWord struct {
+	w atomic.Uint64
+	_ [cacheLineSize - 8]byte
+}
+
+// ShardedInt64Array is Int64Array with each register on its own cache
+// line: the scalar analogue of ShardedArray, for the same false-sharing
+// reason.
+type ShardedInt64Array struct {
+	cells []paddedWord
+}
+
+var _ Int64Mem = (*ShardedInt64Array)(nil)
+
+// NewShardedInt64Array returns an array of m cache-line-padded scalar
+// registers, all initialized to ⊥.
+func NewShardedInt64Array(m int) *ShardedInt64Array {
+	if m < 0 {
+		panic(fmt.Sprintf("register: negative size %d", m))
+	}
+	return &ShardedInt64Array{cells: make([]paddedWord, m)}
+}
+
+// Size returns the number of registers.
+func (a *ShardedInt64Array) Size() int { return len(a.cells) }
+
+// ReadInt64 returns the value of register i without boxing.
+func (a *ShardedInt64Array) ReadInt64(i int) (int64, bool) {
+	return unpackInt64(a.cells[i].w.Load())
+}
+
+// WriteInt64 atomically replaces the value of register i without
+// allocating.
+func (a *ShardedInt64Array) WriteInt64(i int, v int64) {
+	a.cells[i].w.Store(packInt64(v))
+}
+
+// Read returns the current value of register i boxed as a Value.
+func (a *ShardedInt64Array) Read(i int) Value {
+	v, ok := a.ReadInt64(i)
+	if !ok {
+		return nil
+	}
+	return v
+}
+
+// Write replaces register i; v must be an int64.
+func (a *ShardedInt64Array) Write(i int, v Value) {
+	x, ok := v.(int64)
+	if !ok {
+		panic(fmt.Sprintf("register: ShardedInt64Array.Write(%d, %T): scalar arrays hold int64 values only", i, v))
+	}
+	a.WriteInt64(i, x)
+}

@@ -1,0 +1,106 @@
+package register
+
+import (
+	"testing"
+	"unsafe"
+)
+
+// Both scalar arrays must agree with the generic contract: ⊥ until
+// written, last write wins, and the generic Read/Write interoperate with
+// the scalar operations on the same storage.
+func TestInt64ArraysSemantics(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mem  Int64Mem
+	}{
+		{"flat", NewInt64Array(4)},
+		{"sharded", NewShardedInt64Array(4)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			m := tc.mem
+			if m.Size() != 4 {
+				t.Fatalf("Size = %d, want 4", m.Size())
+			}
+			if _, ok := m.ReadInt64(0); ok {
+				t.Error("fresh register not ⊥ via ReadInt64")
+			}
+			if v := m.Read(0); v != nil {
+				t.Errorf("fresh register Read = %v, want nil", v)
+			}
+
+			m.WriteInt64(0, 0) // 0 is a value, not ⊥
+			if v, ok := m.ReadInt64(0); !ok || v != 0 {
+				t.Errorf("ReadInt64 after WriteInt64(0, 0) = (%d, %v), want (0, true)", v, ok)
+			}
+			m.WriteInt64(1, 41)
+			m.Write(1, int64(42)) // generic write over scalar storage
+			if v, ok := m.ReadInt64(1); !ok || v != 42 {
+				t.Errorf("last write lost: (%d, %v)", v, ok)
+			}
+			if v := m.Read(1); v.(int64) != 42 {
+				t.Errorf("generic Read = %v, want 42", v)
+			}
+			// Negative values would collide with the ⊥ encoding at -1, so
+			// the arrays reject them outright.
+			func() {
+				defer func() {
+					if recover() == nil {
+						t.Error("WriteInt64 of a negative value did not panic")
+					}
+				}()
+				m.WriteInt64(2, -1)
+			}()
+
+			defer func() {
+				if recover() == nil {
+					t.Error("generic Write of a non-int64 did not panic")
+				}
+			}()
+			m.Write(3, "not a scalar")
+		})
+	}
+}
+
+// Each padded scalar cell must occupy exactly one cache line, or the
+// padding buys nothing.
+func TestPaddedWordSize(t *testing.T) {
+	if sz := unsafe.Sizeof(paddedWord{}); sz != cacheLineSize {
+		t.Fatalf("paddedWord is %d bytes, want %d", sz, cacheLineSize)
+	}
+}
+
+// The middleware stack must carry the Int64Mem capability end to end —
+// and only over substrates that have it.
+func TestMiddlewarePreservesInt64Mem(t *testing.T) {
+	table := SWMRTable(2)
+	meter := NewMeterSize(2)
+	stack := Wrap(NewInt64Array(2), Metered(meter), DisciplineFor(table, 0))
+	im, ok := stack.(Int64Mem)
+	if !ok {
+		t.Fatal("metered+disciplined stack over Int64Array lost the scalar fast path")
+	}
+	im.WriteInt64(0, 9)
+	if v, ok := im.ReadInt64(0); !ok || v != 9 {
+		t.Fatalf("scalar ops through the stack = (%d, %v)", v, ok)
+	}
+	rep := meter.Report()
+	if rep.Writes != 1 || rep.Reads != 1 {
+		t.Errorf("meter missed scalar ops: %d writes / %d reads, want 1/1", rep.Writes, rep.Reads)
+	}
+
+	// The discipline still bites on the scalar path: pid 0 may not write
+	// register 1 under SWMR.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("WriteInt64 against the discipline did not panic")
+			}
+		}()
+		im.WriteInt64(1, 5)
+	}()
+
+	// A generic substrate must not grow the capability.
+	if _, ok := Wrap(NewAtomicArray(2), Metered(meter)).(Int64Mem); ok {
+		t.Error("stack over AtomicArray claims Int64Mem")
+	}
+}

@@ -11,9 +11,10 @@ import "fmt"
 //		register.DisciplineFor(alg.WriterTable(), pid),
 //	)
 //
-// Every layer preserves the VersionedMem capability of the memory below it
-// (and only that: a layer never *claims* versioned reads its substrate
-// cannot deliver, so algorithms can probe with a type assertion).
+// Every layer preserves the VersionedMem and Int64Mem capabilities of the
+// memory below it (and only those: a layer never *claims* versioned reads
+// or scalar operations its substrate cannot deliver, so algorithms can
+// probe with a type assertion).
 type Middleware func(Mem) Mem
 
 // Wrap applies mws to mem in order: the first middleware ends up closest
@@ -37,6 +38,9 @@ func Metered(meter *Meter) Middleware {
 		mm := &meteredMem{meter: meter, inner: inner}
 		if vm, ok := inner.(VersionedMem); ok {
 			return &meteredVersioned{meteredMem: mm, vm: vm}
+		}
+		if im, ok := inner.(Int64Mem); ok {
+			return &meteredInt64{meteredMem: mm, im: im}
 		}
 		return mm
 	}
@@ -67,6 +71,24 @@ type meteredVersioned struct {
 func (m *meteredVersioned) ReadVersioned(i int) (Value, uint64) {
 	m.meter.recordRead(i)
 	return m.vm.ReadVersioned(i)
+}
+
+// meteredInt64 keeps the scalar fast path through a metered layer: the
+// counters serialize (metering is documented as a throughput tax) but the
+// operations themselves stay boxing- and allocation-free.
+type meteredInt64 struct {
+	*meteredMem
+	im Int64Mem
+}
+
+func (m *meteredInt64) ReadInt64(i int) (int64, bool) {
+	m.meter.recordRead(i)
+	return m.im.ReadInt64(i)
+}
+
+func (m *meteredInt64) WriteInt64(i int, v int64) {
+	m.meter.recordWrite(i, -1)
+	m.im.WriteInt64(i, v)
 }
 
 // DisciplineFor enforces the write-permission table for process pid: the

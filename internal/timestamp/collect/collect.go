@@ -65,6 +65,18 @@ func (a *Alg) GetTS(mem register.Mem, pid, seq int) (timestamp.Timestamp, error)
 	if pid < 0 || pid >= a.n {
 		return timestamp.Timestamp{}, fmt.Errorf("collect: pid %d out of range [0,%d)", pid, a.n)
 	}
+	if im, ok := mem.(register.Int64Mem); ok {
+		// Scalar fast path: same algorithm, no boxing and no cell allocation.
+		var max int64
+		for i := 0; i < a.n; i++ {
+			if x, ok := im.ReadInt64(i); ok && x > max {
+				max = x
+			}
+		}
+		ts := max + 1
+		im.WriteInt64(pid, ts)
+		return timestamp.Timestamp{Rnd: ts}, nil
+	}
 	var max int64
 	for i := 0; i < a.n; i++ {
 		if v := mem.Read(i); v != nil {
@@ -77,6 +89,10 @@ func (a *Alg) GetTS(mem register.Mem, pid, seq int) (timestamp.Timestamp, error)
 	mem.Write(pid, ts)
 	return timestamp.Timestamp{Rnd: ts}, nil
 }
+
+// ScalarValued reports that every register value is an int64, so the
+// object can be backed by the boxing-free scalar arrays.
+func (a *Alg) ScalarValued() bool { return true }
 
 // Compare orders timestamps by integer value.
 func (a *Alg) Compare(t1, t2 timestamp.Timestamp) bool {

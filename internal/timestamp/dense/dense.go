@@ -103,6 +103,20 @@ func (a *Alg) GetTS(mem register.Mem, pid, seq int) (timestamp.Timestamp, error)
 	}
 	m := a.n - a.silent
 	var max int64
+	if im, ok := mem.(register.Int64Mem); ok {
+		// Scalar fast path: same algorithm, no boxing and no cell allocation.
+		for i := 0; i < m; i++ {
+			if x, ok := im.ReadInt64(i); ok && x > max {
+				max = x
+			}
+		}
+		if pid >= m {
+			return timestamp.Timestamp{Rnd: max, Turn: int64(seq) + 1}, nil
+		}
+		ts := max + 1
+		im.WriteInt64(pid, ts)
+		return timestamp.Timestamp{Rnd: ts}, nil
+	}
 	for i := 0; i < m; i++ {
 		if v := mem.Read(i); v != nil {
 			if x := v.(int64); x > max {
@@ -126,3 +140,7 @@ func (a *Alg) GetTS(mem register.Mem, pid, seq int) (timestamp.Timestamp, error)
 func (a *Alg) Compare(t1, t2 timestamp.Timestamp) bool {
 	return timestamp.Less(t1, t2)
 }
+
+// ScalarValued reports that every register value is an int64, so the
+// object can be backed by the boxing-free scalar arrays.
+func (a *Alg) ScalarValued() bool { return true }

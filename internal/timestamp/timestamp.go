@@ -77,6 +77,16 @@ type Algorithm interface {
 	WriterTable() [][]int
 }
 
+// ScalarValued is an optional capability probe, in the style of Simulable:
+// an algorithm whose register values are all int64 scalars reports it so
+// the SDK can back the object with the boxing-free register.Int64Mem
+// arrays (one atomic word per register, allocation-free getTS). Algorithms
+// that declare it must take the register.Int64Mem fast path in GetTS when
+// the memory offers one.
+type ScalarValued interface {
+	ScalarValued() bool
+}
+
 // NewMem allocates an atomic register array sized for alg.
 func NewMem(alg Algorithm) *register.AtomicArray {
 	return register.NewAtomicArray(alg.Registers())

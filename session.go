@@ -10,6 +10,36 @@ import (
 	"tsspace/internal/timestamp"
 )
 
+// SessionAPI is the one session surface of the repository, satisfied by
+// the local Session, by tsserve.RemoteSession over the wire, and by the
+// sessions tsload drives — so the same caller code (and the same
+// benchmark harness) runs against all three, and the difference between
+// any two is exactly the transport.
+//
+// GetTS issues one timestamp; GetTSBatch fills a caller-owned slice with
+// len(dst) timestamps issued back to back by this session's process —
+// each happens-before the next — returning how many were issued and the
+// error that stopped a short batch. Compare carries a context and an
+// error slot because a remote compare is a round trip; local
+// implementations never fail it. Detach releases whatever the session
+// leases.
+type SessionAPI interface {
+	GetTS(ctx context.Context) (Timestamp, error)
+	GetTSBatch(ctx context.Context, dst []Timestamp) (int, error)
+	Compare(ctx context.Context, t1, t2 Timestamp) (bool, error)
+	Detach() error
+}
+
+// seqSlot is one pid's persistent getTS count, padded to a cache line so
+// that attach/detach churn on neighbouring pids never false-shares. The
+// slot is owned exclusively by the leasing session between Attach and
+// Detach: Attach loads it, the session counts locally, Detach writes it
+// back — all ordered by the free-channel handoff, so no lock guards it.
+type seqSlot struct {
+	seq int64
+	_   [56]byte
+}
+
 // Object is a shared timestamp object: a fixed namespace of n
 // paper-processes whose ids are leased to Sessions by Attach and recycled
 // by Detach. All methods are safe for concurrent use.
@@ -20,12 +50,12 @@ type Object struct {
 	oneShot bool
 	meter   *register.Meter // nil when metering is off
 	mems    []register.Mem  // per-pid middleware stacks over one shared array
+	slots   []seqSlot       // per-pid seq, owned by the leasing session
 	free    chan int        // recyclable pids; capacity procs
 	closed  chan struct{}   // closed by Close
 	once    sync.Once
 
-	mu        sync.Mutex
-	seqs      []int         // per-pid getTS count, persists across leases
+	mu        sync.Mutex    // cold-path bookkeeping only: never on the GetTS path
 	retired   int           // one-shot pids that spent their call
 	active    int           // currently attached sessions
 	exhausted chan struct{} // one-shot only: closed when retired == procs
@@ -70,7 +100,9 @@ func (o *Object) Attach(ctx context.Context) (*Session, error) {
 		o.mu.Lock()
 		o.active++
 		o.mu.Unlock()
-		return &Session{obj: o, pid: pid}, nil
+		s := &Session{obj: o, pid: pid, seq0: o.slots[pid].seq}
+		s.seq.Store(s.seq0)
+		return s, nil
 	case <-o.exhausted: // nil (blocks forever) unless one-shot
 		return nil, fmt.Errorf("%w: all %d process slots have issued their timestamp", ErrExhausted, o.procs)
 	case <-o.closed:
@@ -144,18 +176,32 @@ type Stats struct {
 	ActiveSessions int
 }
 
-// Session is one leased process id. A session serializes its own GetTS
-// calls (it models one logical client); for parallelism attach more
-// sessions. Sessions must be Detached when done so their process id can
-// serve the next client.
+// Session is one leased process id: the local, in-process implementation
+// of SessionAPI. A session models one logical client — its GetTS and
+// GetTSBatch calls must be sequential (issue them from one goroutine, or
+// otherwise ordered); for parallelism attach more sessions. Detach and
+// the read-only methods may be called from any goroutine once the
+// operation stream has stopped. Sessions must be Detached when done so
+// their process id can serve the next client.
+//
+// The hot path is lock-free: a GetTS is two atomic loads (detached flag,
+// sequence number), the algorithm's register operations, and two atomic
+// stores — no session mutex and no object-wide mutex, so sessions of the
+// same object never serialize on SDK state, only on whatever registers
+// the algorithm itself contends on.
 type Session struct {
-	obj *Object
-	pid int
+	obj  *Object
+	pid  int
+	seq0 int64 // the pid's seq at Attach; Calls() = seq − seq0
 
-	mu       sync.Mutex
-	detached bool
-	calls    int
+	// seq is this session's view of the pid's getTS count. It is atomic so
+	// that read-only methods (Calls) and a late Detach race cleanly with
+	// the operation stream; the stream itself must be sequential.
+	seq      atomic.Int64
+	detached atomic.Bool
 }
+
+var _ SessionAPI = (*Session)(nil)
 
 // Pid returns the leased paper-process id (0 ≤ pid < Object.Procs). It is
 // diagnostic: two sessions alive at the same time never share a pid, but
@@ -163,69 +209,114 @@ type Session struct {
 func (s *Session) Pid() int { return s.pid }
 
 // Calls returns the number of timestamps this session has taken.
-func (s *Session) Calls() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.calls
+func (s *Session) Calls() int { return int(s.seq.Load() - s.seq0) }
+
+// Compare implements SessionAPI by delegating to the object's Compare. A
+// local compare is a pure function of the two timestamps: the context is
+// ignored and the error is always nil (both exist for wire symmetry).
+func (s *Session) Compare(_ context.Context, t1, t2 Timestamp) (bool, error) {
+	return s.obj.Compare(t1, t2), nil
 }
 
-// Compare is shorthand for the object's Compare.
-func (s *Session) Compare(t1, t2 Timestamp) bool { return s.obj.Compare(t1, t2) }
-
-// GetTS performs one getTS() instance as this session's process. The
-// sequence number the implementation contract requires is tracked
-// per-process inside the object, surviving lease recycling. ctx is
-// checked on entry only: the algorithms are wait-free, so a started call
-// always completes in a bounded number of its own steps.
-func (s *Session) GetTS(ctx context.Context) (Timestamp, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.detached {
-		return Timestamp{}, ErrDetached
+// ready performs the per-call guards once per GetTS or per batch:
+// detached, closed, context. The algorithms are wait-free, so a started
+// call (or batch) always completes in a bounded number of its own steps;
+// ctx is therefore checked on entry only.
+func (s *Session) ready(ctx context.Context) error {
+	if s.detached.Load() {
+		return ErrDetached
 	}
-	o := s.obj
 	select {
-	case <-o.closed:
-		return Timestamp{}, ErrClosed
+	case <-s.obj.closed:
+		return ErrClosed
 	default:
 	}
-	if err := ctx.Err(); err != nil {
-		return Timestamp{}, err
-	}
-	o.mu.Lock()
-	seq := o.seqs[s.pid]
-	o.mu.Unlock()
+	return ctx.Err()
+}
+
+// next issues one timestamp, advancing the session's sequence number. It
+// does not touch o.calls; callers account for the whole batch.
+func (s *Session) next() (Timestamp, error) {
+	o := s.obj
+	seq := s.seq.Load()
 	if o.oneShot && seq > 0 {
 		return Timestamp{}, fmt.Errorf("tsspace: process %d already issued its timestamp: %w", s.pid, ErrOneShot)
 	}
-	ts, err := o.alg.GetTS(o.mems[s.pid], s.pid, seq)
+	ts, err := o.alg.GetTS(o.mems[s.pid], s.pid, int(seq))
 	if err != nil {
 		return Timestamp{}, fmt.Errorf("tsspace: %s p%d getTS#%d: %w", o.info.Name, s.pid, seq, err)
 	}
-	o.mu.Lock()
-	o.seqs[s.pid]++
-	o.mu.Unlock()
-	o.calls.Add(1)
-	s.calls++
+	s.seq.Store(seq + 1)
 	return ts, nil
 }
 
-// Detach releases the session's process id. On long-lived objects the id
-// immediately becomes leasable by the next Attach; on one-shot objects an
-// id whose timestamp has been issued is retired instead (recycling it
-// could never serve another GetTS), and retiring the last one trips
-// ErrExhausted for future Attach calls. Detach is idempotent.
+// GetTS performs one getTS() instance as this session's process. The
+// sequence number the implementation contract requires is tracked in the
+// session (seeded from the pid's slot at Attach and written back at
+// Detach), surviving lease recycling without any shared lock.
+func (s *Session) GetTS(ctx context.Context) (Timestamp, error) {
+	if err := s.ready(ctx); err != nil {
+		return Timestamp{}, err
+	}
+	ts, err := s.next()
+	if err != nil {
+		return Timestamp{}, err
+	}
+	s.obj.calls.Add(1)
+	return ts, nil
+}
+
+// GetTSBatch fills dst with len(dst) timestamps issued back to back by
+// this session's process: dst[i] happens-before dst[i+1], and the whole
+// batch is ordered against any non-overlapping call anywhere on the
+// object. It returns the number of timestamps issued and the error that
+// cut the batch short (nil when the batch filled).
+//
+// The entry guards (detached, closed, ctx) run once for the whole batch
+// and dst is caller-owned, so a batch performs zero allocations on top of
+// the algorithm's register operations — the amortization the BENCH
+// trajectory prices against batch size. An empty dst is a no-op.
+func (s *Session) GetTSBatch(ctx context.Context, dst []Timestamp) (int, error) {
+	if err := s.ready(ctx); err != nil {
+		return 0, err
+	}
+	n := 0
+	for n < len(dst) {
+		ts, err := s.next()
+		if err != nil {
+			if n > 0 {
+				s.obj.calls.Add(uint64(n))
+			}
+			return n, err
+		}
+		dst[n] = ts
+		n++
+	}
+	if n > 0 {
+		s.obj.calls.Add(uint64(n))
+	}
+	return n, nil
+}
+
+// Detach releases the session's process id, writing the session's
+// sequence number back to the pid's slot so the next lease continues the
+// call history. On long-lived objects the id immediately becomes leasable
+// by the next Attach; on one-shot objects an id whose timestamp has been
+// issued is retired instead (recycling it could never serve another
+// GetTS), and retiring the last one trips ErrExhausted for future Attach
+// calls. Detach is idempotent, but must not race a GetTS still in flight
+// on this session (the session is one logical client; stop its operation
+// stream first).
 func (s *Session) Detach() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.detached {
+	if !s.detached.CompareAndSwap(false, true) {
 		return nil
 	}
-	s.detached = true
 	o := s.obj
+	seq := s.seq.Load()
+	o.slots[s.pid].seq = seq // ordered before the next lease by the channel send below
 	o.mu.Lock()
 	o.active--
-	if o.oneShot && o.seqs[s.pid] > 0 {
+	if o.oneShot && seq > 0 {
 		o.retired++
 		if o.retired == o.procs {
 			close(o.exhausted)

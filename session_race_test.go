@@ -87,6 +87,117 @@ func TestSessionChurnRaceHappensBefore(t *testing.T) {
 	}
 }
 
+// The batch-first churn workload of the v2 redesign: 64 goroutines loop
+// Attach → GetTSBatch → Detach against a 16-pid object while dedicated
+// readers hammer Usage() and Stats() — under -race this checks that the
+// lock-free hot path, the padded seq slots, and the cold-path bookkeeping
+// never trade data races for the dropped object-wide mutex. Afterwards
+// every worker's batch stream goes through hbcheck: batches from one
+// worker are sequential in real time, so the whole per-worker stream must
+// be strictly ordered — in particular every batch must be internally
+// strictly ordered.
+func TestBatchChurnRaceWithConcurrentReaders(t *testing.T) {
+	const (
+		procs    = 16
+		workers  = 64
+		rounds   = 24 // attach/batch/detach cycles per worker
+		maxBatch = 8
+		readers  = 4
+	)
+	ctx := context.Background()
+	obj := mustNew(t, tsspace.WithProcs(procs), tsspace.WithMetering())
+
+	stop := make(chan struct{})
+	var readerWG sync.WaitGroup
+	for i := 0; i < readers; i++ {
+		readerWG.Add(1)
+		go func() {
+			defer readerWG.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, metered := obj.Usage(); !metered {
+					t.Error("metered object reported unmetered mid-run")
+					return
+				}
+				if st := obj.Stats(); st.ActiveSessions < 0 || st.ActiveSessions > procs {
+					t.Errorf("Stats.ActiveSessions = %d with %d pids", st.ActiveSessions, procs)
+					return
+				}
+			}
+		}()
+	}
+
+	recs := make([]hbcheck.Recorder[tsspace.Timestamp], workers)
+	var totalTS atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rec := &recs[w]
+			buf := make([]tsspace.Timestamp, maxBatch)
+			seq := 0
+			for round := 0; round < rounds; round++ {
+				s, err := obj.Attach(ctx)
+				if err != nil {
+					t.Errorf("worker %d round %d: attach: %v", w, round, err)
+					return
+				}
+				size := 1 + (w+round)%maxBatch
+				start := rec.Begin()
+				n, err := s.GetTSBatch(ctx, buf[:size])
+				if err != nil || n != size {
+					t.Errorf("worker %d round %d: batch = (%d, %v), want (%d, nil)", w, round, n, err, size)
+					s.Detach()
+					return
+				}
+				// All timestamps of one batch share the batch's interval:
+				// hbcheck then orders them against every non-overlapping
+				// call while the explicit loop below pins the within-batch
+				// order the shared interval cannot express.
+				for i := 0; i < n; i++ {
+					rec.End(w, seq, start, buf[i])
+					seq++
+				}
+				for i := 0; i+1 < n; i++ {
+					if !obj.Compare(buf[i], buf[i+1]) || obj.Compare(buf[i+1], buf[i]) {
+						t.Errorf("worker %d round %d: batch not internally strictly ordered at %d: %v vs %v",
+							w, round, i, buf[i], buf[i+1])
+					}
+				}
+				totalTS.Add(int64(n))
+				if err := s.Detach(); err != nil {
+					t.Errorf("worker %d round %d: detach: %v", w, round, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	readerWG.Wait()
+
+	// Per-worker hbcheck: a worker's batches are sequential, so its whole
+	// stream (across leases and pids) must be strictly ordered.
+	for w := range recs {
+		if err := hbcheck.Check(recs[w].Events(), obj.Compare); err != nil {
+			t.Errorf("worker %d: happens-before violated across its batch stream: %v", w, err)
+		}
+	}
+
+	st := obj.Stats()
+	if st.Calls != uint64(totalTS.Load()) {
+		t.Errorf("object counted %d calls, workers issued %d timestamps", st.Calls, totalTS.Load())
+	}
+	if st.Attaches != workers*rounds || st.ActiveSessions != 0 {
+		t.Errorf("Stats = %+v, want %d attaches / 0 active", st, workers*rounds)
+	}
+}
+
 // One-shot churn: many logical clients race for a budget of n timestamps;
 // exactly n must win and the rest must see the typed exhaustion error.
 func TestOneShotChurnBudgetRace(t *testing.T) {

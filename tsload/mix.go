@@ -16,11 +16,12 @@ type Mix struct {
 	Name string
 	// Summary is one line for flag help and reports.
 	Summary string
-	// AttachEvery is the number of getTS calls a worker performs per
-	// session lease before detaching and re-attaching; 0 keeps one session
-	// for the whole run (the long-lived steady state). Against one-shot
-	// targets the driver forces 1 — a one-shot paper-process has exactly
-	// one timestamp to give.
+	// AttachEvery is the number of getTS operations a worker performs per
+	// session lease before detaching and re-attaching (one GetTSBatch is
+	// one operation, whatever its Batch size); 0 keeps one session for the
+	// whole run (the long-lived steady state). Against one-shot targets
+	// the driver forces 1 — a one-shot paper-process has exactly one
+	// timestamp to give.
 	AttachEvery int
 	// CompareFrac is the fraction of operations that are compare(t1, t2)
 	// over previously issued timestamps instead of getTS, drawn per-op from
@@ -30,6 +31,12 @@ type Mix struct {
 	// BurstSize at a time at the same intended instant (rate preserved on
 	// average); closed-loop workers pause for BurstGap between bursts.
 	BurstSize int
+	// Batch is the number of timestamps per getTS operation: values > 1
+	// make each getTS op one SessionAPI.GetTSBatch of that size, pricing
+	// batch amortization on both sides of the wire. 0 and 1 mean the
+	// single-call GetTS. Against one-shot targets the driver forces 1 (a
+	// one-shot paper-process has exactly one timestamp to give).
+	Batch int
 }
 
 // Kind renders the mix parameters the way engine workloads render theirs.
@@ -49,7 +56,17 @@ func (m Mix) Kind() string {
 	if m.BurstSize > 1 {
 		parts = append(parts, fmt.Sprintf("burst=%d", m.BurstSize))
 	}
+	if m.Batch > 1 {
+		parts = append(parts, fmt.Sprintf("batch=%d", m.Batch))
+	}
 	return strings.Join(parts, "/")
+}
+
+// WithBatch returns a copy of the mix whose getTS ops issue batches of
+// size batch (see Batch). It is the sweep knob of cmd/tsload's -batch.
+func (m Mix) WithBatch(batch int) Mix {
+	m.Batch = batch
+	return m
 }
 
 // builtinMixes is the scenario catalog: the four paper-shaped mixes every

@@ -13,9 +13,11 @@ import (
 // Target is a timestamp object under load: the driver speaks this
 // interface only, so the same workload mix runs against the in-process SDK
 // and against a tsserved daemon over HTTP, and the difference between the
-// two BENCH rows is exactly the wire.
+// two BENCH rows is exactly the wire. Attach hands back the repository's
+// one session surface — tsspace.SessionAPI — so the driver's operation
+// code is identical on every backend, batches included.
 type Target interface {
-	// Kind names the backend in reports: "inproc" or "http".
+	// Kind names the backend in reports: "inproc", "http", or "http-shim".
 	Kind() string
 	// Algorithm is the registry name of the implementation under load.
 	Algorithm() string
@@ -26,10 +28,12 @@ type Target interface {
 	// process — the driver re-leases after every getTS and treats budget
 	// exhaustion as the natural end of the run.
 	OneShot() bool
-	// Attach leases one session. Sessions are not safe for concurrent use;
-	// each driver worker holds its own.
-	Attach(ctx context.Context) (Session, error)
-	// Compare asks the object whether t1 is ordered before t2.
+	// Attach leases one session. Sessions are one logical client each —
+	// their operation streams must be sequential; each driver worker holds
+	// its own.
+	Attach(ctx context.Context) (tsspace.SessionAPI, error)
+	// Compare asks the object whether t1 is ordered before t2 (usable
+	// without holding a session, unlike SessionAPI's Compare).
 	Compare(ctx context.Context, t1, t2 tsspace.Timestamp) (bool, error)
 	// Space reports the object's register-space footprint, when the
 	// backend exposes one (in-process metering, or the /metrics space
@@ -39,13 +43,11 @@ type Target interface {
 	Close() error
 }
 
-// Session is one leased paper-process of a Target.
-type Session interface {
-	// GetTS performs one getTS() instance.
-	GetTS(ctx context.Context) (tsspace.Timestamp, error)
-	// Detach returns the lease.
-	Detach() error
-}
+// Session is the session surface a Target leases.
+//
+// Deprecated: targets lease tsspace.SessionAPI directly; this alias keeps
+// pre-v2 callers compiling.
+type Session = tsspace.SessionAPI
 
 // SpaceReport is the register-space footprint of a target, as recorded in
 // BENCH_*.json (cf. the paper's Θ(√n) one-shot vs Θ(n) long-lived bounds).
@@ -86,13 +88,13 @@ func (t *InProc) Procs() int { return t.obj.Procs() }
 // OneShot reports the object's one-shot flag.
 func (t *InProc) OneShot() bool { return t.obj.OneShot() }
 
-// Attach leases an SDK session.
-func (t *InProc) Attach(ctx context.Context) (Session, error) {
+// Attach leases an SDK session: tsspace.Session is the local SessionAPI.
+func (t *InProc) Attach(ctx context.Context) (tsspace.SessionAPI, error) {
 	s, err := t.obj.Attach(ctx)
 	if err != nil {
 		return nil, err
 	}
-	return inProcSession{s}, nil
+	return s, nil
 }
 
 // Compare never fails in process.
@@ -112,25 +114,36 @@ func (t *InProc) Space(context.Context) (SpaceReport, bool) {
 // Close closes the owned object.
 func (t *InProc) Close() error { return t.obj.Close() }
 
-type inProcSession struct{ s *tsspace.Session }
-
-func (s inProcSession) GetTS(ctx context.Context) (tsspace.Timestamp, error) { return s.s.GetTS(ctx) }
-func (s inProcSession) Detach() error                                        { return s.s.Detach() }
-
-// HTTP is the wire backend: every getTS is one POST /getts (count 1) and
-// every compare one POST /compare against a tsserved daemon, so its BENCH
-// rows price the full HTTP/JSON round trip. The daemon leases a server-side
-// session per request; an HTTP Session therefore carries no lease state and
-// Detach is free.
+// HTTP is the wire backend: Attach leases a wire-v2 session on a tsserved
+// daemon (POST /session), getTS batches pipeline on that lease, and
+// Detach releases it — the SDK's lease/churn semantics priced with the
+// full HTTP/JSON round trip per batch. In shim mode (NewHTTPShim) the
+// target instead drives the deprecated v1 single-request endpoint, where
+// the daemon attaches and detaches per batch: the pre-v2 behaviour, kept
+// measurable so CI can assert the shim and a v2 batch of 1 agree.
 type HTTP struct {
 	client *tsserve.Client
 	health tsserve.Health
+	shim   bool
 }
 
-// NewHTTP probes the daemon at baseURL and wraps it as a load target. hc
-// may be nil for http.DefaultClient; for high worker counts pass a client
-// whose transport allows enough idle connections per host.
+// NewHTTP probes the daemon at baseURL and wraps it as a wire-v2 load
+// target. hc may be nil for tsserve's shared keep-alive client; for
+// unusual worker counts pass a client whose transport allows enough idle
+// connections per host.
 func NewHTTP(ctx context.Context, baseURL string, hc *http.Client) (*HTTP, error) {
+	return newHTTP(ctx, baseURL, hc, false)
+}
+
+// NewHTTPShim wraps the daemon like NewHTTP but drives the deprecated v1
+// single-request endpoint (one server-side attach+batch+detach per getTS
+// op). It exists to price the shim against wire v2 — the smoke sweep
+// asserts their batch-of-1 behaviour is equivalent.
+func NewHTTPShim(ctx context.Context, baseURL string, hc *http.Client) (*HTTP, error) {
+	return newHTTP(ctx, baseURL, hc, true)
+}
+
+func newHTTP(ctx context.Context, baseURL string, hc *http.Client, shim bool) (*HTTP, error) {
 	c := tsserve.NewClient(baseURL, hc)
 	h, err := c.Health(ctx)
 	if err != nil {
@@ -139,11 +152,16 @@ func NewHTTP(ctx context.Context, baseURL string, hc *http.Client) (*HTTP, error
 	if h.Status != "ok" {
 		return nil, fmt.Errorf("tsload: daemon at %s reports status %q", baseURL, h.Status)
 	}
-	return &HTTP{client: c, health: h}, nil
+	return &HTTP{client: c, health: h, shim: shim}, nil
 }
 
-// Kind returns "http".
-func (t *HTTP) Kind() string { return "http" }
+// Kind returns "http" (wire v2) or "http-shim" (deprecated v1 endpoint).
+func (t *HTTP) Kind() string {
+	if t.shim {
+		return "http-shim"
+	}
+	return "http"
+}
 
 // Algorithm returns the daemon's algorithm, as reported by /healthz.
 func (t *HTTP) Algorithm() string { return t.health.Algorithm }
@@ -154,8 +172,18 @@ func (t *HTTP) Procs() int { return t.health.Procs }
 // OneShot reports the daemon object's one-shot flag.
 func (t *HTTP) OneShot() bool { return t.health.OneShot }
 
-// Attach returns a stateless wire session (the daemon leases per request).
-func (t *HTTP) Attach(context.Context) (Session, error) { return httpSession{t.client}, nil }
+// Attach leases a wire-v2 RemoteSession — or, in shim mode, returns a
+// stateless handle over the v1 endpoint (the daemon leases per request).
+func (t *HTTP) Attach(ctx context.Context) (tsspace.SessionAPI, error) {
+	if t.shim {
+		return shimSession{t.client}, nil
+	}
+	s, err := t.client.Attach(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
 
 // Compare round-trips /compare.
 func (t *HTTP) Compare(ctx context.Context, t1, t2 tsspace.Timestamp) (bool, error) {
@@ -177,17 +205,40 @@ func (t *HTTP) Space(ctx context.Context) (SpaceReport, bool) {
 // Close is a no-op: the daemon belongs to whoever started it.
 func (t *HTTP) Close() error { return nil }
 
-type httpSession struct{ c *tsserve.Client }
+// shimSession adapts the deprecated v1 single-request endpoint to
+// SessionAPI: every batch is one POST /getts, the daemon leases a fresh
+// pid per request, and Detach is free because there is nothing to hold.
+type shimSession struct{ c *tsserve.Client }
 
-func (s httpSession) GetTS(ctx context.Context) (tsspace.Timestamp, error) {
-	ts, err := s.c.GetTS(ctx, 1)
-	if err != nil {
+var _ tsspace.SessionAPI = shimSession{}
+
+func (s shimSession) GetTS(ctx context.Context) (tsspace.Timestamp, error) {
+	var buf [1]tsspace.Timestamp
+	if _, err := s.GetTSBatch(ctx, buf[:]); err != nil {
 		return tsspace.Timestamp{}, err
 	}
-	if len(ts) == 0 {
-		return tsspace.Timestamp{}, errors.New("tsload: daemon returned an empty /getts batch")
-	}
-	return ts[0], nil
+	return buf[0], nil
 }
 
-func (s httpSession) Detach() error { return nil }
+func (s shimSession) GetTSBatch(ctx context.Context, dst []tsspace.Timestamp) (int, error) {
+	if len(dst) == 0 {
+		return 0, nil
+	}
+	ts, err := s.c.GetTS(ctx, len(dst))
+	if err != nil {
+		return 0, err
+	}
+	if len(ts) > len(dst) {
+		return 0, fmt.Errorf("tsload: daemon returned %d timestamps for a batch of %d", len(ts), len(dst))
+	}
+	if len(ts) == 0 {
+		return 0, errors.New("tsload: daemon returned an empty /getts batch")
+	}
+	return copy(dst, ts), nil
+}
+
+func (s shimSession) Compare(ctx context.Context, t1, t2 tsspace.Timestamp) (bool, error) {
+	return s.c.Compare(ctx, t1, t2)
+}
+
+func (s shimSession) Detach() error { return nil }

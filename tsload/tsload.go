@@ -4,8 +4,12 @@
 //
 // A run is a Mix (steady, churn, burst, compare — the engine's scenario
 // vocabulary lifted to the session level) applied to a Target (the
-// in-process SDK or a tsserved daemon over HTTP) under one of two pacing
-// disciplines:
+// in-process SDK, a tsserved daemon over wire v2, or the deprecated
+// single-request shim) under one of two pacing disciplines. Targets lease
+// tsspace.SessionAPI, so the driver's operation code is the same on every
+// backend; the mix's Batch knob swaps the single-call GetTS for
+// GetTSBatch of that size, pricing batch amortization against the same
+// harness. Two pacing disciplines:
 //
 //   - closed loop (Rate == 0): Workers goroutines issue operations back to
 //     back — throughput is whatever the target sustains, latency is pure
@@ -83,10 +87,19 @@ type Result struct {
 	Rate      float64 `json:"rate_per_sec,omitempty"`
 	Seed      int64   `json:"seed"`
 
-	// Ops counts measured operations (GetTSOps + CompareOps). Errors and
-	// HBViolations count over the whole run, warmup included.
+	// BatchSize is the effective timestamps-per-getTS-op of the run (the
+	// mix's Batch after the driver's one-shot forcing; 1 for single-call).
+	BatchSize int `json:"batch_size"`
+
+	// Ops counts measured operations (GetTSOps + CompareOps); a getTS op
+	// is one GetTS call or one whole GetTSBatch. Timestamps counts the
+	// timestamps those measured getTS ops issued (= GetTSOps × BatchSize
+	// for full batches), so per-timestamp throughput is Timestamps /
+	// ElapsedSeconds. Errors and HBViolations count over the whole run,
+	// warmup included.
 	Ops          uint64 `json:"ops"`
 	GetTSOps     uint64 `json:"getts_ops"`
+	Timestamps   uint64 `json:"timestamps"`
 	CompareOps   uint64 `json:"compare_ops"`
 	Errors       uint64 `json:"errors"`
 	HBViolations uint64 `json:"hb_violations"`
@@ -127,6 +140,7 @@ type run struct {
 	burst    int
 	burstGap time.Duration
 	attachEv int
+	batch    int // timestamps per getTS op; 1 = single-call GetTS
 	duration time.Duration
 	warmEnd  time.Time
 	warmCap  int64 // getTS issues that end warmup early (one-shot); -1 = none
@@ -141,14 +155,15 @@ type run struct {
 	doneNs         atomic.Int64
 	memStart       runtime.MemStats
 
-	issuedTS     atomic.Uint64 // getTS attempts, all phases (drives warmCap)
-	measured     atomic.Uint64
-	measuredTS   atomic.Uint64
-	measuredCmp  atomic.Uint64
-	errs         atomic.Uint64
-	hbViolations atomic.Uint64
-	dropped      atomic.Uint64
-	budgetSpent  atomic.Bool
+	issuedTS       atomic.Uint64 // timestamps requested, all phases (drives warmCap)
+	measured       atomic.Uint64
+	measuredTS     atomic.Uint64
+	measuredIssued atomic.Uint64 // timestamps issued by measured getTS ops
+	measuredCmp    atomic.Uint64
+	errs           atomic.Uint64
+	hbViolations   atomic.Uint64
+	dropped        atomic.Uint64
+	budgetSpent    atomic.Bool
 }
 
 // Run executes one workload against cfg.Target and returns its Result. It
@@ -176,15 +191,20 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 		burst:    cfg.Mix.BurstSize,
 		burstGap: cfg.BurstGap,
 		attachEv: cfg.Mix.AttachEvery,
+		batch:    cfg.Mix.Batch,
 		duration: cfg.Duration,
 		warmCap:  -1,
 		maxOps:   cfg.MaxOps,
 	}
+	if r.batch < 1 {
+		r.batch = 1
+	}
 	if cfg.Target.OneShot() {
-		// One paper-process, one timestamp: every lease is single-use, and
-		// warmup may spend at most a fifth of the M = procs budget so the
-		// measure window still sees the rest.
+		// One paper-process, one timestamp: every lease is single-use,
+		// batches collapse to 1, and warmup may spend at most a fifth of
+		// the M = procs budget so the measure window still sees the rest.
 		r.attachEv = 1
+		r.batch = 1
 		r.warmCap = int64(cfg.Target.Procs()) / 5
 	}
 
@@ -253,8 +273,10 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 		Workers:      cfg.Workers,
 		Rate:         cfg.Rate,
 		Seed:         cfg.Seed,
+		BatchSize:    r.batch,
 		Ops:          r.measured.Load(),
 		GetTSOps:     r.measuredTS.Load(),
+		Timestamps:   r.measuredIssued.Load(),
 		CompareOps:   r.measuredCmp.Load(),
 		Errors:       r.errs.Load(),
 		HBViolations: r.hbViolations.Load(),
@@ -432,12 +454,15 @@ func (g *tsRing) pair(rng *rand.Rand) (older, newer tsspace.Timestamp, ok bool) 
 }
 
 // worker issues operations until the run ends: paced by tokens under open
-// loop, back to back (with burst gaps) under closed loop.
+// loop, back to back (with burst gaps) under closed loop. The batch
+// buffer is allocated once per worker, so batched runs put no allocation
+// on the op path beyond what the target itself costs.
 func (r *run) worker(ctx context.Context, id int, h *hist.H, tokens <-chan token) {
 	rng := rand.New(rand.NewSource(r.cfg.Seed*1000003 + int64(id)))
-	var sess Session
+	var sess tsspace.SessionAPI
 	var leaseCalls int
 	var ring tsRing
+	buf := make([]tsspace.Timestamp, r.batch)
 	defer func() {
 		if sess != nil {
 			_ = sess.Detach()
@@ -482,7 +507,7 @@ func (r *run) worker(ctx context.Context, id int, h *hist.H, tokens <-chan token
 		}
 
 		start := time.Now()
-		err := r.doOp(ctx, rng, &sess, &leaseCalls, &ring, isCompare)
+		issued, err := r.doOp(ctx, rng, &sess, &leaseCalls, &ring, buf, isCompare)
 		end := time.Now()
 		opsInBurst++
 
@@ -512,6 +537,7 @@ func (r *run) worker(ctx context.Context, id int, h *hist.H, tokens <-chan token
 				r.measuredCmp.Add(1)
 			} else {
 				r.measuredTS.Add(1)
+				r.measuredIssued.Add(uint64(issued))
 			}
 		}
 	}
@@ -519,50 +545,63 @@ func (r *run) worker(ctx context.Context, id int, h *hist.H, tokens <-chan token
 
 // doOp performs one operation: a compare over two previously issued
 // timestamps (asserting their happens-before verdict), or a getTS under
-// the mix's session-lease policy.
-func (r *run) doOp(ctx context.Context, rng *rand.Rand, sess *Session, leaseCalls *int, ring *tsRing, isCompare bool) error {
+// the mix's session-lease and batch policy. issued is the number of
+// timestamps a getTS op produced (0 for compare ops).
+func (r *run) doOp(ctx context.Context, rng *rand.Rand, sess *tsspace.SessionAPI, leaseCalls *int, ring *tsRing, buf []tsspace.Timestamp, isCompare bool) (issued int, err error) {
 	if isCompare {
 		older, newer, ok := ring.pair(rng)
 		if !ok {
 			// The worker only chooses compare with ≥ 2 ringed timestamps;
 			// surfacing this as an error keeps the GetTSOps/CompareOps
 			// split honest if that invariant ever breaks.
-			return errors.New("tsload: internal: compare op with fewer than 2 timestamps in the ring")
+			return 0, errors.New("tsload: internal: compare op with fewer than 2 timestamps in the ring")
 		}
 		before, err := r.cfg.Target.Compare(ctx, older, newer)
 		if err != nil {
-			return err
+			return 0, err
 		}
 		if !before {
 			r.hbViolations.Add(1)
 		}
-		return nil
+		return 0, nil
 	}
 
-	r.issuedTS.Add(1)
+	r.issuedTS.Add(uint64(r.batch))
 	if *sess == nil {
 		s, err := r.cfg.Target.Attach(ctx)
 		if err != nil {
-			return err
+			return 0, err
 		}
 		*sess = s
 		*leaseCalls = 0
 	}
-	ts, err := (*sess).GetTS(ctx)
+	if r.batch > 1 {
+		issued, err = (*sess).GetTSBatch(ctx, buf)
+	} else {
+		// Batch 1 goes through GetTS proper, so the single-call entry
+		// point stays priced (and the shim comparison stays honest).
+		var ts tsspace.Timestamp
+		ts, err = (*sess).GetTS(ctx)
+		if err == nil {
+			buf[0], issued = ts, 1
+		}
+	}
 	if err != nil {
 		// A dead lease must not wedge the worker: drop it either way.
 		_ = (*sess).Detach()
 		*sess = nil
-		return err
+		return issued, err
 	}
-	ring.push(ts)
-	*leaseCalls++
+	for i := 0; i < issued; i++ {
+		ring.push(buf[i])
+	}
+	*leaseCalls++ // AttachEvery counts getTS operations: a whole batch is one
 	if r.attachEv > 0 && *leaseCalls >= r.attachEv {
 		err := (*sess).Detach()
 		*sess = nil
 		if err != nil {
-			return fmt.Errorf("tsload: detach: %w", err)
+			return issued, fmt.Errorf("tsload: detach: %w", err)
 		}
 	}
-	return nil
+	return issued, nil
 }

@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -208,6 +209,115 @@ func TestBurstMixClosedLoop(t *testing.T) {
 		t.Fatal(err)
 	}
 	checkResult(t, res)
+}
+
+func TestBatchMixInProc(t *testing.T) {
+	res, err := tsload.Run(context.Background(), tsload.Config{
+		Mix:      mustMix(t, "steady").WithBatch(16),
+		Target:   newInProc(t, "collect", 8),
+		Workers:  4,
+		Duration: 10 * time.Second,
+		MaxOps:   300,
+		Seed:     11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, res)
+	if res.BatchSize != 16 {
+		t.Errorf("BatchSize = %d, want 16", res.BatchSize)
+	}
+	// A measured getTS op only records after a full batch, so timestamps
+	// must be exactly ops × batch.
+	if res.Timestamps != res.GetTSOps*16 {
+		t.Errorf("Timestamps = %d from %d batch-of-16 ops", res.Timestamps, res.GetTSOps)
+	}
+	if !strings.Contains(res.MixKind, "batch=16") {
+		t.Errorf("MixKind %q does not render the batch knob", res.MixKind)
+	}
+}
+
+// Wire v2 holds one lease per worker across batches; the deprecated shim
+// attaches server-side per op. The SDK's attach counter tells them apart.
+func TestBatchOverWireV2HoldsLeases(t *testing.T) {
+	const workers = 3
+	run := func(t *testing.T, shim bool) (tsload.Result, tsspace.Stats) {
+		obj, err := tsspace.New(tsspace.WithAlgorithm("collect"), tsspace.WithProcs(8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		front := tsserve.NewServer(obj, tsserve.ServerConfig{})
+		srv := httptest.NewServer(front)
+		t.Cleanup(func() { srv.Close(); front.Close(); obj.Close() })
+		newTarget := tsload.NewHTTP
+		if shim {
+			newTarget = tsload.NewHTTPShim
+		}
+		target, err := newTarget(context.Background(), srv.URL, srv.Client())
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := tsload.Run(context.Background(), tsload.Config{
+			Mix:      mustMix(t, "steady").WithBatch(4),
+			Target:   target,
+			Workers:  workers,
+			Duration: 10 * time.Second,
+			MaxOps:   60,
+			Seed:     12,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkResult(t, res)
+		return res, obj.Stats()
+	}
+
+	t.Run("v2", func(t *testing.T) {
+		res, st := run(t, false)
+		if res.Target != "http" {
+			t.Errorf("target %q, want http", res.Target)
+		}
+		if res.Timestamps != res.GetTSOps*4 {
+			t.Errorf("Timestamps = %d from %d batch-of-4 ops", res.Timestamps, res.GetTSOps)
+		}
+		// Steady workers never detach: one server-side lease per worker for
+		// the whole run, no matter how many batches crossed the wire.
+		if st.Attaches != workers {
+			t.Errorf("v2 run attached %d SDK sessions, want %d (one per worker)", st.Attaches, workers)
+		}
+	})
+	t.Run("shim", func(t *testing.T) {
+		res, st := run(t, true)
+		if res.Target != "http-shim" {
+			t.Errorf("target %q, want http-shim", res.Target)
+		}
+		// The shim leases per request: at least one attach per getTS op.
+		if st.Attaches < res.GetTSOps {
+			t.Errorf("shim run attached %d times over %d getTS ops, want ≥", st.Attaches, res.GetTSOps)
+		}
+	})
+}
+
+func TestOneShotForcesBatchOne(t *testing.T) {
+	res, err := tsload.Run(context.Background(), tsload.Config{
+		Mix:      mustMix(t, "steady").WithBatch(64),
+		Target:   newInProc(t, "sqrt", 200),
+		Workers:  3,
+		Duration: 10 * time.Second,
+		Seed:     13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BatchSize != 1 {
+		t.Errorf("one-shot run kept BatchSize %d, want forced 1", res.BatchSize)
+	}
+	if !res.BudgetSpent || res.Errors != 0 || res.HBViolations != 0 {
+		t.Errorf("one-shot batched run not clean: %+v", res)
+	}
+	if res.Timestamps != res.GetTSOps {
+		t.Errorf("Timestamps = %d, GetTSOps = %d, want equal at batch 1", res.Timestamps, res.GetTSOps)
+	}
 }
 
 func TestHTTPTarget(t *testing.T) {

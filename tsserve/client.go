@@ -6,23 +6,43 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"tsspace"
 )
 
-// Client is the Go client of a tsserved daemon. The zero HTTP client of
-// NewClient is http.DefaultClient; batches and comparisons go over the
-// wire exactly as any other client's would.
+// defaultClient is the HTTP client every NewClient(url, nil) shares: a
+// keep-alive transport tuned for session pipelining, so consecutive
+// requests — and the many workers of a tsload run — reuse connections
+// instead of paying a TCP handshake per call. The idle-connection caps
+// cover worker counts well past the defaults (DefaultTransport allows only
+// 2 idle connections per host, which collapses under even modest
+// concurrency).
+var defaultClient = sync.OnceValue(func() *http.Client {
+	tr := http.DefaultTransport.(*http.Transport).Clone()
+	tr.MaxIdleConns = 256
+	tr.MaxIdleConnsPerHost = 64
+	tr.IdleConnTimeout = 90 * time.Second
+	return &http.Client{Transport: tr}
+})
+
+// Client is the Go client of a tsserved daemon. Batches and comparisons
+// go over the wire exactly as any other client's would.
 type Client struct {
 	base string
 	hc   *http.Client
 }
 
 // NewClient returns a client for the daemon at baseURL (e.g.
-// "http://127.0.0.1:8037"). hc may be nil for http.DefaultClient.
+// "http://127.0.0.1:8037"). hc may be nil for the package's shared
+// keep-alive client (MaxIdleConnsPerHost 64 — enough connection reuse for
+// that many concurrent workers); pass an explicit client to tune the
+// transport further.
 func NewClient(baseURL string, hc *http.Client) *Client {
 	if hc == nil {
-		hc = http.DefaultClient
+		hc = defaultClient()
 	}
 	return &Client{base: baseURL, hc: hc}
 }
@@ -51,12 +71,114 @@ func (e *APIError) Is(target error) bool {
 		return e.Code == CodeExhausted
 	case tsspace.ErrClosed:
 		return e.Code == CodeClosed
+	case tsspace.ErrDetached:
+		return e.Code == CodeUnknownSession
 	}
 	return false
 }
 
+// Attach leases a server-side session (wire v2) and returns its handle.
+// The lease pins one of the daemon's paper-processes until Detach — or
+// until it sits idle past the daemon's TTL and is reaped, after which the
+// handle's calls report tsspace.ErrDetached.
+func (c *Client) Attach(ctx context.Context) (*RemoteSession, error) {
+	var resp AttachResponse
+	if err := c.post(ctx, "/session", struct{}{}, &resp); err != nil {
+		return nil, err
+	}
+	return &RemoteSession{c: c, id: resp.SessionID, pid: resp.Pid}, nil
+}
+
+// RemoteSession is a wire-v2 session: the tsspace.SessionAPI semantics of
+// a local Session — one leased paper-process, sequential batches, each
+// timestamp happens-before the next — over HTTP. Like a local Session it
+// models one logical client: its GetTS/GetTSBatch calls must be
+// sequential (the server additionally serializes same-session requests,
+// so a misbehaving caller degrades to queueing, never to corruption).
+type RemoteSession struct {
+	c        *Client
+	id       string
+	pid      int
+	calls    atomic.Int64
+	detached atomic.Bool
+}
+
+var _ tsspace.SessionAPI = (*RemoteSession)(nil)
+
+// ID returns the wire session id (diagnostic).
+func (s *RemoteSession) ID() string { return s.id }
+
+// Pid returns the daemon-side paper-process id backing the lease.
+func (s *RemoteSession) Pid() int { return s.pid }
+
+// Calls returns the number of timestamps this handle has received.
+func (s *RemoteSession) Calls() int { return int(s.calls.Load()) }
+
+// GetTS requests one timestamp on the session's lease.
+func (s *RemoteSession) GetTS(ctx context.Context) (tsspace.Timestamp, error) {
+	var buf [1]tsspace.Timestamp
+	if _, err := s.GetTSBatch(ctx, buf[:]); err != nil {
+		return tsspace.Timestamp{}, err
+	}
+	return buf[0], nil
+}
+
+// GetTSBatch fills dst with one session-scoped pipelined batch: len(dst)
+// timestamps issued back to back by the leased paper-process, each
+// happens-before the next. An empty dst is a no-op.
+func (s *RemoteSession) GetTSBatch(ctx context.Context, dst []tsspace.Timestamp) (int, error) {
+	if len(dst) == 0 {
+		return 0, nil
+	}
+	if s.detached.Load() {
+		return 0, tsspace.ErrDetached
+	}
+	var resp GetTSResponse
+	if err := s.c.post(ctx, "/session/"+s.id+"/getts", GetTSRequest{Count: len(dst)}, &resp); err != nil {
+		return 0, err
+	}
+	if len(resp.Timestamps) > len(dst) {
+		return 0, fmt.Errorf("tsserve: daemon returned %d timestamps for a batch of %d", len(resp.Timestamps), len(dst))
+	}
+	for i, ts := range resp.Timestamps {
+		dst[i] = ts.Timestamp()
+	}
+	s.calls.Add(int64(len(resp.Timestamps)))
+	return len(resp.Timestamps), nil
+}
+
+// Compare implements tsspace.SessionAPI with a /compare round trip.
+func (s *RemoteSession) Compare(ctx context.Context, t1, t2 tsspace.Timestamp) (bool, error) {
+	return s.c.Compare(ctx, t1, t2)
+}
+
+// Detach releases the server-side lease. A lease the daemon already
+// reaped counts as detached, not as an error. Detach is idempotent.
+func (s *RemoteSession) Detach() error {
+	if !s.detached.CompareAndSwap(false, true) {
+		return nil
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	var resp DetachResponse
+	err := s.c.del(ctx, "/session/"+s.id, &resp)
+	if err != nil {
+		if apiErr, ok := err.(*APIError); ok && apiErr.Code == CodeUnknownSession {
+			return nil // reaped (or raced another detach): the lease is gone either way
+		}
+		return err
+	}
+	return nil
+}
+
 // GetTS requests one batch of count timestamps (count < 1 means 1),
 // returned in issue order: each happens-before the next.
+//
+// Deprecated: GetTS is the v1 single-request surface, kept as a thin shim
+// over wire v2 (the daemon attaches a session, issues the batch, and
+// detaches per call). Callers issuing more than one batch should Attach a
+// RemoteSession and use GetTSBatch, which keeps the lease — and the
+// paper-process identity — across batches.
 func (c *Client) GetTS(ctx context.Context, count int) ([]tsspace.Timestamp, error) {
 	var resp GetTSResponse
 	if err := c.post(ctx, "/getts", GetTSRequest{Count: count}, &resp); err != nil {
@@ -105,6 +227,14 @@ func (c *Client) post(ctx context.Context, path string, body, out any) error {
 
 func (c *Client) get(ctx context.Context, path string, out any) error {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return err
+	}
+	return c.do(req, out)
+}
+
+func (c *Client) del(ctx context.Context, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.base+path, nil)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,248 @@
+package tsserve
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tsspace"
+)
+
+// Wire v2: session-scoped endpoints. A remote caller attaches once,
+// pipelines any number of session-scoped batches over the same lease, and
+// detaches explicitly — the SDK's lease/churn semantics over HTTP instead
+// of one hidden attach per batch:
+//
+//	POST   /session               → {"session_id": ..., "pid": p, "idle_ttl_ms": t}
+//	POST   /session/{id}/getts    {"count": k} → {"pid": p, "timestamps": [...]}
+//	DELETE /session/{id}          → {"calls": c}
+//
+// A server-side session whose lease sits idle longer than the configured
+// TTL is reaped (detached and its pid recycled), so abandoned remote
+// clients cannot pin paper-processes forever; a request with a reaped or
+// unknown id gets 404/unknown_session, which the Go client maps to
+// tsspace.ErrDetached.
+
+// AttachResponse is the body of POST /session: a leased server-side
+// session. The lease is renewed by every session-scoped request; after
+// IdleTTLMs without one it may be reaped.
+type AttachResponse struct {
+	SessionID string `json:"session_id"`
+	Pid       int    `json:"pid"`
+	IdleTTLMs int64  `json:"idle_ttl_ms"`
+}
+
+// DetachResponse is the body of DELETE /session/{id}. Calls is the number
+// of timestamps the session issued over its lifetime.
+type DetachResponse struct {
+	Calls int `json:"calls"`
+}
+
+// wireSession is one leased SDK session addressable over the wire.
+type wireSession struct {
+	id   string
+	sess *tsspace.Session
+	// mu serializes session-scoped batches: the SDK session is one logical
+	// client, so concurrent HTTP requests against the same id queue here
+	// instead of racing the sequential operation stream.
+	mu   sync.Mutex
+	last atomic.Int64 // unix nanos of the last completed request; drives reaping
+}
+
+// newSessionID returns a 16-hex-digit random id. Ids are capability-ish
+// tokens: unguessable enough that one client cannot plausibly stumble into
+// another's lease on a shared daemon.
+func newSessionID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("tsserve: crypto/rand failed: %v", err))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// register stores a freshly attached session and returns its wire form.
+func (s *Server) register(sess *tsspace.Session) *wireSession {
+	ws := &wireSession{id: newSessionID(), sess: sess}
+	ws.last.Store(time.Now().UnixNano())
+	s.sessMu.Lock()
+	s.sessions[ws.id] = ws
+	s.sessMu.Unlock()
+	return ws
+}
+
+// lookup resolves a session id; the boolean is false for unknown (or
+// already reaped/detached) ids.
+func (s *Server) lookup(id string) (*wireSession, bool) {
+	s.sessMu.Lock()
+	ws, ok := s.sessions[id]
+	s.sessMu.Unlock()
+	return ws, ok
+}
+
+// remove deletes a session id; the boolean is false if it was not present.
+func (s *Server) remove(id string) (*wireSession, bool) {
+	s.sessMu.Lock()
+	ws, ok := s.sessions[id]
+	if ok {
+		delete(s.sessions, id)
+	}
+	s.sessMu.Unlock()
+	return ws, ok
+}
+
+// reapLoop detaches sessions whose lease has been idle past the TTL. It
+// runs until Close.
+func (s *Server) reapLoop() {
+	interval := s.sessionTTL / 4
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case now := <-t.C:
+			s.reapIdle(now)
+		}
+	}
+}
+
+// reapIdle detaches every session idle at now, counting them in the
+// metrics. A session is idle only when no request is in flight on it
+// (TryLock) AND its last activity stamp — renewed at batch start and
+// end — is past the TTL, so a slow batch longer than the TTL is never
+// yanked and never costs the client its lease.
+func (s *Server) reapIdle(now time.Time) {
+	cutoff := now.Add(-s.sessionTTL).UnixNano()
+	var idle []*wireSession
+	s.sessMu.Lock()
+	for id, ws := range s.sessions {
+		if ws.last.Load() >= cutoff {
+			continue
+		}
+		if !ws.mu.TryLock() {
+			continue // batch in flight: not idle, try again next tick
+		}
+		delete(s.sessions, id)
+		idle = append(idle, ws)
+	}
+	s.sessMu.Unlock()
+	for _, ws := range idle {
+		_ = ws.sess.Detach()
+		ws.mu.Unlock()
+		s.reaped.Add(1)
+	}
+}
+
+// Close stops the idle reaper and detaches every live wire session,
+// recycling their pids. It does not close the underlying object (the
+// caller owns it) and is idempotent. Close the server before the object
+// on shutdown.
+func (s *Server) Close() error {
+	s.stopOnce.Do(func() { close(s.stop) })
+	s.sessMu.Lock()
+	live := make([]*wireSession, 0, len(s.sessions))
+	for id, ws := range s.sessions {
+		delete(s.sessions, id)
+		live = append(live, ws)
+	}
+	s.sessMu.Unlock()
+	for _, ws := range live {
+		ws.mu.Lock()
+		_ = ws.sess.Detach()
+		ws.mu.Unlock()
+	}
+	return nil
+}
+
+// handleAttach is POST /session: lease an SDK session for this caller.
+func (s *Server) handleAttach(w http.ResponseWriter, r *http.Request) {
+	var req struct{} // attach takes no parameters; reject unknown fields
+	if err := decode(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
+		return
+	}
+	sess, err := s.obj.Attach(r.Context())
+	if err != nil {
+		s.writeSDKError(w, r, err)
+		return
+	}
+	ws := s.register(sess)
+	writeJSON(w, http.StatusOK, AttachResponse{
+		SessionID: ws.id,
+		Pid:       sess.Pid(),
+		IdleTTLMs: s.sessionTTL.Milliseconds(),
+	})
+}
+
+// handleSessionGetTS is POST /session/{id}/getts: one batch on the
+// caller's leased session. Requests against the same id serialize, so a
+// pipelining client sees the SDK's sequential-session semantics.
+func (s *Server) handleSessionGetTS(w http.ResponseWriter, r *http.Request) {
+	ws, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, CodeUnknownSession,
+			fmt.Sprintf("unknown session %q (detached, reaped, or never attached)", r.PathValue("id")))
+		return
+	}
+	var req GetTSRequest
+	if err := decode(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
+		return
+	}
+	count := req.Count
+	if count < 1 {
+		count = 1
+	}
+	if count > s.maxBatch {
+		writeError(w, http.StatusBadRequest, CodeBadRequest,
+			fmt.Sprintf("count %d exceeds the batch cap %d", count, s.maxBatch))
+		return
+	}
+	if s.obj.OneShot() && count > 1 {
+		writeError(w, http.StatusBadRequest, CodeBadRequest,
+			fmt.Sprintf("a one-shot object issues one timestamp per process; ask for count 1, not %d", count))
+		return
+	}
+
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	ws.last.Store(time.Now().UnixNano()) // renew at start too: a long batch is not idle
+	buf := make([]tsspace.Timestamp, count)
+	n, err := ws.sess.GetTSBatch(r.Context(), buf)
+	ws.last.Store(time.Now().UnixNano())
+	if err != nil {
+		// A short batch burns nothing the caller can recover over the wire:
+		// report the failure (with how far the batch got) and let the
+		// client retry on a fresh request.
+		s.writeSDKError(w, r, fmt.Errorf("timestamp %d/%d: %w", n+1, count, err))
+		return
+	}
+	resp := GetTSResponse{Pid: ws.sess.Pid(), Timestamps: make([]TS, n)}
+	for i := 0; i < n; i++ {
+		resp.Timestamps[i] = FromTimestamp(buf[i])
+	}
+	s.batches.Add(1)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleDetach is DELETE /session/{id}: return the lease explicitly.
+func (s *Server) handleDetach(w http.ResponseWriter, r *http.Request) {
+	ws, ok := s.remove(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, CodeUnknownSession,
+			fmt.Sprintf("unknown session %q (detached, reaped, or never attached)", r.PathValue("id")))
+		return
+	}
+	ws.mu.Lock() // wait out a batch in flight, then release the pid
+	calls := ws.sess.Calls()
+	_ = ws.sess.Detach()
+	ws.mu.Unlock()
+	writeJSON(w, http.StatusOK, DetachResponse{Calls: calls})
+}

@@ -1,21 +1,29 @@
 // Package tsserve puts a tsspace timestamp object behind an HTTP/JSON
 // front end, plus the matching Go client. It is the network form of the
-// paper's object: the four endpoints expose getTS()/compare() and nothing
-// of the register machinery.
+// paper's object: the endpoints expose getTS()/compare() and nothing of
+// the register machinery.
 //
-//	POST /getts    {"count": k}        → {"pid": p, "timestamps": [{"rnd": r, "turn": t}, ...]}
-//	POST /compare  {"t1": ..., "t2": ...} → {"before": true}
-//	GET  /healthz                      → object identity and status
-//	GET  /metrics                      → space report + throughput counters
-//	                                     + per-endpoint latency percentiles
+// Wire v2 is session-scoped, mirroring the SDK's SessionAPI — attach a
+// lease, pipeline batches on it, detach (idle leases are reaped):
 //
-// A /getts request leases one SDK session for its whole batch: the k
-// timestamps are issued back to back by one paper-process, so each
-// happens-before the next and compare must order the batch strictly —
-// the invariant the CI smoke test asserts over the wire. Across requests,
-// the object's pid leasing maps any number of concurrent HTTP clients
-// onto the configured n paper-processes; when all are leased, requests
-// queue in Attach under the request context.
+//	POST   /session                      → {"session_id": ..., "pid": p, "idle_ttl_ms": t}
+//	POST   /session/{id}/getts {"count": k} → {"pid": p, "timestamps": [{"rnd": r, "turn": t}, ...]}
+//	DELETE /session/{id}                 → {"calls": c}
+//	POST   /compare  {"t1": ..., "t2": ...} → {"before": true}
+//	GET    /healthz                      → object identity and status
+//	GET    /metrics                      → space report + throughput counters
+//	                                       + per-endpoint latency percentiles
+//
+// The v1 endpoint survives as a deprecated shim over the same machinery:
+//
+//	POST /getts {"count": k}             — attach + one batch + detach
+//
+// Either way a batch is issued back to back by one paper-process, so each
+// timestamp happens-before the next and compare must order the batch
+// strictly — the invariant the CI smoke test asserts over the wire.
+// Across sessions, the object's pid leasing maps any number of concurrent
+// HTTP clients onto the configured n paper-processes; when all are
+// leased, attaches queue under the request context.
 //
 // The daemon in cmd/tsserved is a thin flag wrapper around NewServer;
 // tests and embedders can mount the Server on any mux.
@@ -27,6 +35,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -110,12 +119,16 @@ type Latency struct {
 // Metrics is the /metrics body: the space report next to the throughput
 // counters and per-endpoint latency percentiles.
 type Metrics struct {
-	Algorithm      string             `json:"algorithm"`
-	Procs          int                `json:"procs"`
-	Calls          uint64             `json:"calls"`
-	Batches        uint64             `json:"batches"`
-	Attaches       uint64             `json:"attaches"`
-	ActiveSessions int                `json:"active_sessions"`
+	Algorithm      string `json:"algorithm"`
+	Procs          int    `json:"procs"`
+	Calls          uint64 `json:"calls"`
+	Batches        uint64 `json:"batches"`
+	Attaches       uint64 `json:"attaches"`
+	ActiveSessions int    `json:"active_sessions"`
+	// WireSessions counts the live wire-v2 leases; ReapedSessions the
+	// idle leases the TTL reaper has detached over the server's lifetime.
+	WireSessions   int                `json:"wire_sessions"`
+	ReapedSessions uint64             `json:"reaped_sessions"`
 	UptimeSeconds  float64            `json:"uptime_seconds"`
 	CallsPerSecond float64            `json:"calls_per_second"`
 	Space          *Space             `json:"space,omitempty"`
@@ -129,6 +142,10 @@ const (
 	CodeExhausted  = "exhausted"
 	CodeClosed     = "closed"
 	CodeInternal   = "internal"
+	// CodeUnknownSession marks a session-scoped request whose id is not
+	// (or no longer) leased: detached, idle-reaped, or never attached.
+	// The Go client maps it to tsspace.ErrDetached.
+	CodeUnknownSession = "unknown_session"
 )
 
 // ErrorBody is the JSON body of every non-2xx response.
@@ -139,42 +156,65 @@ type ErrorBody struct {
 
 // ServerConfig tunes NewServer.
 type ServerConfig struct {
-	// MaxBatch caps the count of one /getts request; values < 1 mean 1024.
+	// MaxBatch caps the count of one getts request (v1 or session-scoped);
+	// values < 1 mean 1024.
 	MaxBatch int
+	// SessionTTL is how long a wire session's lease may sit idle before
+	// the reaper detaches it and recycles its pid. Values <= 0 mean 60s.
+	SessionTTL time.Duration
 }
 
 // Server is the HTTP front end over one tsspace.Object. It implements
-// http.Handler.
+// http.Handler. Call Close on shutdown (before closing the object) to
+// stop the idle reaper and release live wire sessions.
 type Server struct {
-	obj      *tsspace.Object
-	summary  string
-	maxBatch int
-	start    time.Time
-	batches  atomic.Uint64
-	mux      *http.ServeMux
-	lat      map[string]*hist.H // per-endpoint handler latency, ns
+	obj        *tsspace.Object
+	summary    string
+	maxBatch   int
+	sessionTTL time.Duration
+	start      time.Time
+	batches    atomic.Uint64
+	mux        *http.ServeMux
+	lat        map[string]*hist.H // per-endpoint handler latency, ns
+
+	sessMu   sync.Mutex
+	sessions map[string]*wireSession
+	reaped   atomic.Uint64
+	stop     chan struct{}
+	stopOnce sync.Once
 }
 
 // NewServer builds the front end for obj. The caller keeps ownership of
-// obj (and closes it on shutdown).
+// obj (and closes it on shutdown, after Close-ing the server).
 func NewServer(obj *tsspace.Object, cfg ServerConfig) *Server {
 	maxBatch := cfg.MaxBatch
 	if maxBatch < 1 {
 		maxBatch = 1024
 	}
+	ttl := cfg.SessionTTL
+	if ttl <= 0 {
+		ttl = 60 * time.Second
+	}
 	s := &Server{
-		obj: obj, maxBatch: maxBatch, start: time.Now(), mux: http.NewServeMux(),
-		lat: map[string]*hist.H{"getts": hist.New(), "compare": hist.New()},
+		obj: obj, maxBatch: maxBatch, sessionTTL: ttl,
+		start: time.Now(), mux: http.NewServeMux(),
+		lat:      map[string]*hist.H{"getts": hist.New(), "compare": hist.New(), "attach": hist.New()},
+		sessions: make(map[string]*wireSession),
+		stop:     make(chan struct{}),
 	}
 	for _, e := range tsspace.Catalog() {
 		if e.Name == obj.Algorithm() {
 			s.summary = e.Summary
 		}
 	}
+	s.mux.HandleFunc("POST /session", s.timed("attach", s.handleAttach))
+	s.mux.HandleFunc("POST /session/{id}/getts", s.timed("getts", s.handleSessionGetTS))
+	s.mux.HandleFunc("DELETE /session/{id}", s.handleDetach)
 	s.mux.HandleFunc("POST /getts", s.timed("getts", s.handleGetTS))
 	s.mux.HandleFunc("POST /compare", s.timed("compare", s.handleCompare))
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	go s.reapLoop()
 	return s
 }
 
@@ -192,6 +232,10 @@ func (s *Server) timed(endpoint string, h http.HandlerFunc) http.HandlerFunc {
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
+// handleGetTS is the deprecated v1 endpoint: a thin shim composing wire
+// v2's attach + one session-scoped batch + detach into a single request,
+// kept so existing clients (and the single-call Client.GetTS) keep
+// working. New callers should hold a session across batches instead.
 func (s *Server) handleGetTS(w http.ResponseWriter, r *http.Request) {
 	var req GetTSRequest
 	if err := decode(r, &req); err != nil {
@@ -220,14 +264,15 @@ func (s *Server) handleGetTS(w http.ResponseWriter, r *http.Request) {
 	}
 	defer sess.Detach()
 
-	resp := GetTSResponse{Pid: sess.Pid(), Timestamps: make([]TS, 0, count)}
-	for i := 0; i < count; i++ {
-		ts, err := sess.GetTS(r.Context())
-		if err != nil {
-			s.writeSDKError(w, r, fmt.Errorf("timestamp %d/%d: %w", i+1, count, err))
-			return
-		}
-		resp.Timestamps = append(resp.Timestamps, FromTimestamp(ts))
+	buf := make([]tsspace.Timestamp, count)
+	n, err := sess.GetTSBatch(r.Context(), buf)
+	if err != nil {
+		s.writeSDKError(w, r, fmt.Errorf("timestamp %d/%d: %w", n+1, count, err))
+		return
+	}
+	resp := GetTSResponse{Pid: sess.Pid(), Timestamps: make([]TS, n)}
+	for i := 0; i < n; i++ {
+		resp.Timestamps[i] = FromTimestamp(buf[i])
 	}
 	s.batches.Add(1)
 	writeJSON(w, http.StatusOK, resp)
@@ -240,6 +285,10 @@ func (s *Server) writeSDKError(w http.ResponseWriter, r *http.Request, err error
 	switch {
 	case errors.Is(err, tsspace.ErrExhausted) || errors.Is(err, tsspace.ErrOneShot):
 		writeError(w, http.StatusConflict, CodeExhausted, err.Error())
+	case errors.Is(err, tsspace.ErrDetached):
+		// The lease vanished between lookup and execution (reaper or a
+		// concurrent DELETE won the race): same verdict as an unknown id.
+		writeError(w, http.StatusNotFound, CodeUnknownSession, err.Error())
 	case errors.Is(err, tsspace.ErrClosed):
 		writeError(w, http.StatusServiceUnavailable, CodeClosed, err.Error())
 	case r.Context().Err() != nil:
@@ -275,6 +324,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	st := s.obj.Stats()
 	uptime := time.Since(s.start).Seconds()
+	s.sessMu.Lock()
+	wire := len(s.sessions)
+	s.sessMu.Unlock()
 	m := Metrics{
 		Algorithm:      s.obj.Algorithm(),
 		Procs:          s.obj.Procs(),
@@ -282,6 +334,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		Batches:        s.batches.Load(),
 		Attaches:       st.Attaches,
 		ActiveSessions: st.ActiveSessions,
+		WireSessions:   wire,
+		ReapedSessions: s.reaped.Load(),
 		UptimeSeconds:  uptime,
 	}
 	if uptime > 0 {

@@ -3,11 +3,14 @@ package tsserve_test
 import (
 	"context"
 	"errors"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"tsspace"
 	"tsspace/tsserve"
@@ -15,13 +18,20 @@ import (
 
 func newTestServer(t *testing.T, opts ...tsspace.Option) (*tsserve.Client, *tsspace.Object) {
 	t.Helper()
+	c, obj, _ := newTestServerCfg(t, tsserve.ServerConfig{MaxBatch: 16}, opts...)
+	return c, obj
+}
+
+func newTestServerCfg(t *testing.T, cfg tsserve.ServerConfig, opts ...tsspace.Option) (*tsserve.Client, *tsspace.Object, *tsserve.Server) {
+	t.Helper()
 	obj, err := tsspace.New(opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewServer(tsserve.NewServer(obj, tsserve.ServerConfig{MaxBatch: 16}))
-	t.Cleanup(func() { srv.Close(); obj.Close() })
-	return tsserve.NewClient(srv.URL, srv.Client()), obj
+	front := tsserve.NewServer(obj, cfg)
+	srv := httptest.NewServer(front)
+	t.Cleanup(func() { srv.Close(); front.Close(); obj.Close() })
+	return tsserve.NewClient(srv.URL, srv.Client()), obj, front
 }
 
 // A batch is issued by one session back to back, so it must be strictly
@@ -211,6 +221,224 @@ func TestMetricsEndpointLatency(t *testing.T) {
 	}
 	if _, ok := m.Latency["healthz"]; ok {
 		t.Error("non-operation endpoints must not be timed")
+	}
+}
+
+// Wire v2 lifecycle: attach leases a pid, batches pipeline on it (ordered
+// within and across), detach releases it and later calls report
+// ErrDetached across the wire.
+func TestRemoteSessionLifecycle(t *testing.T) {
+	ctx := context.Background()
+	c, obj := newTestServer(t, tsspace.WithProcs(2))
+
+	sess, err := c.Attach(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pid := sess.Pid(); pid < 0 || pid >= 2 {
+		t.Errorf("Pid = %d, want in [0,2)", pid)
+	}
+	if sess.ID() == "" {
+		t.Error("empty session id")
+	}
+
+	var stream []tsspace.Timestamp
+	buf := make([]tsspace.Timestamp, 4)
+	for b := 0; b < 3; b++ {
+		n, err := sess.GetTSBatch(ctx, buf)
+		if err != nil || n != 4 {
+			t.Fatalf("batch %d = (%d, %v), want (4, nil)", b, n, err)
+		}
+		stream = append(stream, buf[:n]...)
+	}
+	one, err := sess.GetTS(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream = append(stream, one)
+	for i := 0; i+1 < len(stream); i++ {
+		if !obj.Compare(stream[i], stream[i+1]) {
+			t.Errorf("session stream unordered at %d: %v vs %v", i, stream[i], stream[i+1])
+		}
+	}
+	if sess.Calls() != 13 {
+		t.Errorf("Calls = %d, want 13", sess.Calls())
+	}
+	if before, err := sess.Compare(ctx, stream[0], stream[12]); err != nil || !before {
+		t.Errorf("session Compare = (%v, %v), want (true, nil)", before, err)
+	}
+
+	if err := sess.Detach(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Detach(); err != nil {
+		t.Errorf("second Detach = %v, want idempotent nil", err)
+	}
+	if _, err := sess.GetTS(ctx); !errors.Is(err, tsspace.ErrDetached) {
+		t.Errorf("GetTS after Detach = %v, want ErrDetached", err)
+	}
+
+	// The server-side lease is gone too: a raw request against the old id
+	// is 404/unknown_session, and the SDK pid is leasable again.
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.WireSessions != 0 || m.ActiveSessions != 0 {
+		t.Errorf("after detach: %d wire sessions, %d active SDK sessions", m.WireSessions, m.ActiveSessions)
+	}
+}
+
+// A lease idle past the TTL is reaped: its pid recycles and the stale
+// handle maps to ErrDetached.
+func TestRemoteSessionIdleReaping(t *testing.T) {
+	ctx := context.Background()
+	c, _, _ := newTestServerCfg(t, tsserve.ServerConfig{SessionTTL: 50 * time.Millisecond},
+		tsspace.WithProcs(1))
+
+	sess, err := c.Attach(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.GetTS(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// With the only pid leased and the lease idle, the reaper must free it
+	// for the next attach.
+	next, err := c.Attach(ctx)
+	if err != nil {
+		t.Fatalf("attach after reap window: %v", err)
+	}
+	defer next.Detach()
+
+	if _, err := sess.GetTS(ctx); !errors.Is(err, tsspace.ErrDetached) {
+		t.Errorf("GetTS on a reaped session = %v, want ErrDetached", err)
+	}
+	if err := sess.Detach(); err != nil {
+		t.Errorf("Detach of a reaped session = %v, want nil", err)
+	}
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ReapedSessions == 0 {
+		t.Errorf("metrics counted no reaped sessions: %+v", m)
+	}
+}
+
+// Concurrent requests against one wire session serialize server-side:
+// every batch stays internally ordered and every timestamp is distinct,
+// exactly as if one client had issued them back to back.
+func TestSameSessionRequestsSerialize(t *testing.T) {
+	ctx := context.Background()
+	c, obj := newTestServer(t, tsspace.WithProcs(2))
+	sess, err := c.Attach(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Detach()
+
+	const clients, perClient = 8, 5
+	batches := make([][]tsspace.Timestamp, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			buf := make([]tsspace.Timestamp, perClient)
+			n, err := sess.GetTSBatch(ctx, buf)
+			if err != nil || n != perClient {
+				t.Errorf("client %d: batch = (%d, %v)", i, n, err)
+				return
+			}
+			batches[i] = append([]tsspace.Timestamp(nil), buf...)
+		}(i)
+	}
+	wg.Wait()
+
+	seen := make(map[tsspace.Timestamp]bool)
+	for i, b := range batches {
+		for j := 0; j+1 < len(b); j++ {
+			if !obj.Compare(b[j], b[j+1]) {
+				t.Errorf("client %d: batch unordered at %d", i, j)
+			}
+		}
+		for _, ts := range b {
+			if seen[ts] {
+				t.Errorf("timestamp %v issued twice across concurrent same-session batches", ts)
+			}
+			seen[ts] = true
+		}
+	}
+	if len(seen) != clients*perClient {
+		t.Errorf("issued %d distinct timestamps, want %d", len(seen), clients*perClient)
+	}
+}
+
+func TestOneShotSessionOverV2(t *testing.T) {
+	ctx := context.Background()
+	c, _ := newTestServer(t, tsspace.WithAlgorithm("sqrt"), tsspace.WithProcs(2))
+
+	sess, err := c.Attach(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Detach()
+
+	// Multi-count batches are rejected up front on one-shot objects.
+	var apiErr *tsserve.APIError
+	if _, err := sess.GetTSBatch(ctx, make([]tsspace.Timestamp, 2)); !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusBadRequest {
+		t.Fatalf("one-shot v2 batch err = %v, want 400", err)
+	}
+	if _, err := sess.GetTS(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// The second single call trips the budget, typed across the wire.
+	if _, err := sess.GetTS(ctx); !errors.Is(err, tsspace.ErrExhausted) && !errors.Is(err, tsspace.ErrOneShot) {
+		t.Errorf("second one-shot GetTS = %v, want exhaustion", err)
+	}
+}
+
+// The satellite requirement on NewClient's zero HTTP client: consecutive
+// calls must reuse one keep-alive connection instead of dialing per
+// request (DefaultTransport-style pooling tuned for pipelining workers).
+func TestDefaultClientReusesConnections(t *testing.T) {
+	obj, err := tsspace.New(tsspace.WithProcs(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := tsserve.NewServer(obj, tsserve.ServerConfig{})
+	srv := httptest.NewUnstartedServer(front)
+	var conns atomic.Int64
+	srv.Config.ConnState = func(_ net.Conn, st http.ConnState) {
+		if st == http.StateNew {
+			conns.Add(1)
+		}
+	}
+	srv.Start()
+	t.Cleanup(func() { srv.Close(); front.Close(); obj.Close() })
+
+	ctx := context.Background()
+	c := tsserve.NewClient(srv.URL, nil) // nil = the tuned keep-alive default
+	sess, err := c.Attach(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]tsspace.Timestamp, 2)
+	for i := 0; i < 10; i++ {
+		if _, err := sess.GetTSBatch(ctx, buf); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Compare(ctx, buf[0], buf[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sess.Detach(); err != nil {
+		t.Fatal(err)
+	}
+	if got := conns.Load(); got != 1 {
+		t.Errorf("%d connections dialed across 22 consecutive calls, want 1 (keep-alive reuse)", got)
 	}
 }
 

@@ -14,8 +14,16 @@
 //	obj, err := tsspace.New(tsspace.WithAlgorithm("sqrt"), tsspace.WithProcs(64))
 //	s, err := obj.Attach(ctx)       // lease one of the 64 paper-processes
 //	ts, err := s.GetTS(ctx)         // seq tracking, memory, discipline: handled
+//	n, err := s.GetTSBatch(ctx, buf) // k back-to-back timestamps, zero allocs
 //	before := obj.Compare(t1, t2)
 //	s.Detach()                      // the pid is recycled to the next session
+//
+// Session is the local implementation of SessionAPI, the one session
+// surface shared with tsserve.RemoteSession (the same semantics over the
+// wire) and with the tsload drivers — write against the interface and the
+// transport becomes a deployment decision. The session hot path is
+// lock-free: per-pid sequence state lives in padded slots owned by the
+// leasing session, so GetTS and GetTSBatch touch no object-wide mutex.
 //
 // An Object is configured for a fixed number of paper-processes n, but
 // serves arbitrarily many logical clients: Attach leases a free process
@@ -165,10 +173,22 @@ func New(opts ...Option) (*Object, error) {
 	}
 	alg := info.New(cfg.procs)
 
+	// Scalar-valued algorithms (collect, dense) run on the boxing-free
+	// int64 arrays: one atomic word per register, so a getTS allocates
+	// nothing. Everything else gets the generic immutable-cell arrays.
+	scalar := false
+	if sv, ok := alg.(timestamp.ScalarValued); ok {
+		scalar = sv.ScalarValued()
+	}
 	var base register.Mem
-	if cfg.sharded {
+	switch {
+	case cfg.sharded && scalar:
+		base = register.NewShardedInt64Array(alg.Registers())
+	case cfg.sharded:
 		base = register.NewShardedArray(alg.Registers())
-	} else {
+	case scalar:
+		base = register.NewInt64Array(alg.Registers())
+	default:
 		base = register.NewAtomicArray(alg.Registers())
 	}
 	var meter *register.Meter
@@ -185,7 +205,7 @@ func New(opts ...Option) (*Object, error) {
 		oneShot: alg.OneShot(),
 		meter:   meter,
 		mems:    make([]register.Mem, cfg.procs),
-		seqs:    make([]int, cfg.procs),
+		slots:   make([]seqSlot, cfg.procs),
 		free:    make(chan int, cfg.procs),
 		closed:  make(chan struct{}),
 	}

@@ -96,8 +96,11 @@ func TestSessionLifecycleAndTypedErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !s.Compare(t1, t2) || s.Compare(t2, t1) {
+	if fw, _ := s.Compare(ctx, t1, t2); !fw {
 		t.Errorf("sequential calls not ordered: %v vs %v", t1, t2)
+	}
+	if bw, _ := s.Compare(ctx, t2, t1); bw {
+		t.Errorf("reverse compare true: %v vs %v", t2, t1)
 	}
 	if s.Calls() != 2 {
 		t.Errorf("Calls = %d, want 2", s.Calls())
@@ -141,6 +144,101 @@ func TestSeqPersistsAcrossLeases(t *testing.T) {
 			t.Errorf("lease %d: %v not after %v", lease, ts, last)
 		}
 		last = ts
+		s.Detach()
+	}
+}
+
+func TestGetTSBatchFillsAndOrders(t *testing.T) {
+	ctx := context.Background()
+	obj := mustNew(t, tsspace.WithProcs(4))
+	s, err := obj.Attach(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Detach()
+
+	// A single call interleaved with batches keeps one sequence: batch
+	// timestamps continue where GetTS left off.
+	first, err := s.GetTS(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]tsspace.Timestamp, 5)
+	n, err := s.GetTSBatch(ctx, buf)
+	if err != nil || n != 5 {
+		t.Fatalf("GetTSBatch = (%d, %v), want (5, nil)", n, err)
+	}
+	stream := append([]tsspace.Timestamp{first}, buf...)
+	for i := 0; i+1 < len(stream); i++ {
+		if !obj.Compare(stream[i], stream[i+1]) || obj.Compare(stream[i+1], stream[i]) {
+			t.Errorf("stream[%d] %v vs stream[%d] %v not strictly ordered", i, stream[i], i+1, stream[i+1])
+		}
+	}
+	if s.Calls() != 6 {
+		t.Errorf("Calls = %d, want 6", s.Calls())
+	}
+	if st := obj.Stats(); st.Calls != 6 {
+		t.Errorf("object Calls = %d, want 6", st.Calls)
+	}
+
+	// An empty dst is a no-op, not an error.
+	if n, err := s.GetTSBatch(ctx, nil); n != 0 || err != nil {
+		t.Errorf("empty batch = (%d, %v), want (0, nil)", n, err)
+	}
+}
+
+func TestGetTSBatchTypedErrors(t *testing.T) {
+	ctx := context.Background()
+	obj := mustNew(t, tsspace.WithProcs(2))
+	s, err := obj.Attach(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Detach()
+	if _, err := s.GetTSBatch(ctx, make([]tsspace.Timestamp, 2)); !errors.Is(err, tsspace.ErrDetached) {
+		t.Errorf("batch on detached session = %v, want ErrDetached", err)
+	}
+
+	// One-shot: a batch of 3 issues the process's single timestamp and
+	// reports the typed one-shot error for the rest.
+	oneShot := mustNew(t, tsspace.WithAlgorithm("sqrt"), tsspace.WithProcs(4))
+	so, err := oneShot.Attach(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer so.Detach()
+	buf := make([]tsspace.Timestamp, 3)
+	n, err := so.GetTSBatch(ctx, buf)
+	if n != 1 || !errors.Is(err, tsspace.ErrOneShot) {
+		t.Errorf("one-shot batch = (%d, %v), want (1, ErrOneShot)", n, err)
+	}
+}
+
+// The acceptance bar of the v2 redesign: a batch on a scalar long-lived
+// object performs zero allocations — the SDK adds none (caller-owned dst,
+// amortized guards) and the scalar register arrays add none (one atomic
+// word per register, no boxing).
+func TestGetTSBatchZeroAllocs(t *testing.T) {
+	ctx := context.Background()
+	for _, opts := range [][]tsspace.Option{
+		{tsspace.WithProcs(8)},
+		{tsspace.WithProcs(8), tsspace.WithSharded()},
+		{tsspace.WithAlgorithm("dense"), tsspace.WithProcs(8)},
+	} {
+		obj := mustNew(t, opts...)
+		s, err := obj.Attach(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]tsspace.Timestamp, 16)
+		allocs := testing.AllocsPerRun(100, func() {
+			if _, err := s.GetTSBatch(ctx, buf); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("%s: GetTSBatch allocated %.1f objects per batch, want 0", obj.Algorithm(), allocs)
+		}
 		s.Detach()
 	}
 }
