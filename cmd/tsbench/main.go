@@ -1,0 +1,136 @@
+// Command tsbench diffs two BENCH_*.json perf-trajectory files (see
+// cmd/tsload): a committed baseline against a fresh run. Rows are matched
+// by (mix, target, algorithm, batch size) and compared on throughput, p99
+// latency and driver allocations per op, with a relative noise tolerance
+// so an unloaded laptop and a noisy CI runner do not page anyone.
+//
+// Usage:
+//
+//	tsbench [-tolerance 0.30] [-gate] baseline.json current.json
+//
+// Rows only one file has are reported but never fail the diff (the sweep
+// grew or shrank; that is a review question, not a regression). A host
+// mismatch between the files (different arch or CPU count) prints a
+// warning and disables gating: cross-machine numbers are a trend line,
+// not a contract. With -gate and comparable hosts, any regression past
+// the tolerance exits 1 — the CI wiring runs this as a non-blocking step
+// first, and -gate exists for the day the trajectory is trusted enough
+// to enforce.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"tsspace/tsload"
+)
+
+func main() {
+	tolerance := flag.Float64("tolerance", 0.30, "relative headroom before a delta counts as a regression")
+	gate := flag.Bool("gate", false, "exit 1 on any regression past the tolerance (comparable hosts only)")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: tsbench [-tolerance 0.30] [-gate] baseline.json current.json")
+		os.Exit(2)
+	}
+	base, err := tsload.ReadBench(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tsbench: %v\n", err)
+		os.Exit(2)
+	}
+	cur, err := tsload.ReadBench(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tsbench: %v\n", err)
+		os.Exit(2)
+	}
+
+	comparable := base.Host == cur.Host
+	if !comparable {
+		fmt.Printf("WARNING: hosts differ (%s/%s %d cpu %s vs %s/%s %d cpu %s): trend only, gating disabled\n",
+			base.Host.GOOS, base.Host.GOARCH, base.Host.NumCPU, base.Host.GoVersion,
+			cur.Host.GOOS, cur.Host.GOARCH, cur.Host.NumCPU, cur.Host.GoVersion)
+	}
+
+	baseRows := index(base.Results)
+	curRows := index(cur.Results)
+	keys := make([]string, 0, len(baseRows))
+	for k := range baseRows {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	regressions := 0
+	for _, k := range keys {
+		b := baseRows[k]
+		c, ok := curRows[k]
+		if !ok {
+			fmt.Printf("%-44s only in baseline\n", k)
+			continue
+		}
+		verdicts := ""
+		if c.Throughput < b.Throughput*(1-*tolerance) {
+			verdicts += " THROUGHPUT-REGRESSED"
+		}
+		if float64(c.LatencyNs.P99) > float64(b.LatencyNs.P99)*(1+*tolerance) {
+			verdicts += " P99-REGRESSED"
+		}
+		// Allocations get an absolute grace of half an alloc on top of the
+		// relative tolerance: a 0-alloc baseline must stay 0-ish, but one
+		// stray sample in a hot row should not read as a leak.
+		if c.AllocsPerOp > b.AllocsPerOp*(1+*tolerance)+0.5 {
+			verdicts += " ALLOCS-REGRESSED"
+		}
+		if verdicts != "" {
+			regressions++
+		} else {
+			verdicts = " ok"
+		}
+		fmt.Printf("%-44s %10.0f → %-10.0f ops/s  p99 %-9s → %-9s allocs %6.2f → %-6.2f%s\n",
+			k, b.Throughput, c.Throughput,
+			time.Duration(b.LatencyNs.P99), time.Duration(c.LatencyNs.P99),
+			b.AllocsPerOp, c.AllocsPerOp, verdicts)
+	}
+	var newRows []string
+	for k := range curRows {
+		if _, ok := baseRows[k]; !ok {
+			newRows = append(newRows, k)
+		}
+	}
+	sort.Strings(newRows)
+	for _, k := range newRows {
+		fmt.Printf("%-44s new in current\n", k)
+	}
+
+	switch {
+	case regressions == 0:
+		fmt.Printf("tsbench: %d rows compared, none regressed (tolerance %.0f%%)\n", len(keys)-len(missing(baseRows, curRows)), *tolerance*100)
+	case !comparable || !*gate:
+		fmt.Printf("tsbench: %d regression(s) past %.0f%% (not gating)\n", regressions, *tolerance*100)
+	default:
+		fmt.Fprintf(os.Stderr, "tsbench: %d regression(s) past %.0f%%\n", regressions, *tolerance*100)
+		os.Exit(1)
+	}
+}
+
+// index keys rows by the identity that survives re-running a sweep.
+func index(rows []tsload.Result) map[string]tsload.Result {
+	m := make(map[string]tsload.Result, len(rows))
+	for _, r := range rows {
+		m[fmt.Sprintf("%s/%s/%s/batch=%d", r.Mix, r.Target, r.Algorithm, r.BatchSize)] = r
+	}
+	return m
+}
+
+// missing lists baseline keys absent from current.
+func missing(base, cur map[string]tsload.Result) []string {
+	var out []string
+	for k := range base {
+		if _, ok := cur[k]; !ok {
+			out = append(out, k)
+		}
+	}
+	return out
+}

@@ -12,29 +12,38 @@
 //
 // Usage:
 //
-//	tsload [-scenarios all] [-algs all] [-targets inproc,http]
+//	tsload [-scenarios all] [-algs all] [-targets inproc,http,binary]
 //	       [-batch 1] [-procs 64] [-oneshot-procs 4096] [-workers 16]
 //	       [-rate 0] [-duration 2s] [-warmup 300ms] [-maxops 0]
-//	       [-seed 1] [-out .] [-url http://...]
+//	       [-seed 1] [-out .] [-url http://...] [-binary-url host:port]
+//	       [-cpuprofile f] [-memprofile f]
 //	tsload -mixes               list the workload mixes
-//	tsload -smoke               short closed-loop sweep (all mixes, both
-//	                            targets, collect + sqrt; plus a batch-size
-//	                            sweep 1/16/256 over wire v2 and a
+//	tsload -smoke               short closed-loop sweep (all mixes, all
+//	                            three transports, collect + sqrt; plus a
+//	                            batch-size sweep 1/16/256 over wire v2,
+//	                            wire v3 and in process, and a
 //	                            shim-vs-batch=1 equivalence leg) gated on
 //	                            zero errors and zero happens-before
 //	                            violations; writes BENCH_smoke.json
 //
 // -batch takes a comma-separated list of batch sizes (timestamps per getTS
 // op via SessionAPI.GetTSBatch) and multiplies the sweep, so one run
-// prices batch=1 vs 16 vs 256 on both sides of the wire. The http target
+// prices batch=1 vs 16 vs 256 on every side of the wire. The http target
 // speaks wire v2 (one session leased per worker, batches pipelined on it);
-// the http-shim target drives the deprecated single-request /getts
-// endpoint for comparison.
+// the binary target speaks wire v3 (the same lease over a persistent
+// binary connection — see tsspace/tsserve); the http-shim target drives
+// the deprecated single-request /getts endpoint for comparison.
 //
-// Without -url, HTTP rows self-host a tsserved-equivalent server on a
-// loopback listener per run, so every algorithm gets a fresh daemon (and a
-// fresh one-shot budget). With -url, HTTP rows run against that external
-// daemon instead — only for the algorithm it serves.
+// Without -url, wire rows self-host a tsserved-equivalent server (HTTP
+// and binary listeners) on loopback per run, so every algorithm gets a
+// fresh daemon (and a fresh one-shot budget). With -url, http rows run
+// against that external daemon instead — only for the algorithm it
+// serves; binary rows join them when -binary-url names its binary
+// listener, and self-host otherwise.
+//
+// -cpuprofile and -memprofile write pprof profiles of the whole run
+// (driver side: the client encoding/decoding paths under load), for
+// chasing allocations or cycles out of the transports.
 package main
 
 import (
@@ -44,6 +53,8 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"slices"
 	"sort"
 	"strconv"
@@ -66,13 +77,14 @@ type options struct {
 	maxOps       uint64
 	seed         int64
 	url          string
+	binURL       string       // external daemon's binary listener, beside url
 	hc           *http.Client // shared by every http row of the sweep
 }
 
 func main() {
 	scenarios := flag.String("scenarios", "all", "comma-separated mix names, or all: "+strings.Join(tsload.MixNames(), " | "))
 	algs := flag.String("algs", "all", "comma-separated algorithm names, or all: "+strings.Join(tsspace.Algorithms(), " | "))
-	targets := flag.String("targets", "inproc,http", "comma-separated backends: inproc | http | http-shim")
+	targets := flag.String("targets", "inproc,http,binary", "comma-separated backends: inproc | http | http-shim | binary")
 	batches := flag.String("batch", "1", "comma-separated batch sizes (timestamps per getTS op); multiplies the sweep")
 	procs := flag.Int("procs", 64, "paper-processes n for long-lived objects")
 	oneshotProcs := flag.Int("oneshot-procs", 4096, "paper-processes n (= timestamp budget M) for one-shot objects")
@@ -84,6 +96,9 @@ func main() {
 	seed := flag.Int64("seed", 1, "base seed of the per-worker RNGs")
 	out := flag.String("out", ".", "directory for BENCH_<scenario>.json")
 	url := flag.String("url", "", "external tsserved base URL for http rows (default: self-host per run)")
+	binURL := flag.String("binary-url", "", "external tsserved binary listener (host:port) for binary rows; needs -url for the control plane")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile at the end of the run to this file")
 	mixes := flag.Bool("mixes", false, "list the workload mixes and exit")
 	smoke := flag.Bool("smoke", false, "short gated sweep writing BENCH_smoke.json")
 	flag.Parse()
@@ -98,10 +113,21 @@ func main() {
 	opt := options{
 		procs: *procs, oneshotProcs: *oneshotProcs, workers: *workers,
 		rate: *rate, duration: *duration, warmup: *warmup,
-		maxOps: *maxOps, seed: *seed, url: *url,
+		maxOps: *maxOps, seed: *seed, url: *url, binURL: *binURL,
 	}
 	opt.hc = newHTTPClient(opt.workers)
 	ctx := context.Background()
+
+	if opt.binURL != "" && opt.url == "" {
+		fmt.Fprintln(os.Stderr, "tsload: -binary-url needs -url: the binary protocol is the data plane only; health and metrics stay on HTTP")
+		os.Exit(2)
+	}
+	stopProfiles, err := startProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tsload: %v\n", err)
+		os.Exit(2)
+	}
+	defer stopProfiles()
 
 	if opt.url != "" {
 		// An external daemon is shared by every http row of the sweep; a
@@ -155,9 +181,9 @@ func main() {
 	for i, tgt := range targetList {
 		targetList[i] = strings.TrimSpace(tgt)
 		switch targetList[i] {
-		case "inproc", "http", "http-shim":
+		case "inproc", "http", "http-shim", "binary":
 		default:
-			fmt.Fprintf(os.Stderr, "tsload: unknown target %q (want inproc, http or http-shim)\n", tgt)
+			fmt.Fprintf(os.Stderr, "tsload: unknown target %q (want inproc, http, http-shim or binary)\n", tgt)
 			os.Exit(2)
 		}
 	}
@@ -218,6 +244,43 @@ func parseBatches(s string) ([]int, error) {
 		out = append(out, b)
 	}
 	return out, nil
+}
+
+// startProfiles starts the optional pprof capture and returns the
+// function that flushes it: CPU sampling runs for the whole process, the
+// heap profile is snapped (after a GC, so it shows live retention) on the
+// way out.
+func startProfiles(cpu, mem string) (func(), error) {
+	var cpuFile *os.File
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		cpuFile = f
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if mem != "" {
+			f, err := os.Create(mem)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "tsload: memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "tsload: memprofile: %v\n", err)
+			}
+		}
+	}, nil
 }
 
 // isOneShot consults the registry's declared flag.
@@ -282,28 +345,50 @@ func runOne(ctx context.Context, mix tsload.Mix, alg, kind string, opt options) 
 		defer t.Close()
 		target = t
 	case "http", "http-shim":
-		hc := opt.hc
 		newTarget := tsload.NewHTTP
 		if kind == "http-shim" {
 			newTarget = tsload.NewHTTPShim
 		}
-		if opt.url != "" {
-			t, err := newTarget(ctx, opt.url, hc)
-			if err != nil {
-				return tsload.Result{}, false, err
-			}
-			if t.Algorithm() != alg {
-				return tsload.Result{}, true, nil // daemon serves another algorithm
-			}
-			target = t
-		} else {
-			t, stop, err := selfHost(ctx, alg, procs, hc, newTarget)
+		baseURL := opt.url
+		if baseURL == "" {
+			hosted, stop, err := selfHost(alg, procs)
 			if err != nil {
 				return tsload.Result{}, false, err
 			}
 			defer stop()
-			target = t
+			baseURL = hosted.baseURL
 		}
+		t, err := newTarget(ctx, baseURL, opt.hc)
+		if err != nil {
+			return tsload.Result{}, false, err
+		}
+		if t.Algorithm() != alg {
+			return tsload.Result{}, true, nil // external daemon serves another algorithm
+		}
+		target = t
+	case "binary":
+		// External only when both planes are named (-url carries health and
+		// metrics, -binary-url the data plane); otherwise self-host, so a
+		// binary row never silently degrades to a different daemon than the
+		// caller asked for.
+		baseURL, binAddr := opt.url, opt.binURL
+		if binAddr == "" {
+			hosted, stop, err := selfHost(alg, procs)
+			if err != nil {
+				return tsload.Result{}, false, err
+			}
+			defer stop()
+			baseURL, binAddr = hosted.baseURL, hosted.binAddr
+		}
+		t, err := tsload.NewBinary(ctx, baseURL, binAddr, opt.hc)
+		if err != nil {
+			return tsload.Result{}, false, err
+		}
+		defer t.Close()
+		if t.Algorithm() != alg {
+			return tsload.Result{}, true, nil // external daemon serves another algorithm
+		}
+		target = t
 	default:
 		return tsload.Result{}, false, fmt.Errorf("unknown target kind %q", kind)
 	}
@@ -321,23 +406,35 @@ func runOne(ctx context.Context, mix tsload.Mix, alg, kind string, opt options) 
 	return res, false, err
 }
 
-// selfHost serves a fresh metered object over a loopback listener — a
-// per-run tsserved — and returns the target plus its teardown. newTarget
-// picks the client side (wire v2 or the deprecated shim).
-func selfHost(ctx context.Context, alg string, procs int, hc *http.Client,
-	newTarget func(context.Context, string, *http.Client) (*tsload.HTTP, error)) (tsload.Target, func(), error) {
+// hosted names the two planes of a self-hosted daemon.
+type hosted struct {
+	baseURL string // HTTP listener: wire v2 + control plane
+	binAddr string // wire-v3 binary listener
+}
+
+// selfHost serves a fresh metered object over loopback listeners — a
+// per-run tsserved with both its HTTP front end and its wire-v3 binary
+// listener — and returns their addresses plus the teardown.
+func selfHost(alg string, procs int) (hosted, func(), error) {
 	obj, err := tsspace.New(tsspace.WithAlgorithm(alg), tsspace.WithProcs(procs), tsspace.WithMetering())
 	if err != nil {
-		return nil, nil, err
+		return hosted{}, nil, err
 	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		obj.Close()
-		return nil, nil, err
+		return hosted{}, nil, err
+	}
+	binLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		ln.Close()
+		obj.Close()
+		return hosted{}, nil, err
 	}
 	h := tsserve.NewServer(obj, tsserve.ServerConfig{})
 	srv := &http.Server{Handler: h}
 	go func() { _ = srv.Serve(ln) }()
+	go func() { _ = h.ServeBinary(binLn) }()
 	stop := func() {
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
@@ -345,12 +442,7 @@ func selfHost(ctx context.Context, alg string, procs int, hc *http.Client,
 		h.Close()
 		obj.Close()
 	}
-	target, err := newTarget(ctx, "http://"+ln.Addr().String(), hc)
-	if err != nil {
-		stop()
-		return nil, nil, err
-	}
-	return target, stop, nil
+	return hosted{baseURL: "http://" + ln.Addr().String(), binAddr: binLn.Addr().String()}, stop, nil
 }
 
 func writeBench(dir, scenario string, results []tsload.Result) (string, error) {
@@ -386,12 +478,12 @@ func row(r tsload.Result) string {
 }
 
 // runSmoke is the CI gate: a short ops-bounded closed-loop sweep of every
-// mix against both targets for a long-lived and a one-shot algorithm,
-// plus a batch-size leg (1/16/256 over wire v2 and in process) and a
-// deprecated-shim leg whose batch-of-1 behaviour must be equivalent to
-// wire v2's. It fails on any error, any happens-before violation, an
-// empty row, or a batch row whose timestamp accounting does not match its
-// batch size. All rows land in one BENCH_smoke.json.
+// mix against all three transports for a long-lived and a one-shot
+// algorithm, plus a batch-size leg (1/16/256 in process, over wire v2 and
+// over wire v3) and a deprecated-shim leg whose batch-of-1 behaviour must
+// be equivalent to wire v2's. It fails on any error, any happens-before
+// violation, an empty row, or a batch row whose timestamp accounting does
+// not match its batch size. All rows land in one BENCH_smoke.json.
 func runSmoke(ctx context.Context, out string, opt options) error {
 	opt.workers = 4
 	opt.rate = 0
@@ -419,7 +511,7 @@ func runSmoke(ctx context.Context, out string, opt options) error {
 
 	var results []tsload.Result
 	for _, mix := range tsload.Mixes() {
-		rows, err := sweep(ctx, mix, algs, []string{"inproc", "http"}, []int{1}, opt)
+		rows, err := sweep(ctx, mix, algs, []string{"inproc", "http", "binary"}, []int{1}, opt)
 		if err != nil {
 			return err
 		}
@@ -427,9 +519,9 @@ func runSmoke(ctx context.Context, out string, opt options) error {
 	}
 
 	// Batch-size leg: the steady mix at 16 and 256 timestamps per op, in
-	// process and over wire v2 (batch=1 is already covered above).
+	// process and over both wires (batch=1 is already covered above).
 	steady, _ := tsload.LookupMix("steady")
-	batchRows, err := sweep(ctx, steady, []string{batchAlg}, []string{"inproc", "http"}, []int{16, 256}, opt)
+	batchRows, err := sweep(ctx, steady, []string{batchAlg}, []string{"inproc", "http", "binary"}, []int{16, 256}, opt)
 	if err != nil {
 		return err
 	}
@@ -471,8 +563,8 @@ func runSmoke(ctx context.Context, out string, opt options) error {
 		}
 		seen[r.Target] = true
 	}
-	if !seen["inproc"] || !seen["http"] || !seen["http-shim"] {
-		return fmt.Errorf("smoke must cover inproc, http and http-shim, saw %v", seen)
+	if !seen["inproc"] || !seen["http"] || !seen["binary"] || !seen["http-shim"] {
+		return fmt.Errorf("smoke must cover inproc, http, binary and http-shim, saw %v", seen)
 	}
 	return checkShimEquivalence(results, batchAlg)
 }

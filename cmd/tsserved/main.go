@@ -8,20 +8,27 @@
 // Endpoints: wire v2 sessions (POST /session, POST /session/{id}/getts,
 // DELETE /session/{id}), POST /getts (deprecated single-request shim),
 // POST /compare, GET /healthz, GET /metrics (space report + throughput).
-// See tsspace/tsserve.
+// With -binary-addr the daemon additionally serves wire v3 — the same
+// session space over a persistent-connection binary protocol. See
+// tsspace/tsserve.
 //
 // Usage:
 //
-//	tsserved [-addr :8037] [-alg collect] [-procs 64] [-sharded]
-//	         [-unmetered] [-maxbatch 1024] [-session-ttl 60s]
+//	tsserved [-addr :8037] [-binary-addr :8038] [-alg collect] [-procs 64]
+//	         [-sharded] [-unmetered] [-maxbatch 1024] [-session-ttl 60s]
 //	tsserved -algs                 list the servable algorithms
 //	tsserved -smoke URL            run the end-to-end smoke check against
-//	                               a running daemon and exit 0/1
+//	                               a running daemon and exit 0/1; with
+//	                               -smoke-binary HOST:PORT the check also
+//	                               drives the daemon's binary listener
 //
 // The smoke mode is the CI gate: it leases a wire-v2 session, pipelines
 // batches on it, asserts the happens-before order across them via
 // /compare round trips (both directions), checks the deprecated
 // single-request shim agrees, and checks /metrics counted the traffic.
+// The binary leg leases a wire-v3 session the same way and asserts its
+// timestamps order against the HTTP-issued stream — cross-transport
+// happens-before on one shared object.
 package main
 
 import (
@@ -30,6 +37,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -43,6 +51,7 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8037", "listen address")
+	binAddr := flag.String("binary-addr", "", "wire-v3 binary listen address (e.g. :8038); empty serves HTTP only")
 	alg := flag.String("alg", "collect", "algorithm: one of "+strings.Join(tsspace.Algorithms(), " | "))
 	procs := flag.Int("procs", 64, "paper-processes n: the object's concurrency level (and, for one-shot algorithms, the total timestamp budget)")
 	sharded := flag.Bool("sharded", false, "cache-line-padded register array")
@@ -51,6 +60,7 @@ func main() {
 	sessionTTL := flag.Duration("session-ttl", 60*time.Second, "idle time before a wire session's lease is reaped and its pid recycled")
 	algs := flag.Bool("algs", false, "list the servable algorithms and exit")
 	smoke := flag.String("smoke", "", "run the smoke check against the daemon at this URL and exit")
+	smokeBin := flag.String("smoke-binary", "", "with -smoke: also drive the daemon's binary listener at this host:port")
 	flag.Parse()
 
 	if *algs {
@@ -60,12 +70,16 @@ func main() {
 		return
 	}
 	if *smoke != "" {
-		if err := runSmoke(*smoke); err != nil {
+		if err := runSmoke(*smoke, *smokeBin); err != nil {
 			fmt.Fprintf(os.Stderr, "tsserved: smoke: %v\n", err)
 			os.Exit(1)
 		}
 		fmt.Println("tsserved smoke ok")
 		return
+	}
+	if *smokeBin != "" {
+		fmt.Fprintln(os.Stderr, "tsserved: -smoke-binary is a smoke-mode flag; pass -smoke URL too")
+		os.Exit(2)
 	}
 
 	opts := []tsspace.Option{tsspace.WithAlgorithm(*alg), tsspace.WithProcs(*procs)}
@@ -100,6 +114,19 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
+	if *binAddr != "" {
+		ln, err := net.Listen("tcp", *binAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tsserved: binary listener: %v\n", err)
+			os.Exit(1)
+		}
+		log.Printf("tsserved: wire-v3 binary listener on %s", ln.Addr())
+		go func() {
+			if err := front.ServeBinary(ln); err != nil {
+				errCh <- fmt.Errorf("binary listener: %w", err)
+			}
+		}()
+	}
 
 	select {
 	case err := <-errCh:
@@ -132,8 +159,11 @@ const shutdownTimeout = 5 * time.Second
 // runSmoke drives a wire-v2 session (two pipelined batches on one lease),
 // the deprecated single-request shim, and the /compare endpoint through a
 // running daemon, asserting the happens-before property across the whole
-// stream with round trips in both directions.
-func runSmoke(url string) error {
+// stream with round trips in both directions. With binAddr it appends a
+// wire-v3 leg: a binary session's batch must order after every
+// HTTP-issued timestamp, and the /metrics binary counters must have
+// moved — the two transports demonstrably share one object.
+func runSmoke(url, binAddr string) error {
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	c := tsserve.NewClient(url, nil)
@@ -153,6 +183,9 @@ func runSmoke(url string) error {
 	// already served).
 	want := 8
 	var batch []tsspace.Timestamp
+	if h.OneShot && binAddr != "" {
+		return fmt.Errorf("-smoke-binary needs a long-lived daemon (the one-shot smoke stream has no budget for a binary leg)")
+	}
 	if h.OneShot {
 		m, err := c.Metrics(ctx)
 		if err != nil {
@@ -198,6 +231,33 @@ func runSmoke(url string) error {
 			return fmt.Errorf("deprecated /getts shim: %w", err)
 		}
 		batch = append(batch, shim...)
+
+		// Wire-v3 leg: a binary session's batch must order after every
+		// timestamp issued over HTTP — both transports lease from one object.
+		if binAddr != "" {
+			bc := tsserve.NewBinaryClient(binAddr)
+			defer bc.Close()
+			bs, err := bc.Attach(ctx)
+			if err != nil {
+				return fmt.Errorf("binary attach at %s: %w", binAddr, err)
+			}
+			n, err := bs.GetTSBatch(ctx, buf)
+			if err != nil {
+				return fmt.Errorf("binary batch: %w", err)
+			}
+			batch = append(batch, buf[:n]...)
+			want += n
+			if err := bs.Detach(); err != nil {
+				return fmt.Errorf("binary detach: %w", err)
+			}
+			if _, err := bs.GetTS(ctx); !errors.Is(err, tsspace.ErrDetached) {
+				return fmt.Errorf("binary getts on a detached session = %v, want ErrDetached", err)
+			}
+			// One compare frame too, so every frame type is exercised.
+			if before, err := bc.Compare(ctx, batch[0], batch[len(batch)-1]); err != nil || !before {
+				return fmt.Errorf("binary compare(first, last) = (%v, %v), want (true, nil)", before, err)
+			}
+		}
 	}
 	if len(batch) != want {
 		return fmt.Errorf("got %d timestamps, want %d", len(batch), want)
@@ -227,6 +287,14 @@ func runSmoke(url string) error {
 	}
 	if int(m.Calls) < want {
 		return fmt.Errorf("metrics counted %d calls, want ≥ %d", m.Calls, want)
+	}
+	if binAddr != "" {
+		if m.BinaryFrames == 0 || m.BinaryBytesIn == 0 || m.BinaryBytesOut == 0 {
+			return fmt.Errorf("binary leg ran but /metrics counted no binary traffic: frames=%d in=%d out=%d",
+				m.BinaryFrames, m.BinaryBytesIn, m.BinaryBytesOut)
+		}
+		fmt.Printf("smoke: wire-v3 leg ok: %d frames, %d bytes in, %d bytes out\n",
+			m.BinaryFrames, m.BinaryBytesIn, m.BinaryBytesOut)
 	}
 	fmt.Printf("smoke: %s n=%d: %d timestamps strictly ordered (%d compare round trips); %d calls served\n",
 		h.Algorithm, h.Procs, len(batch), len(batch)*(len(batch)-1), m.Calls)

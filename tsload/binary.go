@@ -1,0 +1,87 @@
+package tsload
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+
+	"tsspace"
+	"tsspace/tsserve"
+)
+
+// Binary is the wire-v3 backend: the data plane (attach, pipelined getTS
+// batches, detach, compare) runs over the daemon's persistent-connection
+// binary listener, while the control plane (health probe, /metrics space
+// report) stays on its HTTP endpoints. A BENCH row with target "binary"
+// prices the same session semantics as "http" with the HTTP/JSON harness
+// tax removed — the difference between the two rows is exactly the
+// encoding and connection model.
+type Binary struct {
+	bin    *tsserve.BinaryClient
+	client *tsserve.Client
+	health tsserve.Health
+}
+
+// NewBinary probes the daemon at baseURL over HTTP, then wraps its binary
+// listener at binAddr (e.g. "127.0.0.1:8038") as a load target. hc may be
+// nil for tsserve's shared keep-alive client. The probe also exercises one
+// binary round trip so a wrong binAddr fails here, not mid-run.
+func NewBinary(ctx context.Context, baseURL, binAddr string, hc *http.Client) (*Binary, error) {
+	c := tsserve.NewClient(baseURL, hc)
+	h, err := c.Health(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("tsload: probing %s: %w", baseURL, err)
+	}
+	if h.Status != "ok" {
+		return nil, fmt.Errorf("tsload: daemon at %s reports status %q", baseURL, h.Status)
+	}
+	bin := tsserve.NewBinaryClient(binAddr)
+	if _, err := bin.Compare(ctx, tsspace.Timestamp{}, tsspace.Timestamp{Rnd: 1}); err != nil {
+		bin.Close()
+		return nil, fmt.Errorf("tsload: probing binary listener %s: %w", binAddr, err)
+	}
+	return &Binary{bin: bin, client: c, health: h}, nil
+}
+
+// Kind returns "binary".
+func (t *Binary) Kind() string { return "binary" }
+
+// Algorithm returns the daemon's algorithm, as reported by /healthz.
+func (t *Binary) Algorithm() string { return t.health.Algorithm }
+
+// Procs returns the daemon object's paper-process count.
+func (t *Binary) Procs() int { return t.health.Procs }
+
+// OneShot reports the daemon object's one-shot flag.
+func (t *Binary) OneShot() bool { return t.health.OneShot }
+
+// Attach leases a wire-v3 session bound to its own pooled connection.
+func (t *Binary) Attach(ctx context.Context) (tsspace.SessionAPI, error) {
+	s, err := t.bin.Attach(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Compare round-trips a compare frame over a pooled connection.
+func (t *Binary) Compare(ctx context.Context, t1, t2 tsspace.Timestamp) (bool, error) {
+	return t.bin.Compare(ctx, t1, t2)
+}
+
+// Space reads the /metrics space section over HTTP, when the daemon is
+// metered.
+func (t *Binary) Space(ctx context.Context) (SpaceReport, bool) {
+	m, err := t.client.Metrics(ctx)
+	if err != nil || m.Space == nil {
+		return SpaceReport{}, false
+	}
+	return SpaceReport{
+		Registers: m.Space.Registers, Written: m.Space.Written,
+		Reads: m.Space.Reads, Writes: m.Space.Writes,
+	}, true
+}
+
+// Close closes the binary client's pooled connections; the daemon belongs
+// to whoever started it.
+func (t *Binary) Close() error { return t.bin.Close() }

@@ -17,7 +17,8 @@ import (
 // one session surface — tsspace.SessionAPI — so the driver's operation
 // code is identical on every backend, batches included.
 type Target interface {
-	// Kind names the backend in reports: "inproc", "http", or "http-shim".
+	// Kind names the backend in reports: "inproc", "http", "http-shim",
+	// or "binary".
 	Kind() string
 	// Algorithm is the registry name of the implementation under load.
 	Algorithm() string

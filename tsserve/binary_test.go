@@ -1,0 +1,478 @@
+package tsserve_test
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"tsspace"
+	"tsspace/tsserve"
+)
+
+// newBinaryServer starts an object, its Server, a binary listener, and an
+// HTTP front (for /metrics assertions), returning the binary client and
+// friends.
+func newBinaryServer(t *testing.T, cfg tsserve.ServerConfig, opts ...tsspace.Option) (*tsserve.BinaryClient, *tsserve.Client, *tsserve.Server, *tsspace.Object) {
+	t.Helper()
+	obj, err := tsspace.New(opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := tsserve.NewServer(obj, cfg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go front.ServeBinary(ln)
+	hsrv := httptest.NewServer(front)
+	bc := tsserve.NewBinaryClient(ln.Addr().String())
+	t.Cleanup(func() {
+		bc.Close()
+		hsrv.Close()
+		front.Close()
+		obj.Close()
+	})
+	return bc, tsserve.NewClient(hsrv.URL, hsrv.Client()), front, obj
+}
+
+func TestBinarySessionEndToEnd(t *testing.T) {
+	bc, _, _, obj := newBinaryServer(t, tsserve.ServerConfig{},
+		tsspace.WithAlgorithm("collect"), tsspace.WithProcs(4))
+	ctx := context.Background()
+
+	sess, err := bc.Attach(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.Pid() < 0 || sess.Pid() >= 4 {
+		t.Fatalf("pid %d out of range", sess.Pid())
+	}
+	if len(sess.ID()) != 16 {
+		t.Fatalf("session id %q, want 16 hex chars", sess.ID())
+	}
+
+	// Pipelined batches on one lease: strictly ordered within and across.
+	var all []tsspace.Timestamp
+	buf := make([]tsspace.Timestamp, 5)
+	for b := 0; b < 3; b++ {
+		n, err := sess.GetTSBatch(ctx, buf)
+		if err != nil {
+			t.Fatalf("batch %d: %v", b, err)
+		}
+		if n != 5 {
+			t.Fatalf("batch %d: %d timestamps, want 5", b, n)
+		}
+		all = append(all, buf[:n]...)
+	}
+	one, err := sess.GetTS(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all = append(all, one)
+	for i := 0; i+1 < len(all); i++ {
+		before, err := sess.Compare(ctx, all[i], all[i+1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		after, err := bc.Compare(ctx, all[i+1], all[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !before || after {
+			t.Fatalf("happens-before violated at %d: %v vs %v", i, all[i], all[i+1])
+		}
+	}
+	if sess.Calls() != len(all) {
+		t.Fatalf("Calls = %d, want %d", sess.Calls(), len(all))
+	}
+
+	if err := sess.Detach(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Detach(); err != nil {
+		t.Fatalf("second detach: %v", err)
+	}
+	if _, err := sess.GetTS(ctx); !errors.Is(err, tsspace.ErrDetached) {
+		t.Fatalf("getts on detached session = %v, want ErrDetached", err)
+	}
+	// Compare still works after detach (falls back to the pooled client).
+	if _, err := sess.Compare(ctx, all[0], all[1]); err != nil {
+		t.Fatalf("compare after detach: %v", err)
+	}
+	if st := obj.Stats(); st.ActiveSessions != 0 {
+		t.Fatalf("%d active SDK sessions after detach", st.ActiveSessions)
+	}
+}
+
+// A binary lease is reaped after idling past the TTL, and the client sees
+// the same typed error HTTP clients do.
+func TestBinarySessionIdleReaping(t *testing.T) {
+	bc, _, _, _ := newBinaryServer(t, tsserve.ServerConfig{SessionTTL: 50 * time.Millisecond},
+		tsspace.WithAlgorithm("collect"), tsspace.WithProcs(2))
+	ctx := context.Background()
+
+	sess, err := bc.Attach(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.GetTS(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Idle well past the TTL (every successful call renews the lease, so
+	// sleep without touching the session), then expect the typed error.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		time.Sleep(150 * time.Millisecond)
+		_, err := sess.GetTS(ctx)
+		if err == nil {
+			if time.Now().After(deadline) {
+				t.Fatal("session never reaped")
+			}
+			continue
+		}
+		if !errors.Is(err, tsspace.ErrDetached) {
+			t.Fatalf("reaped session error = %v, want ErrDetached", err)
+		}
+		break
+	}
+	if err := sess.Detach(); err != nil {
+		t.Fatalf("detach after reap: %v", err)
+	}
+}
+
+// Wire v2 and wire v3 share one session table: a session attached over
+// HTTP is addressable (and detachable) over binary, and vice versa is
+// reported in /metrics' session split.
+func TestBinaryAndHTTPShareSessions(t *testing.T) {
+	bc, hc, _, _ := newBinaryServer(t, tsserve.ServerConfig{},
+		tsspace.WithAlgorithm("collect"), tsspace.WithProcs(4))
+	ctx := context.Background()
+
+	bsess, err := bc.Attach(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hsess, err := hc.Attach(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bsess.GetTS(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hsess.GetTS(ctx); err != nil {
+		t.Fatal(err)
+	}
+	m, err := hc.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.WireSessions != 2 {
+		t.Fatalf("wire_sessions = %d, want 2", m.WireSessions)
+	}
+	if m.BinarySessions != 1 {
+		t.Fatalf("binary_sessions = %d, want 1", m.BinarySessions)
+	}
+	if m.BinaryFrames == 0 || m.BinaryBytesIn == 0 || m.BinaryBytesOut == 0 {
+		t.Fatalf("binary counters not moving: %+v", m)
+	}
+	if err := bsess.Detach(); err != nil {
+		t.Fatal(err)
+	}
+	if err := hsess.Detach(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Typed error mapping across the binary wire: one-shot exhaustion and
+// oversized batches.
+func TestBinaryTypedErrors(t *testing.T) {
+	bc, _, _, _ := newBinaryServer(t, tsserve.ServerConfig{MaxBatch: 8},
+		tsspace.WithAlgorithm("sqrt"), tsspace.WithProcs(4))
+	ctx := context.Background()
+
+	// A one-shot object rejects batches > 1 and exhausts after n attaches.
+	sess, err := bc.Attach(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]tsspace.Timestamp, 2)
+	if _, err := sess.GetTSBatch(ctx, buf); err == nil || !strings.Contains(err.Error(), "one-shot") {
+		t.Fatalf("one-shot batch=2 error = %v", err)
+	}
+	if _, err := sess.GetTS(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Detach(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		s, err := bc.Attach(ctx)
+		if err != nil {
+			t.Fatalf("attach %d: %v", i, err)
+		}
+		if _, err := s.GetTS(ctx); err != nil {
+			t.Fatalf("getts %d: %v", i, err)
+		}
+		if err := s.Detach(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := bc.Attach(ctx); !errors.Is(err, tsspace.ErrExhausted) {
+		t.Fatalf("attach on exhausted object = %v, want ErrExhausted", err)
+	}
+}
+
+func TestBinaryBatchCap(t *testing.T) {
+	bc, _, _, _ := newBinaryServer(t, tsserve.ServerConfig{MaxBatch: 4},
+		tsspace.WithAlgorithm("collect"), tsspace.WithProcs(2))
+	ctx := context.Background()
+	sess, err := bc.Attach(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Detach()
+	buf := make([]tsspace.Timestamp, 5)
+	_, err = sess.GetTSBatch(ctx, buf)
+	var apiErr *tsserve.APIError
+	if !errors.As(err, &apiErr) || apiErr.Code != tsserve.CodeBadRequest {
+		t.Fatalf("over-cap batch error = %v, want bad_request APIError", err)
+	}
+	// The connection survives a payload-level error: the lease still works.
+	if _, err := sess.GetTS(ctx); err != nil {
+		t.Fatalf("getts after over-cap error: %v", err)
+	}
+}
+
+// A raw connection can pipeline frames: several requests written back to
+// back are answered in order.
+func TestBinaryPipelining(t *testing.T) {
+	bc, _, _, _ := newBinaryServer(t, tsserve.ServerConfig{},
+		tsspace.WithAlgorithm("collect"), tsspace.WithProcs(2))
+	ctx := context.Background()
+	sess, err := bc.Attach(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Detach()
+
+	c, err := net.Dial("tcp", bc.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Write([]byte(tsserve.BinaryMagic)); err != nil {
+		t.Fatal(err)
+	}
+	// Three compare requests in one write (compare needs no session).
+	ts1, err := sess.GetTS(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2, err := sess.GetTS(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var req []byte
+	for i := 0; i < 3; i++ {
+		start := len(req)
+		req = append(req, 0, 0, 0, 0, 0x04) // frameCompare
+		req = binary.AppendVarint(req, ts1.Rnd)
+		req = binary.AppendVarint(req, ts1.Turn)
+		req = binary.AppendVarint(req, ts2.Rnd)
+		req = binary.AppendVarint(req, ts2.Turn)
+		binary.BigEndian.PutUint32(req[start:], uint32(len(req)-start-4))
+	}
+	if _, err := c.Write(req); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		typ, payload := readFrame(t, c)
+		if typ != 0x84 { // frameCompareOK
+			t.Fatalf("response %d: type 0x%02x", i, typ)
+		}
+		if len(payload) != 1 || payload[0] != 1 {
+			t.Fatalf("response %d: payload %v, want [1]", i, payload)
+		}
+	}
+}
+
+// Framing violations (oversized length prefix) get one error frame and a
+// closed connection.
+func TestBinaryOversizedFrameCloses(t *testing.T) {
+	bc, _, _, _ := newBinaryServer(t, tsserve.ServerConfig{},
+		tsspace.WithAlgorithm("collect"), tsspace.WithProcs(2))
+	c, err := net.Dial("tcp", bc.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Write([]byte(tsserve.BinaryMagic)); err != nil {
+		t.Fatal(err)
+	}
+	hdr := []byte{0xFF, 0xFF, 0xFF, 0xFF} // 4GiB frame claim
+	if _, err := c.Write(hdr); err != nil {
+		t.Fatal(err)
+	}
+	typ, payload := readFrame(t, c)
+	if typ != 0xFF { // frameError
+		t.Fatalf("type 0x%02x, want error frame", typ)
+	}
+	if len(payload) < 1 || payload[0] != 1 { // binCodeBadRequest
+		t.Fatalf("error payload %v, want bad_request code", payload)
+	}
+	// The server hangs up after a framing violation.
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	var one [1]byte
+	if _, err := c.Read(one[:]); err != io.EOF {
+		t.Fatalf("read after framing violation = %v, want EOF", err)
+	}
+}
+
+// A wrong magic is dropped without an answer.
+func TestBinaryBadMagic(t *testing.T) {
+	bc, _, _, _ := newBinaryServer(t, tsserve.ServerConfig{},
+		tsspace.WithAlgorithm("collect"), tsspace.WithProcs(2))
+	c, err := net.Dial("tcp", bc.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Write([]byte("GET http")); err != nil {
+		t.Fatal(err)
+	}
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	var one [1]byte
+	if _, err := c.Read(one[:]); err == nil {
+		t.Fatal("server answered a non-v3 client, want the connection dropped")
+	}
+}
+
+// Dropping a connection without detaching releases its sessions: the pid
+// comes back without waiting for the TTL reaper.
+func TestBinaryConnCloseReleasesSessions(t *testing.T) {
+	bc, _, _, obj := newBinaryServer(t, tsserve.ServerConfig{},
+		tsspace.WithAlgorithm("collect"), tsspace.WithProcs(1))
+	// Raw client: magic, one attach frame, then vanish without a detach.
+	c, err := net.Dial("tcp", bc.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Write([]byte(tsserve.BinaryMagic)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Write([]byte{0, 0, 0, 1, 0x01}); err != nil { // frameAttach
+		t.Fatal(err)
+	}
+	if typ, _ := readFrame(t, c); typ != 0x81 { // frameAttachOK
+		t.Fatalf("attach response type 0x%02x", typ)
+	}
+	c.Close()
+	// The one pid must become leasable again once the server notices.
+	attachCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	s2, err := obj.Attach(attachCtx)
+	if err != nil {
+		t.Fatalf("pid not released after conn close: %v", err)
+	}
+	s2.Detach()
+}
+
+// The steady-state client frame path allocates nothing: one reused
+// request buffer out, one framed read decoded into the caller's slice.
+// The server shares the process here, so the measurement actually bounds
+// client + server allocations per frame at zero.
+func TestBinaryGetTSBatchAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation measurement")
+	}
+	bc, _, _, _ := newBinaryServer(t, tsserve.ServerConfig{},
+		tsspace.WithAlgorithm("collect"), tsspace.WithProcs(4))
+	ctx := context.Background()
+	sess, err := bc.Attach(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Detach()
+	buf := make([]tsspace.Timestamp, 64)
+	// Warm the buffers (first batches grow scratch space).
+	for i := 0; i < 8; i++ {
+		if _, err := sess.GetTSBatch(ctx, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var allocs float64
+	for attempt := 0; attempt < 3; attempt++ {
+		allocs = testing.AllocsPerRun(200, func() {
+			if _, err := sess.GetTSBatch(ctx, buf); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs == 0 {
+			return
+		}
+	}
+	t.Fatalf("steady-state GetTSBatch allocates %.2f/op, want 0", allocs)
+}
+
+func BenchmarkBinaryGetTSBatch(b *testing.B) {
+	for _, batch := range []int{1, 16, 64, 256} {
+		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+			obj, err := tsspace.New(tsspace.WithAlgorithm("collect"), tsspace.WithProcs(4))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer obj.Close()
+			front := tsserve.NewServer(obj, tsserve.ServerConfig{})
+			defer front.Close()
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			go front.ServeBinary(ln)
+			bc := tsserve.NewBinaryClient(ln.Addr().String())
+			defer bc.Close()
+			ctx := context.Background()
+			sess, err := bc.Attach(ctx)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer sess.Detach()
+			buf := make([]tsspace.Timestamp, batch)
+			if _, err := sess.GetTSBatch(ctx, buf); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sess.GetTSBatch(ctx, buf); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*batch), "ns/ts")
+		})
+	}
+}
+
+// readFrame reads one raw frame off a test connection.
+func readFrame(t *testing.T, c net.Conn) (byte, []byte) {
+	t.Helper()
+	c.SetReadDeadline(time.Now().Add(10 * time.Second))
+	var hdr [4]byte
+	if _, err := io.ReadFull(c, hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	body := make([]byte, n)
+	if _, err := io.ReadFull(c, body); err != nil {
+		t.Fatal(err)
+	}
+	return body[0], body[1:]
+}

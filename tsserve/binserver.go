@@ -1,0 +1,356 @@
+package tsserve
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"tsspace"
+)
+
+// ServeBinary serves the wire-v3 binary protocol on ln until the listener
+// fails or the server is closed. It shares the server's session space
+// with the HTTP front end: binary attach frames lease sessions in the
+// same table, the same idle-TTL reaper detaches abandoned leases, and
+// Close drains binary connections alongside the HTTP sessions. Run it on
+// its own goroutine next to the HTTP server:
+//
+//	ln, _ := net.Listen("tcp", ":8038")
+//	go front.ServeBinary(ln)
+//
+// Each connection is processed serially — one session per connection is
+// the intended shape (the client binds them that way), so pipelined
+// frames on a connection are answered in order with no head-of-line
+// surprises across sessions.
+func (s *Server) ServeBinary(ln net.Listener) error {
+	s.binMu.Lock()
+	select {
+	case <-s.stop:
+		s.binMu.Unlock()
+		ln.Close()
+		return errors.New("tsserve: server closed")
+	default:
+	}
+	s.binListeners = append(s.binListeners, ln)
+	s.binMu.Unlock()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			select {
+			case <-s.stop:
+				return nil
+			default:
+				return err
+			}
+		}
+		s.binMu.Lock()
+		s.binConns[c] = struct{}{}
+		s.binMu.Unlock()
+		go func() {
+			s.serveBinConn(c)
+			s.binMu.Lock()
+			delete(s.binConns, c)
+			s.binMu.Unlock()
+		}()
+	}
+}
+
+// closeBinary is the binary side of Close: stop accepting, give in-flight
+// frames a moment to finish (frame handling is microseconds; the wait is
+// a courtesy so a response mid-write is not cut), then close every
+// connection, which unblocks their readers.
+func (s *Server) closeBinary() {
+	s.binMu.Lock()
+	lns := s.binListeners
+	s.binListeners = nil
+	s.binMu.Unlock()
+	for _, ln := range lns {
+		_ = ln.Close()
+	}
+	deadline := time.Now().Add(250 * time.Millisecond)
+	for s.binBusy.Load() > 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	s.binMu.Lock()
+	for c := range s.binConns {
+		_ = c.Close()
+	}
+	s.binMu.Unlock()
+}
+
+// binServerConn is the per-connection state of one binary client: reused
+// read/write buffers and the set of sessions attached through this
+// connection, detached when it goes away (a binary session lives and dies
+// with its connection, like the client's pooling assumes; an id is still
+// addressable from elsewhere while the connection lives, since both
+// protocols share one session table).
+type binServerConn struct {
+	s     *Server
+	bw    *bufio.Writer
+	out   []byte // response scratch, reused per frame
+	tsBuf []tsspace.Timestamp
+	owned map[string]struct{}
+}
+
+func (s *Server) serveBinConn(c net.Conn) {
+	defer c.Close()
+	var magic [len(BinaryMagic)]byte
+	if _, err := io.ReadFull(c, magic[:]); err != nil || string(magic[:]) != BinaryMagic {
+		return // not a wire-v3 client; nothing sensible to answer
+	}
+	br := bufio.NewReaderSize(c, 16<<10)
+	bw := bufio.NewWriterSize(c, 64<<10)
+	fr := frameReader{r: br}
+	st := &binServerConn{s: s, bw: bw, owned: make(map[string]struct{})}
+	defer st.cleanup()
+	for {
+		select {
+		case <-s.stop:
+			_ = bw.Flush()
+			return
+		default:
+		}
+		typ, payload, err := fr.next()
+		if err != nil {
+			// A framing-level violation (oversized or empty prefix) poisons
+			// the stream: answer once, then hang up. I/O errors and EOF just
+			// end the connection.
+			if errors.Is(err, errFrameTooLarge) || errors.Is(err, errFrameEmpty) {
+				st.writeError(binCodeBadRequest, err.Error())
+				_ = bw.Flush()
+			}
+			return
+		}
+		s.binBusy.Add(1)
+		s.binFrames.Add(1)
+		s.binBytesIn.Add(uint64(4 + 1 + len(payload)))
+		st.handle(typ, payload)
+		s.binBusy.Add(-1)
+		// Flush when no request is already buffered: pipelined bursts share
+		// one flush, a lone request is answered immediately.
+		if br.Buffered() == 0 {
+			if err := bw.Flush(); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// cleanup detaches every session attached through this connection that is
+// still leased (the reaper or an explicit detach may have won already).
+func (st *binServerConn) cleanup() {
+	for id := range st.owned {
+		if ws, ok := st.s.remove(id); ok {
+			ws.mu.Lock()
+			_ = ws.sess.Detach()
+			ws.mu.Unlock()
+		}
+	}
+}
+
+// handle dispatches one frame. Payload-level problems answer an error
+// frame and keep the connection: the framing is intact, so the stream
+// stays decodable.
+func (st *binServerConn) handle(typ byte, payload []byte) {
+	switch typ {
+	case frameGetTS:
+		st.getTS(payload)
+	case frameAttach:
+		st.attach(payload)
+	case frameDetach:
+		st.detach(payload)
+	case frameCompare:
+		st.compare(payload)
+	default:
+		st.writeError(binCodeBadRequest, fmt.Sprintf("unknown frame type 0x%02x", typ))
+	}
+}
+
+// getTS answers one pipelined batch frame: the steady-state path, kept
+// allocation-free (id lookup without a string copy, reused timestamp and
+// response buffers, delta-encoded reply).
+func (st *binServerConn) getTS(payload []byte) {
+	s := st.s
+	start := time.Now()
+	id, rest, err := sessionID(payload)
+	if err != nil {
+		st.writeError(binCodeBadRequest, "getts: "+err.Error())
+		return
+	}
+	cnt, off, err := uvarint(rest, 0)
+	if err != nil || off != len(rest) {
+		st.writeError(binCodeBadRequest, "getts: malformed count")
+		return
+	}
+	count := int(cnt)
+	if count < 1 {
+		count = 1
+	}
+	if count > s.maxBatch {
+		st.writeError(binCodeBadRequest, fmt.Sprintf("count %d exceeds the batch cap %d", count, s.maxBatch))
+		return
+	}
+	if s.obj.OneShot() && count > 1 {
+		st.writeError(binCodeBadRequest, fmt.Sprintf("a one-shot object issues one timestamp per process; ask for count 1, not %d", count))
+		return
+	}
+	ws, ok := s.lookupKey(id)
+	if !ok {
+		st.writeError(binCodeUnknownSession, fmt.Sprintf("unknown session %q (detached, reaped, or never attached)", id))
+		return
+	}
+	if cap(st.tsBuf) < count {
+		st.tsBuf = make([]tsspace.Timestamp, count)
+	}
+	buf := st.tsBuf[:count]
+	ws.mu.Lock()
+	ws.last.Store(time.Now().UnixNano()) // renew at start too: a long batch is not idle
+	n, err := ws.sess.GetTSBatch(s.binCtx, buf)
+	ws.last.Store(time.Now().UnixNano())
+	pid := ws.sess.Pid()
+	ws.mu.Unlock()
+	if err != nil {
+		st.writeSDKError(fmt.Errorf("timestamp %d/%d: %w", n+1, count, err))
+		return
+	}
+	st.out = beginFrame(st.out[:0], frameGetTSOK)
+	st.out = appendTimestamps(st.out, pid, buf[:n])
+	st.out = endFrame(st.out, 0)
+	st.write()
+	s.batches.Add(1)
+	s.lat["binary_getts"].Record(time.Since(start).Nanoseconds())
+}
+
+// attach leases a session in the shared wire table and marks it
+// binary-attached for the metrics split.
+func (st *binServerConn) attach(payload []byte) {
+	s := st.s
+	if len(payload) != 0 {
+		st.writeError(binCodeBadRequest, "attach: unexpected payload")
+		return
+	}
+	sess, err := s.obj.Attach(s.binCtx)
+	if err != nil {
+		st.writeSDKError(err)
+		return
+	}
+	ws := s.register(sess, true)
+	st.owned[ws.id] = struct{}{}
+	st.out = beginFrame(st.out[:0], frameAttachOK)
+	st.out = append(st.out, ws.id...)
+	st.out = binary.AppendUvarint(st.out, uint64(sess.Pid()))
+	st.out = binary.AppendUvarint(st.out, uint64(s.sessionTTL.Milliseconds()))
+	st.out = endFrame(st.out, 0)
+	st.write()
+}
+
+// detach returns a lease explicitly, whichever protocol attached it.
+func (st *binServerConn) detach(payload []byte) {
+	s := st.s
+	id, rest, err := sessionID(payload)
+	if err != nil || len(rest) != 0 {
+		st.writeError(binCodeBadRequest, "detach: malformed session id")
+		return
+	}
+	ws, ok := s.removeKey(id)
+	if !ok {
+		st.writeError(binCodeUnknownSession, fmt.Sprintf("unknown session %q (detached, reaped, or never attached)", id))
+		return
+	}
+	delete(st.owned, ws.id)
+	ws.mu.Lock() // wait out a batch in flight, then release the pid
+	calls := ws.sess.Calls()
+	_ = ws.sess.Detach()
+	ws.mu.Unlock()
+	st.out = beginFrame(st.out[:0], frameDetachOK)
+	st.out = binary.AppendUvarint(st.out, uint64(calls))
+	st.out = endFrame(st.out, 0)
+	st.write()
+}
+
+// compare answers compare(t1, t2) without touching any session.
+func (st *binServerConn) compare(payload []byte) {
+	s := st.s
+	start := time.Now()
+	var vals [4]int64
+	off := 0
+	var err error
+	for i := range vals {
+		if vals[i], off, err = varint(payload, off); err != nil {
+			st.writeError(binCodeBadRequest, "compare: truncated operands")
+			return
+		}
+	}
+	if off != len(payload) {
+		st.writeError(binCodeBadRequest, "compare: trailing bytes")
+		return
+	}
+	before := s.obj.Compare(
+		tsspace.Timestamp{Rnd: vals[0], Turn: vals[1]},
+		tsspace.Timestamp{Rnd: vals[2], Turn: vals[3]},
+	)
+	st.out = beginFrame(st.out[:0], frameCompareOK)
+	b := byte(0)
+	if before {
+		b = 1
+	}
+	st.out = append(st.out, b)
+	st.out = endFrame(st.out, 0)
+	st.write()
+	s.lat["binary_compare"].Record(time.Since(start).Nanoseconds())
+}
+
+// write flushes st.out into the buffered writer and counts the bytes; a
+// failed write surfaces on the next Flush, ending the connection.
+func (st *binServerConn) write() {
+	_, _ = st.bw.Write(st.out)
+	st.s.binBytesOut.Add(uint64(len(st.out)))
+}
+
+// writeError answers the current frame with an error frame.
+func (st *binServerConn) writeError(code byte, msg string) {
+	st.out = beginFrame(st.out[:0], frameError)
+	st.out = appendError(st.out, code, msg)
+	st.out = endFrame(st.out, 0)
+	st.write()
+}
+
+// writeSDKError is writeSDKError of the HTTP side in frame form: SDK
+// errors map to the shared wire codes so both protocols produce the same
+// typed errors client-side.
+func (st *binServerConn) writeSDKError(err error) {
+	switch {
+	case errors.Is(err, tsspace.ErrExhausted) || errors.Is(err, tsspace.ErrOneShot):
+		st.writeError(binCodeExhausted, err.Error())
+	case errors.Is(err, tsspace.ErrDetached):
+		st.writeError(binCodeUnknownSession, err.Error())
+	case errors.Is(err, tsspace.ErrClosed):
+		st.writeError(binCodeClosed, err.Error())
+	default:
+		st.writeError(binCodeInternal, err.Error())
+	}
+}
+
+// lookupKey is lookup for a raw id: the map access with string(id) is
+// allocation-free, which keeps the per-frame path clean.
+func (s *Server) lookupKey(id []byte) (*wireSession, bool) {
+	s.sessMu.Lock()
+	ws, ok := s.sessions[string(id)]
+	s.sessMu.Unlock()
+	return ws, ok
+}
+
+// removeKey is remove for a raw id.
+func (s *Server) removeKey(id []byte) (*wireSession, bool) {
+	s.sessMu.Lock()
+	ws, ok := s.sessions[string(id)]
+	if ok {
+		delete(s.sessions, string(id))
+	}
+	s.sessMu.Unlock()
+	return ws, ok
+}

@@ -42,10 +42,14 @@ type DetachResponse struct {
 	Calls int `json:"calls"`
 }
 
-// wireSession is one leased SDK session addressable over the wire.
+// wireSession is one leased SDK session addressable over the wire — by
+// HTTP and binary clients alike, since both protocols share this table.
 type wireSession struct {
 	id   string
 	sess *tsspace.Session
+	// binary marks a lease attached over the wire-v3 transport, for the
+	// /metrics session split.
+	binary bool
 	// mu serializes session-scoped batches: the SDK session is one logical
 	// client, so concurrent HTTP requests against the same id queue here
 	// instead of racing the sequential operation stream.
@@ -65,8 +69,9 @@ func newSessionID() string {
 }
 
 // register stores a freshly attached session and returns its wire form.
-func (s *Server) register(sess *tsspace.Session) *wireSession {
-	ws := &wireSession{id: newSessionID(), sess: sess}
+// binary marks leases attached over the wire-v3 transport.
+func (s *Server) register(sess *tsspace.Session, binary bool) *wireSession {
+	ws := &wireSession{id: newSessionID(), sess: sess, binary: binary}
 	ws.last.Store(time.Now().UnixNano())
 	s.sessMu.Lock()
 	s.sessions[ws.id] = ws
@@ -140,12 +145,15 @@ func (s *Server) reapIdle(now time.Time) {
 	}
 }
 
-// Close stops the idle reaper and detaches every live wire session,
-// recycling their pids. It does not close the underlying object (the
-// caller owns it) and is idempotent. Close the server before the object
-// on shutdown.
+// Close stops the idle reaper, shuts the binary listeners and
+// connections (after a short grace for in-flight frames), and detaches
+// every live wire session, recycling their pids. It does not close the
+// underlying object (the caller owns it) and is idempotent. Close the
+// server before the object on shutdown.
 func (s *Server) Close() error {
 	s.stopOnce.Do(func() { close(s.stop) })
+	s.binCancel()
+	s.closeBinary()
 	s.sessMu.Lock()
 	live := make([]*wireSession, 0, len(s.sessions))
 	for id, ws := range s.sessions {
@@ -173,7 +181,7 @@ func (s *Server) handleAttach(w http.ResponseWriter, r *http.Request) {
 		s.writeSDKError(w, r, err)
 		return
 	}
-	ws := s.register(sess)
+	ws := s.register(sess, false)
 	writeJSON(w, http.StatusOK, AttachResponse{
 		SessionID: ws.id,
 		Pid:       sess.Pid(),

@@ -18,6 +18,12 @@
 //
 //	POST /getts {"count": k}             — attach + one batch + detach
 //
+// Wire v3 is the same session surface over a persistent-connection,
+// length-prefixed binary protocol (ServeBinary / BinaryClient — see
+// binary.go for the framing), sharing the lease table, TTL reaper and
+// typed error codes with the endpoints above; it exists because E13
+// measured HTTP/JSON at ~100× the algorithm's in-process cost.
+//
 // Either way a batch is issued back to back by one paper-process, so each
 // timestamp happens-before the next and compare must order the batch
 // strictly — the invariant the CI smoke test asserts over the wire.
@@ -30,10 +36,12 @@
 package tsserve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"sync"
 	"sync/atomic"
@@ -125,10 +133,19 @@ type Metrics struct {
 	Batches        uint64 `json:"batches"`
 	Attaches       uint64 `json:"attaches"`
 	ActiveSessions int    `json:"active_sessions"`
-	// WireSessions counts the live wire-v2 leases; ReapedSessions the
-	// idle leases the TTL reaper has detached over the server's lifetime.
-	WireSessions   int                `json:"wire_sessions"`
-	ReapedSessions uint64             `json:"reaped_sessions"`
+	// WireSessions counts every live wire lease (HTTP and binary — both
+	// protocols share one session table); BinarySessions the subset
+	// attached over the binary transport; ReapedSessions the idle leases
+	// the TTL reaper has detached over the server's lifetime.
+	WireSessions   int    `json:"wire_sessions"`
+	BinarySessions int    `json:"binary_sessions"`
+	ReapedSessions uint64 `json:"reaped_sessions"`
+	// BinaryFrames and the byte counters track the wire-v3 transport:
+	// frames processed (requests) and bytes in/out, magic and length
+	// prefixes included.
+	BinaryFrames   uint64             `json:"binary_frames"`
+	BinaryBytesIn  uint64             `json:"binary_bytes_in"`
+	BinaryBytesOut uint64             `json:"binary_bytes_out"`
 	UptimeSeconds  float64            `json:"uptime_seconds"`
 	CallsPerSecond float64            `json:"calls_per_second"`
 	Space          *Space             `json:"space,omitempty"`
@@ -182,6 +199,20 @@ type Server struct {
 	reaped   atomic.Uint64
 	stop     chan struct{}
 	stopOnce sync.Once
+
+	// Wire-v3 binary transport state: the listeners ServeBinary runs on,
+	// the live connections (closed on shutdown), an in-flight frame gauge
+	// for the drain, and the /metrics counters. binCtx is the server-side
+	// context binary operations run under; Close cancels it.
+	binCtx       context.Context
+	binCancel    context.CancelFunc
+	binMu        sync.Mutex
+	binListeners []net.Listener
+	binConns     map[net.Conn]struct{}
+	binBusy      atomic.Int64
+	binFrames    atomic.Uint64
+	binBytesIn   atomic.Uint64
+	binBytesOut  atomic.Uint64
 }
 
 // NewServer builds the front end for obj. The caller keeps ownership of
@@ -198,10 +229,15 @@ func NewServer(obj *tsspace.Object, cfg ServerConfig) *Server {
 	s := &Server{
 		obj: obj, maxBatch: maxBatch, sessionTTL: ttl,
 		start: time.Now(), mux: http.NewServeMux(),
-		lat:      map[string]*hist.H{"getts": hist.New(), "compare": hist.New(), "attach": hist.New()},
+		lat: map[string]*hist.H{
+			"getts": hist.New(), "compare": hist.New(), "attach": hist.New(),
+			"binary_getts": hist.New(), "binary_compare": hist.New(),
+		},
 		sessions: make(map[string]*wireSession),
 		stop:     make(chan struct{}),
+		binConns: make(map[net.Conn]struct{}),
 	}
+	s.binCtx, s.binCancel = context.WithCancel(context.Background())
 	for _, e := range tsspace.Catalog() {
 		if e.Name == obj.Algorithm() {
 			s.summary = e.Summary
@@ -326,6 +362,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	uptime := time.Since(s.start).Seconds()
 	s.sessMu.Lock()
 	wire := len(s.sessions)
+	binSessions := 0
+	for _, ws := range s.sessions {
+		if ws.binary {
+			binSessions++
+		}
+	}
 	s.sessMu.Unlock()
 	m := Metrics{
 		Algorithm:      s.obj.Algorithm(),
@@ -335,7 +377,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		Attaches:       st.Attaches,
 		ActiveSessions: st.ActiveSessions,
 		WireSessions:   wire,
+		BinarySessions: binSessions,
 		ReapedSessions: s.reaped.Load(),
+		BinaryFrames:   s.binFrames.Load(),
+		BinaryBytesIn:  s.binBytesIn.Load(),
+		BinaryBytesOut: s.binBytesOut.Load(),
 		UptimeSeconds:  uptime,
 	}
 	if uptime > 0 {
