@@ -18,6 +18,12 @@
 //	tscheck -fuzz 200             seeded random-schedule fuzzing at -fuzzn
 //	tscheck -mutant               demonstrate the checker catching the
 //	                              stale-scan mutant with a shrunk witness
+//	tscheck -crash                torn-write conformance: crash sweep +
+//	                              crash fuzz over every registry algorithm
+//	                              (the crash-checkpoint mutant must be caught)
+//	tscheck -confront             run the live lower-bound adversaries and
+//	                              print the coverage-vs-certificate table
+//	                              for the -confrontn process counts
 //	tscheck -cexdir DIR           write failing schedules as replayable
 //	                              artifacts (see cmd/tstrace -schedule)
 //
@@ -64,13 +70,17 @@ func main() {
 	fuzzN := flag.Int("fuzzn", 8, "processes for -fuzz")
 	shrink := flag.Bool("shrink", true, "shrink failing schedules to minimal counterexamples")
 	mutantDemo := flag.Bool("mutant", false, "verify the checker catches the stale-scan mutant")
+	crash := flag.Bool("crash", false, "torn-write conformance: crash sweep + crash fuzz over the registry (mutants included)")
+	confrontMode := flag.Bool("confront", false, "run the live lower-bound adversaries and print the coverage-vs-certificate table")
+	confrontNs := flag.String("confrontn", "8,16,32,64", "process counts for -confront")
 	cexDir := flag.String("cexdir", "", "directory for counterexample artifacts")
 	flag.Parse()
 
-	if *explore || *fuzz > 0 || *mutantDemo {
+	if *explore || *fuzz > 0 || *mutantDemo || *crash || *confrontMode {
 		os.Exit(modelCheck(modelCheckConfig{
 			exploreNs: *exploreNs, explore: *explore, por: *por, compare: *compare,
 			fuzz: *fuzz, fuzzN: *fuzzN, shrink: *shrink, mutant: *mutantDemo,
+			crash: *crash, confront: *confrontMode, confrontNs: *confrontNs,
 			cexDir: *cexDir, seed: *seed,
 		}))
 	}
@@ -82,6 +92,8 @@ type modelCheckConfig struct {
 	explore, por, compare bool
 	fuzz, fuzzN           int
 	shrink, mutant        bool
+	crash, confront       bool
+	confrontNs            string
 	cexDir                string
 	seed                  int64
 }
@@ -162,6 +174,17 @@ func modelCheck(cfg modelCheckConfig) int {
 	}
 	if cfg.mutant {
 		failed = !mutantCaught(cfg) || failed
+	}
+	if cfg.crash {
+		failed = crashCheck(cfg, ns) || failed
+	}
+	if cfg.confront {
+		cns, err := sched.ParseSchedule(cfg.confrontNs)
+		if err != nil || len(cns) == 0 {
+			fmt.Fprintf(os.Stderr, "tscheck: bad -confrontn %q\n", cfg.confrontNs)
+			return 2
+		}
+		failed = confront(cfg, cns) || failed
 	}
 	if len(tableRows) > 0 {
 		fmt.Println()

@@ -5,7 +5,8 @@
 // (mix × target × algorithm) row.
 //
 // Each scenario is one of the built-in mixes (steady, churn, burst,
-// compare — see tsspace/tsload); each algorithm comes from the registry
+// compare, crash — see tsspace/tsload); each algorithm comes from the
+// registry
 // (every non-mutant implementation by default); each row runs against the
 // in-process SDK and against tsserve over HTTP, so the delta between the
 // two prices the wire.
@@ -23,8 +24,11 @@
 //	                            batch-size sweep 1/16/256 over wire v2,
 //	                            wire v3 and in process, and a
 //	                            shim-vs-batch=1 equivalence leg) gated on
-//	                            zero errors and zero happens-before
-//	                            violations; writes BENCH_smoke.json
+//	                            zero unexpected errors and zero
+//	                            happens-before violations (the crash mix
+//	                            provokes ErrDetached by design; those are
+//	                            counted as expected); writes
+//	                            BENCH_smoke.json
 //
 // -batch takes a comma-separated list of batch sizes (timestamps per getTS
 // op via SessionAPI.GetTSBatch) and multiplies the sweep, so one run
@@ -325,19 +329,39 @@ func sweep(ctx context.Context, mix tsload.Mix, algs, targets []string, batches 
 	return results, nil
 }
 
+// crashTTL is the session TTL armed on targets the crash mix runs
+// against: short enough that abandoned pids circulate many times inside a
+// smoke window, long enough that a live worker's inter-op pause never
+// trips it.
+const crashTTL = 100 * time.Millisecond
+
 // runOne builds a fresh target for (alg, kind) and drives mix against it.
 // skip is true for http rows against an external daemon serving a
-// different algorithm.
+// different algorithm, and for crash-mix rows against any external daemon
+// (its 60s default TTL would let the abandoned pids wedge the namespace
+// for the whole run — crashing a shared daemon's leases is not this
+// driver's call to make).
 func runOne(ctx context.Context, mix tsload.Mix, alg, kind string, opt options) (tsload.Result, bool, error) {
 	procs := opt.procs
 	if isOneShot(alg) {
 		procs = opt.oneshotProcs
 	}
+	if mix.AbandonFrac > 0 && kind != "inproc" && opt.url != "" {
+		return tsload.Result{}, true, nil
+	}
+	var ttl time.Duration
+	if mix.AbandonFrac > 0 {
+		ttl = crashTTL
+	}
 
 	var target tsload.Target
 	switch kind {
 	case "inproc":
-		obj, err := tsspace.New(tsspace.WithAlgorithm(alg), tsspace.WithProcs(procs), tsspace.WithMetering())
+		objOpts := []tsspace.Option{tsspace.WithAlgorithm(alg), tsspace.WithProcs(procs), tsspace.WithMetering()}
+		if ttl > 0 {
+			objOpts = append(objOpts, tsspace.WithSessionTTL(ttl))
+		}
+		obj, err := tsspace.New(objOpts...)
 		if err != nil {
 			return tsload.Result{}, false, err
 		}
@@ -351,7 +375,7 @@ func runOne(ctx context.Context, mix tsload.Mix, alg, kind string, opt options) 
 		}
 		baseURL := opt.url
 		if baseURL == "" {
-			hosted, stop, err := selfHost(alg, procs)
+			hosted, stop, err := selfHost(alg, procs, ttl)
 			if err != nil {
 				return tsload.Result{}, false, err
 			}
@@ -373,7 +397,7 @@ func runOne(ctx context.Context, mix tsload.Mix, alg, kind string, opt options) 
 		// caller asked for.
 		baseURL, binAddr := opt.url, opt.binURL
 		if binAddr == "" {
-			hosted, stop, err := selfHost(alg, procs)
+			hosted, stop, err := selfHost(alg, procs, ttl)
 			if err != nil {
 				return tsload.Result{}, false, err
 			}
@@ -414,8 +438,10 @@ type hosted struct {
 
 // selfHost serves a fresh metered object over loopback listeners — a
 // per-run tsserved with both its HTTP front end and its wire-v3 binary
-// listener — and returns their addresses plus the teardown.
-func selfHost(alg string, procs int) (hosted, func(), error) {
+// listener — and returns their addresses plus the teardown. A non-zero
+// ttl arms the daemon's wire-session reaper with it (crash-mix rows need
+// abandoned leases back quickly); zero keeps tsserve's default.
+func selfHost(alg string, procs int, ttl time.Duration) (hosted, func(), error) {
 	obj, err := tsspace.New(tsspace.WithAlgorithm(alg), tsspace.WithProcs(procs), tsspace.WithMetering())
 	if err != nil {
 		return hosted{}, nil, err
@@ -431,7 +457,7 @@ func selfHost(alg string, procs int) (hosted, func(), error) {
 		obj.Close()
 		return hosted{}, nil, err
 	}
-	h := tsserve.NewServer(obj, tsserve.ServerConfig{})
+	h := tsserve.NewServer(obj, tsserve.ServerConfig{SessionTTL: ttl})
 	srv := &http.Server{Handler: h}
 	go func() { _ = srv.Serve(ln) }()
 	go func() { _ = h.ServeBinary(binLn) }()
@@ -464,8 +490,11 @@ func row(r tsload.Result) string {
 	if r.BudgetSpent {
 		flags += " budget-spent"
 	}
-	if r.Errors > 0 {
-		flags += fmt.Sprintf(" errors=%d", r.Errors)
+	if r.Abandoned > 0 {
+		flags += fmt.Sprintf(" abandoned=%d expected-errors=%d", r.Abandoned, r.ExpectedErrors)
+	}
+	if r.UnexpectedErrors > 0 {
+		flags += fmt.Sprintf(" ERRORS=%d", r.UnexpectedErrors)
 	}
 	if r.HBViolations > 0 {
 		flags += fmt.Sprintf(" HB-VIOLATIONS=%d", r.HBViolations)
@@ -481,9 +510,13 @@ func row(r tsload.Result) string {
 // mix against all three transports for a long-lived and a one-shot
 // algorithm, plus a batch-size leg (1/16/256 in process, over wire v2 and
 // over wire v3) and a deprecated-shim leg whose batch-of-1 behaviour must
-// be equivalent to wire v2's. It fails on any error, any happens-before
-// violation, an empty row, or a batch row whose timestamp accounting does
-// not match its batch size. All rows land in one BENCH_smoke.json.
+// be equivalent to wire v2's. It fails on any *unexpected* error, any
+// happens-before violation, an empty row, or a batch row whose timestamp
+// accounting does not match its batch size — gating on total errors would
+// reject the crash mix's fault injection, whose whole point is provoking
+// ErrDetached (counted as ExpectedErrors) while happens-before holds. The
+// crash rows additionally must have abandoned at least one lease, or the
+// injection silently did not run. All rows land in one BENCH_smoke.json.
 func runSmoke(ctx context.Context, out string, opt options) error {
 	opt.workers = 4
 	opt.rate = 0
@@ -542,12 +575,21 @@ func runSmoke(ctx context.Context, out string, opt options) error {
 	fmt.Printf("wrote %s (%d rows)\n", path, len(results))
 
 	seen := map[string]bool{}
+	crashRows := 0
 	for _, r := range results {
-		if r.Errors > 0 {
-			return fmt.Errorf("%s/%s/%s: %d op errors", r.Mix, r.Target, r.Algorithm, r.Errors)
+		if r.UnexpectedErrors > 0 {
+			return fmt.Errorf("%s/%s/%s: %d unexpected op errors (%d expected)",
+				r.Mix, r.Target, r.Algorithm, r.UnexpectedErrors, r.ExpectedErrors)
 		}
 		if r.HBViolations > 0 {
 			return fmt.Errorf("%s/%s/%s: %d happens-before violations", r.Mix, r.Target, r.Algorithm, r.HBViolations)
+		}
+		if r.Mix == "crash" {
+			crashRows++
+			if r.Abandoned == 0 {
+				return fmt.Errorf("%s/%s/%s: crash mix abandoned no leases — the fault injection did not run",
+					r.Mix, r.Target, r.Algorithm)
+			}
 		}
 		if r.Ops == 0 {
 			return fmt.Errorf("%s/%s/%s: no measured ops", r.Mix, r.Target, r.Algorithm)
@@ -565,6 +607,9 @@ func runSmoke(ctx context.Context, out string, opt options) error {
 	}
 	if !seen["inproc"] || !seen["http"] || !seen["binary"] || !seen["http-shim"] {
 		return fmt.Errorf("smoke must cover inproc, http, binary and http-shim, saw %v", seen)
+	}
+	if crashRows == 0 {
+		return fmt.Errorf("smoke ran no crash-mix rows")
 	}
 	return checkShimEquivalence(results, batchAlg)
 }

@@ -76,10 +76,13 @@ func main() {
 	var wl engine.Workload
 	switch {
 	case *schedule != "":
-		steps, err := sched.ParseSchedule(*schedule)
+		steps, err := sched.ParseCrashSchedule(*schedule)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "tstrace: %v\n", err)
 			os.Exit(2)
+		}
+		if hasCrashEntry(steps) {
+			os.Exit(crashReplay(alg, *n, *calls, *seed, steps))
 		}
 		wl = engine.Adversarial{Schedule: steps, CallsPerProc: *calls}
 	case *workload == "random":
@@ -119,4 +122,48 @@ func main() {
 	}
 	fmt.Println("\nhappens-before property verified ✓")
 	fmt.Println(report.Summary(rep))
+}
+
+// hasCrashEntry reports whether a parsed schedule contains crash points
+// (the x<pid>/X<pid> tokens of tscheck's crash-mode witnesses).
+func hasCrashEntry(entries []int) bool {
+	for _, e := range entries {
+		if _, _, isCrash := sched.DecodeCrash(e); isCrash {
+			return true
+		}
+	}
+	return false
+}
+
+// crashReplay replays a crash-schedule witness through the engine's
+// fault-injection harness and renders the 2n-incarnation trace (scheduler
+// pid n+p is the recovery incarnation of paper process p). It returns the
+// process exit code: 1 when the witness reproduces a violation.
+func crashReplay(alg engine.Algorithm[timestamp.Timestamp], n, calls int, seed int64, entries []int) int {
+	var wl engine.Workload = engine.LongLived{CallsPerProc: calls}
+	if alg.OneShot() {
+		wl = engine.OneShot{}
+	}
+	rep, err := engine.ReplayCrashSchedule(engine.Config[timestamp.Timestamp]{
+		Alg: alg, World: engine.Simulated, N: n, Workload: wl, Seed: seed,
+	}, entries)
+	if rep == nil {
+		fmt.Fprintf(os.Stderr, "tstrace: %v\n", err)
+		return 2
+	}
+
+	fmt.Printf("%s, n=%d (+%d recovery incarnations), %d call(s) per process, %s — %d steps\n\n",
+		rep.Alg, n, n, calls, rep.Workload, rep.Steps)
+	fmt.Println(sched.RenderTrace(rep.Trace, 2*n))
+
+	fmt.Println("timestamps returned (pids ≥ n are recovery incarnations):")
+	for _, ev := range rep.Events {
+		fmt.Printf("  p%d.getTS#%d → %v\n", ev.Pid, ev.Seq, ev.Val)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "\ntstrace: %v\n", err)
+		return 1
+	}
+	fmt.Println("\nhappens-before property verified ✓")
+	return 0
 }

@@ -1,0 +1,209 @@
+package lowerbound
+
+import (
+	"fmt"
+
+	"tsspace/internal/bitset"
+	"tsspace/internal/sched"
+)
+
+// Live adversaries: the abstract constructions of §3 and §4, turned into
+// schedulers that drive a *real* algorithm execution under the
+// deterministic scheduler. Where LongLivedConstruction and
+// OneShotConstruction replay the proofs' accounting against a placement
+// policy, the live adversaries exercise the same moves — run a process
+// solo until it is poised to write (Lemma 2.1 / Lemma 4.1), hold it
+// covering, block-write to release covered registers — against an actual
+// implementation, and measure how many registers they force it to cover
+// simultaneously. The measured coverage confronts the analytic
+// certificates LongLivedLower / OneShotLower: any implementation
+// satisfying the theorems' hypotheses must be steerable to at least that
+// many simultaneously covered registers.
+
+// LiveReport is the outcome of one live adversary execution.
+type LiveReport struct {
+	Adversary string
+	N         int // scheduler processes
+	M         int // registers of the implementation under attack
+	// MaxCovered is the maximum number of simultaneously covered
+	// registers observed at any point of the execution (the quantity the
+	// lower-bound theorems are about).
+	MaxCovered int
+	// Certificate is the analytic bound the adversary confronts
+	// (LongLivedLower or OneShotLower for N), and Margin is
+	// MaxCovered − Certificate (≥ 0 when the confrontation succeeds).
+	Certificate int
+	Margin      int
+	Steps       int // scheduler operations consumed
+	Consumed    int // processes that took at least one step
+	Rounds      int // block-write/re-cover rounds executed (long-lived only)
+	Recycled    int // processes released by block writes and re-covered
+	// FinalSignature is sig(C) of the final configuration reached.
+	FinalSignature Signature
+}
+
+// String renders the one-line summary used by the tscheck confrontation
+// table.
+func (r *LiveReport) String() string {
+	return fmt.Sprintf("%s: n=%d m=%d covered=%d certificate=%d margin=%+d steps=%d",
+		r.Adversary, r.N, r.M, r.MaxCovered, r.Certificate, r.Margin, r.Steps)
+}
+
+// observe folds the current configuration signature into the report.
+func (r *LiveReport) observe(sys *sched.System) error {
+	sig, err := sys.Signature()
+	if err != nil {
+		return err
+	}
+	if c := Signature(sig).CoveredRegisters(); c > r.MaxCovered {
+		r.MaxCovered = c
+	}
+	r.FinalSignature = Signature(sig)
+	return nil
+}
+
+// LiveOneShot runs the §4-style greedy covering adversary on a fresh
+// system from the factory: each process in turn is run solo until it is
+// poised to write a register outside the set already covered (the
+// Lemma 4.1 move, sched.CoverOutside), growing a set of distinctly
+// covered registers. Processes that terminate without leaving the covered
+// set are consumed without contributing. The factory must produce systems
+// whose processes each perform one timestamp call (the one-shot
+// workload); the report's certificate is OneShotLower(n).
+func LiveOneShot(factory sched.Factory) (*LiveReport, error) {
+	sys := factory()
+	defer sys.Close()
+	n := sys.N()
+	rep := &LiveReport{
+		Adversary:   "live-one-shot-cover",
+		N:           n,
+		M:           sys.M(),
+		Certificate: OneShotLower(n),
+	}
+	covered := bitset.New(sys.M())
+	for pid := 0; pid < n; pid++ {
+		before := sys.Steps()
+		poised, err := sys.CoverOutside(pid, covered)
+		if err != nil {
+			return nil, fmt.Errorf("lowerbound: %s: p%d: %w", rep.Adversary, pid, err)
+		}
+		if sys.Steps() > before {
+			rep.Consumed++
+		}
+		if !poised {
+			continue // terminated inside the covered set
+		}
+		reg, ok, err := sys.Covers(pid)
+		if err != nil || !ok {
+			return nil, fmt.Errorf("lowerbound: %s: p%d reported poised but covers nothing (%v)", rep.Adversary, pid, err)
+		}
+		covered.Add(reg)
+		if err := rep.observe(sys); err != nil {
+			return nil, err
+		}
+	}
+	rep.Steps = sys.Steps()
+	rep.Margin = rep.MaxCovered - rep.Certificate
+	return rep, nil
+}
+
+// LiveLongLived runs the §3-style clone-and-cover adversary: every
+// process is first parked covering a register with at most two other
+// coverers (keeping the configuration a candidate (3,k)-configuration),
+// then for `rounds` rounds the adversary block-writes the most-covered
+// register — releasing its coverers exactly as Lemma 3.2's block writes
+// do — and re-covers each released process on a ≤2-covered register of
+// its next call. The factory must produce systems whose processes perform
+// enough calls to survive the requested rounds (long-lived workload); the
+// certificate is LongLivedLower(n).
+func LiveLongLived(factory sched.Factory, rounds int) (*LiveReport, error) {
+	sys := factory()
+	defer sys.Close()
+	n := sys.N()
+	rep := &LiveReport{
+		Adversary:   "live-clone-and-cover",
+		N:           n,
+		M:           sys.M(),
+		Certificate: LongLivedLower(n),
+	}
+
+	// cover parks pid on a register currently covered by at most two
+	// processes, or runs it to termination. The heights snapshot is taken
+	// before the solo run: only pid moves during it, and a running
+	// process covers nothing, so the snapshot stays exact.
+	cover := func(pid int) (bool, error) {
+		sig, err := sys.Signature()
+		if err != nil {
+			return false, err
+		}
+		before := sys.Steps()
+		poised, err := sys.RunUntil(pid, func(op sched.Op) bool {
+			return op.Kind == sched.OpWrite && sig[op.Reg] <= 2
+		})
+		if sys.Steps() > before {
+			rep.Consumed++
+		}
+		if err != nil {
+			return false, fmt.Errorf("lowerbound: %s: p%d: %w", rep.Adversary, pid, err)
+		}
+		return poised, nil
+	}
+
+	for pid := 0; pid < n; pid++ {
+		if _, err := cover(pid); err != nil {
+			return nil, err
+		}
+		if err := rep.observe(sys); err != nil {
+			return nil, err
+		}
+	}
+
+	for round := 0; round < rounds; round++ {
+		// The block write of Lemma 3.2: release every coverer of the
+		// most-covered register by letting each take exactly its pending
+		// write step.
+		sig, err := sys.Signature()
+		if err != nil {
+			return nil, err
+		}
+		target, best := -1, 0
+		for reg, h := range sig {
+			if h > best {
+				target, best = reg, h
+			}
+		}
+		if target < 0 {
+			break // nothing covered: every process terminated
+		}
+		var writers []int
+		for pid := 0; pid < n; pid++ {
+			if reg, ok, err := sys.Covers(pid); err != nil {
+				return nil, err
+			} else if ok && reg == target {
+				writers = append(writers, pid)
+			}
+		}
+		if err := sys.BlockWrite(writers...); err != nil {
+			return nil, fmt.Errorf("lowerbound: %s: round %d: %w", rep.Adversary, round, err)
+		}
+		rep.Rounds++
+		// Clone-and-cover: the released processes continue their call
+		// sequence and are parked covering again.
+		for _, pid := range writers {
+			poised, err := cover(pid)
+			if err != nil {
+				return nil, err
+			}
+			if poised {
+				rep.Recycled++
+			}
+		}
+		if err := rep.observe(sys); err != nil {
+			return nil, err
+		}
+	}
+
+	rep.Steps = sys.Steps()
+	rep.Margin = rep.MaxCovered - rep.Certificate
+	return rep, nil
+}

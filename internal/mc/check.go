@@ -57,7 +57,25 @@ func (v Violation[T]) Error() string {
 // pruning sound: a property violation anywhere in the class is caught on
 // the class representative.
 func CausalCheck[T any](n int, trace []sched.Op, calls []Call[T], compare func(a, b T) bool) error {
-	c, err := analyze(n, trace)
+	return CausalCheckBarriers(n, trace, calls, compare, nil)
+}
+
+// Barrier injects a causal edge the registers cannot express: every
+// operation of process After happens after trace operation Before (a global
+// trace index). It models crash-recovery hand-off — a recovery incarnation
+// starts only after its predecessor's crash, so no reordering may move its
+// operations before the predecessor's last executed operation, even when no
+// register conflict forces that order. A Before of -1 (predecessor executed
+// nothing observable) is no constraint.
+type Barrier struct {
+	Before int
+	After  int
+}
+
+// CausalCheckBarriers is CausalCheck over a trace whose causality includes
+// explicit barriers in addition to the conflict edges.
+func CausalCheckBarriers[T any](n int, trace []sched.Op, calls []Call[T], compare func(a, b T) bool, barriers []Barrier) error {
+	c, err := analyzeBarriers(n, trace, barriers)
 	if err != nil {
 		return err
 	}
@@ -84,12 +102,36 @@ type causality struct {
 }
 
 func analyze(n int, trace []sched.Op) (*causality, error) {
+	return analyzeBarriers(n, trace, nil)
+}
+
+func analyzeBarriers(n int, trace []sched.Op, barriers []Barrier) (*causality, error) {
 	c := &causality{n: n, globalIdx: make([][]int, n), vc: make([][]int, len(trace))}
 	for i, op := range trace {
 		if op.Pid < 0 || op.Pid >= n {
 			return nil, fmt.Errorf("mc: trace op %d has pid %d outside [0,%d)", i, op.Pid, n)
 		}
 		c.globalIdx[op.Pid] = append(c.globalIdx[op.Pid], i)
+	}
+	// barrier[p] is the trace index whose clock joins into p's first
+	// operation; program order then carries it through the rest of p.
+	barrier := make(map[int]int, len(barriers))
+	for _, b := range barriers {
+		if b.Before < 0 {
+			continue
+		}
+		if b.After < 0 || b.After >= n {
+			return nil, fmt.Errorf("mc: barrier names pid %d outside [0,%d)", b.After, n)
+		}
+		if b.Before >= len(trace) {
+			return nil, fmt.Errorf("mc: barrier names trace index %d past the %d-op trace", b.Before, len(trace))
+		}
+		if idx := c.globalIdx[b.After]; len(idx) > 0 && idx[0] <= b.Before {
+			return nil, fmt.Errorf("mc: barrier is acausal: p%d already ran at trace index %d, before %d", b.After, idx[0], b.Before)
+		}
+		if cur, ok := barrier[b.After]; !ok || b.Before > cur {
+			barrier[b.After] = b.Before
+		}
 	}
 	procVC := make([][]int, n)
 	writeVC := map[int][]int{} // register → clock of its latest write
@@ -105,6 +147,11 @@ func analyze(n int, trace []sched.Op) (*causality, error) {
 	for i, op := range trace {
 		clock := make([]int, n)
 		join(clock, procVC[op.Pid])
+		if procVC[op.Pid] == nil {
+			if before, ok := barrier[op.Pid]; ok {
+				join(clock, c.vc[before])
+			}
+		}
 		join(clock, writeVC[op.Reg])
 		if op.Kind == sched.OpWrite {
 			join(clock, readVC[op.Reg])

@@ -39,3 +39,88 @@ func FormatSchedule(schedule []int) string {
 	}
 	return strings.Join(parts, ",")
 }
+
+// Crash-schedule encoding. A crash schedule is a plain []int schedule whose
+// negative entries inject crashes, so the generic ddmin shrinker
+// (mc.Shrink) minimizes crash counterexamples without knowing about them:
+// a non-negative entry steps that process, CrashDrop(p) crashes process p
+// discarding its pending operation, CrashApply(p) crashes it applying its
+// pending write first (the torn write that landed).
+
+// CrashDrop encodes "crash process pid, dropping its pending operation".
+func CrashDrop(pid int) int { return -(2*pid + 1) }
+
+// CrashApply encodes "crash process pid, applying its pending write".
+func CrashApply(pid int) int { return -(2*pid + 2) }
+
+// DecodeCrash splits a crash-schedule entry: for a non-negative entry it
+// returns (entry, false, false); for a crash entry it returns the victim
+// pid, whether the pending write is applied, and isCrash = true.
+func DecodeCrash(entry int) (pid int, apply, isCrash bool) {
+	if entry >= 0 {
+		return entry, false, false
+	}
+	k := -entry - 1
+	return k / 2, k%2 == 1, true
+}
+
+// ParseCrashSchedule decodes the textual crash-schedule format: the
+// ParseSchedule format extended with crash tokens — "x2" crashes process 2
+// dropping its pending operation, "X2" crashes it applying its pending
+// write. Plain schedules parse unchanged, so every existing schedule
+// artifact remains valid input.
+func ParseCrashSchedule(s string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, f := range parts {
+		tok := strings.TrimSpace(f)
+		apply := false
+		switch {
+		case strings.HasPrefix(tok, "X"):
+			apply = true
+			fallthrough
+		case strings.HasPrefix(tok, "x"):
+			pid, err := strconv.Atoi(strings.TrimSpace(tok[1:]))
+			if err != nil || pid < 0 {
+				return nil, fmt.Errorf("sched: bad crash entry %q", f)
+			}
+			if apply {
+				out = append(out, CrashApply(pid))
+			} else {
+				out = append(out, CrashDrop(pid))
+			}
+		default:
+			pid, err := strconv.Atoi(tok)
+			if err != nil {
+				return nil, fmt.Errorf("sched: bad schedule entry %q", f)
+			}
+			if pid < 0 {
+				return nil, fmt.Errorf("sched: negative process index %d in schedule", pid)
+			}
+			out = append(out, pid)
+		}
+	}
+	return out, nil
+}
+
+// FormatCrashSchedule renders a crash schedule in the format
+// ParseCrashSchedule accepts. Schedules without crash entries render
+// exactly as FormatSchedule does.
+func FormatCrashSchedule(schedule []int) string {
+	parts := make([]string, len(schedule))
+	for i, e := range schedule {
+		pid, apply, isCrash := DecodeCrash(e)
+		switch {
+		case !isCrash:
+			parts[i] = strconv.Itoa(pid)
+		case apply:
+			parts[i] = "X" + strconv.Itoa(pid)
+		default:
+			parts[i] = "x" + strconv.Itoa(pid)
+		}
+	}
+	return strings.Join(parts, ",")
+}

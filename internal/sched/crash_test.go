@@ -1,0 +1,276 @@
+package sched
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"tsspace/internal/register"
+)
+
+func TestCrashDropDiscardsPendingWrite(t *testing.T) {
+	sys := New(1, 1, incrementer(1))
+	if _, err := sys.Step(0); err != nil { // the read
+		t.Fatal(err)
+	}
+	op, applied, err := sys.Crash(0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied {
+		t.Error("dropped crash reported applied")
+	}
+	if op.Kind != OpWrite || op.Reg != 0 {
+		t.Errorf("crash op = %v, want the pending write", op)
+	}
+	if got := sys.Value(0); got != nil {
+		t.Errorf("register 0 = %v after dropped crash, want ⊥", got)
+	}
+	if !sys.Crashed(0) || !sys.Done(0) {
+		t.Error("victim should be crashed and done")
+	}
+	if err := sys.Err(0); !errors.Is(err, ErrCrashed) {
+		t.Errorf("Err(0) = %v, want ErrCrashed", err)
+	}
+	if sys.Steps() != 1 {
+		t.Errorf("steps = %d, want 1 (only the read)", sys.Steps())
+	}
+}
+
+func TestCrashApplyLandsTornWrite(t *testing.T) {
+	sys := New(1, 1, incrementer(1))
+	if _, err := sys.Step(0); err != nil {
+		t.Fatal(err)
+	}
+	op, applied, err := sys.Crash(0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !applied {
+		t.Error("applied crash not reported applied")
+	}
+	if got := sys.Value(0); got != 1 {
+		t.Errorf("register 0 = %v after applied crash, want 1", got)
+	}
+	// The torn write is a real step of the execution and is in the trace.
+	trace := sys.Trace()
+	if len(trace) != 2 || trace[1].Kind != OpWrite || trace[1].Step != 1 {
+		t.Errorf("trace = %v, want read then the applied write", trace)
+	}
+	if op.Step != 1 {
+		t.Errorf("crash op step = %d, want 1", op.Step)
+	}
+}
+
+func TestCrashPendingReadNeverApplies(t *testing.T) {
+	sys := New(1, 1, incrementer(1))
+	_, applied, err := sys.Crash(0, true) // poised at the read
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied {
+		t.Error("a pending read must not be applied")
+	}
+	if sys.Steps() != 0 {
+		t.Errorf("steps = %d, want 0", sys.Steps())
+	}
+}
+
+func TestCrashTerminatedProcessFails(t *testing.T) {
+	sys := New(1, 1, incrementer(1))
+	if _, err := sys.Solo(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := sys.Crash(0, false); !errors.Is(err, ErrTerminated) {
+		t.Errorf("crash of terminated process = %v, want ErrTerminated", err)
+	}
+	sys2 := New(1, 1, incrementer(1))
+	if _, _, err := sys2.Crash(0, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := sys2.Crash(0, false); !errors.Is(err, ErrTerminated) {
+		t.Errorf("double crash = %v, want ErrTerminated", err)
+	}
+}
+
+func TestLazyProcessParkedUntilRelease(t *testing.T) {
+	sys := NewLazy(2, 2, 1, incrementer(1))
+	defer sys.Close()
+	// p1 is lazy: reports terminated, contributes nothing, has no error.
+	if _, alive, err := sys.Pending(1); err != nil || alive {
+		t.Fatalf("parked p1 alive=%v err=%v, want terminated", alive, err)
+	}
+	if err := sys.Err(1); err != nil {
+		t.Fatalf("parked p1 err = %v, want nil", err)
+	}
+	if err := sys.Drain(); err != nil { // drains only p0
+		t.Fatal(err)
+	}
+	if got := sys.Value(1); got != nil {
+		t.Errorf("register 1 = %v before release, want ⊥", got)
+	}
+	if err := sys.Release(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, alive, err := sys.Pending(1); err != nil || !alive {
+		t.Fatalf("released p1 alive=%v err=%v, want alive", alive, err)
+	}
+	if err := sys.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.Value(1); got != 1 {
+		t.Errorf("register 1 = %v after release+drain, want 1", got)
+	}
+	if err := sys.Release(1); err == nil {
+		t.Error("double release should fail")
+	}
+	if err := sys.Release(0); err == nil {
+		t.Error("releasing a non-lazy process should fail")
+	}
+}
+
+func TestCloseKillsParkedLazyProcess(t *testing.T) {
+	sys := NewLazy(1, 1, 0, incrementer(1))
+	sys.Close() // must not hang or leak the parked goroutine
+	if _, alive, err := sys.Pending(0); err != nil || alive {
+		t.Fatalf("after close alive=%v err=%v", alive, err)
+	}
+}
+
+// TestCrashRecoveryIncarnation exercises the full fault-injection shape the
+// engine builds on: a primary crashes mid-operation and a lazy recovery
+// incarnation is released to finish the work on the same registers.
+func TestCrashRecoveryIncarnation(t *testing.T) {
+	body := func(pid int, mem register.Mem) (any, error) {
+		// Both incarnations write register 0; the recovery (pid 1)
+		// overwrites whatever the primary left.
+		mem.Write(0, pid+1)
+		return pid, nil
+	}
+	sys := NewLazy(2, 1, 1, body)
+	defer sys.Close()
+	if _, applied, err := sys.Crash(0, true); err != nil || !applied {
+		t.Fatalf("crash: applied=%v err=%v", applied, err)
+	}
+	if err := sys.Release(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.Value(0); got != 2 {
+		t.Errorf("register 0 = %v, want the recovery's 2", got)
+	}
+	if err := sys.Err(1); err != nil {
+		t.Errorf("recovery err = %v", err)
+	}
+}
+
+func TestCrashCodec(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []int
+		ok   bool
+	}{
+		{"0,1,0,2", []int{0, 1, 0, 2}, true},
+		{"0,x1,2", []int{0, CrashDrop(1), 2}, true},
+		{"X0", []int{CrashApply(0)}, true},
+		{" x2 , X3 ", []int{CrashDrop(2), CrashApply(3)}, true},
+		{"", nil, true},
+		{"x", nil, false},
+		{"x-1", nil, false},
+		{"y2", nil, false},
+		{"-3", nil, false},
+	}
+	for _, c := range cases {
+		got, err := ParseCrashSchedule(c.in)
+		if c.ok != (err == nil) {
+			t.Errorf("ParseCrashSchedule(%q) err = %v, want ok=%v", c.in, err, c.ok)
+			continue
+		}
+		if c.ok && !reflect.DeepEqual(got, c.want) {
+			t.Errorf("ParseCrashSchedule(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	for pid := 0; pid < 5; pid++ {
+		if p, a, c := DecodeCrash(CrashDrop(pid)); p != pid || a || !c {
+			t.Errorf("DecodeCrash(CrashDrop(%d)) = %d,%v,%v", pid, p, a, c)
+		}
+		if p, a, c := DecodeCrash(CrashApply(pid)); p != pid || !a || !c {
+			t.Errorf("DecodeCrash(CrashApply(%d)) = %d,%v,%v", pid, p, a, c)
+		}
+	}
+	if p, a, c := DecodeCrash(7); p != 7 || a || c {
+		t.Errorf("DecodeCrash(7) = %d,%v,%v", p, a, c)
+	}
+}
+
+// replayCrashEntries drives a fresh 2-process incrementer system through
+// the entries leniently (out-of-range, terminated and repeated-crash
+// entries are skipped) and returns the executed trace rendered as text.
+func replayCrashEntries(entries []int) string {
+	sys := New(2, 2, incrementer(2))
+	defer sys.Close()
+	for _, e := range entries {
+		pid, apply, isCrash := DecodeCrash(e)
+		if pid < 0 || pid >= sys.N() {
+			continue
+		}
+		if _, alive, err := sys.Pending(pid); err != nil || !alive {
+			continue
+		}
+		if isCrash {
+			if _, _, err := sys.Crash(pid, apply); err != nil {
+				continue
+			}
+			continue
+		}
+		if _, err := sys.Step(pid); err != nil {
+			continue
+		}
+	}
+	var b strings.Builder
+	for _, op := range sys.Trace() {
+		b.WriteString(op.String())
+		b.WriteByte(';')
+	}
+	return b.String()
+}
+
+// FuzzCrashSchedule asserts the crash-schedule contract on arbitrary
+// input: the parser never panics, accepted schedules survive a
+// Format/Parse round trip unchanged, and replaying a parsed schedule is
+// deterministic — two fresh systems driven by the same entries execute
+// identical traces.
+func FuzzCrashSchedule(f *testing.F) {
+	for _, seed := range []string{
+		"", "0,1,0,2", "0,x1,2", "X0", "x0,X1", " x2 , X3 ",
+		"1,1,x1,0,0", "x", "x-1", "y2", "-3", "X18446744073709551616",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		entries, err := ParseCrashSchedule(s)
+		if err != nil {
+			return
+		}
+		rendered := FormatCrashSchedule(entries)
+		back, err := ParseCrashSchedule(rendered)
+		if err != nil {
+			t.Fatalf("rendered crash schedule %q does not re-parse: %v", rendered, err)
+		}
+		if !reflect.DeepEqual(back, entries) {
+			t.Fatalf("round trip changed %v to %v (via %q)", entries, back, rendered)
+		}
+		if again := FormatCrashSchedule(back); again != rendered {
+			t.Fatalf("formatting not stable: %q then %q", rendered, again)
+		}
+		if len(entries) > 64 {
+			entries = entries[:64] // bound replay work, not parser coverage
+		}
+		if a, b := replayCrashEntries(entries), replayCrashEntries(entries); a != b {
+			t.Fatalf("replay of %v not deterministic:\n%s\nvs\n%s", entries, a, b)
+		}
+	})
+}

@@ -65,6 +65,10 @@ var (
 	// operation (or terminate) within the watchdog interval; it indicates a
 	// deadlocked or runaway process body.
 	ErrTimeout = errors.New("sched: timed out waiting for process")
+	// ErrCrashed is the Err of a process halted by Crash: fault injection,
+	// not a property violation. Harnesses that tolerate crashes match it
+	// with errors.Is and skip the process.
+	ErrCrashed = errors.New("sched: process crashed")
 )
 
 // Watchdog bounds how long the scheduler waits for a process to either post
@@ -84,8 +88,11 @@ type proc struct {
 	reqCh   chan request
 	doneCh  chan struct{}
 	killCh  chan struct{}
-	pending *request // posted but not yet granted
+	startCh chan struct{} // non-nil for lazy processes; closed by Release
+	started bool          // lazy process released into the system
+	pending *request      // posted but not yet granted
 	done    bool
+	crashed bool
 	result  any
 	err     error
 }
@@ -112,6 +119,15 @@ type System struct {
 // body, and launches the process goroutines. Every process immediately runs
 // up to its first register operation (or termination).
 func New(n, m int, body Body) *System {
+	return NewLazy(n, m, n, body)
+}
+
+// NewLazy is New, but processes with pid ≥ firstLazy start parked: they do
+// not run body until Release admits them. A parked process reports as
+// terminated (not alive, nil error), so schedules, drains and signatures
+// ignore it — it models a process that has not yet entered the system, such
+// as the recovery incarnation of a pid that has not crashed yet.
+func NewLazy(n, m, firstLazy int, body Body) *System {
 	s := &System{
 		mem:   make([]register.Value, m),
 		procs: make([]*proc, n),
@@ -123,14 +139,28 @@ func New(n, m int, body Body) *System {
 			doneCh: make(chan struct{}),
 			killCh: make(chan struct{}),
 		}
+		if i >= firstLazy {
+			p.startCh = make(chan struct{})
+		}
 		s.procs[i] = p
 		go func() {
 			defer close(p.doneCh)
 			defer func() {
 				if r := recover(); r != nil {
+					if err, ok := r.(error); ok && errors.Is(err, errKilled) {
+						p.err = errKilled
+						return
+					}
 					p.err = fmt.Errorf("sched: process %d panicked: %v", p.pid, r)
 				}
 			}()
+			if p.startCh != nil {
+				select {
+				case <-p.startCh:
+				case <-p.killCh:
+					return
+				}
+			}
 			res, err := body(p.pid, &procMem{p: p, size: m})
 			p.result = res
 			if err != nil {
@@ -139,6 +169,23 @@ func New(n, m int, body Body) *System {
 		}()
 	}
 	return s
+}
+
+// Release admits a lazy process into the system: it starts running body and
+// is alive from the caller's perspective as soon as Release returns. It is
+// an error to release a process that was not created lazy or was already
+// released.
+func (s *System) Release(pid int) error {
+	p := s.procs[pid]
+	if p.startCh == nil {
+		return fmt.Errorf("sched: process %d is not lazy", pid)
+	}
+	if p.started {
+		return fmt.Errorf("sched: process %d already released", pid)
+	}
+	p.started = true
+	close(p.startCh)
+	return nil
 }
 
 // procMem is the per-process gated memory handle.
@@ -211,6 +258,11 @@ func (s *System) fetch(pid int) (*request, error) {
 	if p.done {
 		return nil, ErrTerminated
 	}
+	if p.startCh != nil && !p.started {
+		// A parked lazy process is not in the system yet; it reports as
+		// terminated (with nil error) until Release.
+		return nil, ErrTerminated
+	}
 	select {
 	case req := <-p.reqCh:
 		p.pending = &req
@@ -277,6 +329,49 @@ func (s *System) Step(pid int) (Op, error) {
 	}
 	return op, nil
 }
+
+// Crash halts process pid at its gate: the process takes no further steps,
+// ever. Its pending operation is the torn write of the crash-recovery
+// model — if it is a write and applyPending is true, the write takes effect
+// (and appears in the trace) without the process learning it did; otherwise
+// the operation is dropped as if it never happened. Pending reads are
+// always dropped: a read has no memory effect to tear. The process's Err
+// becomes ErrCrashed and Done reports true, so drains and schedules skip
+// it like any terminated process.
+//
+// Crash blocks (bounded by the watchdog) until the victim has posted its
+// next operation, so the crash point is a well-defined configuration, and
+// until the victim's goroutine has unwound, so no code of the victim runs
+// concurrently with anything after Crash returns.
+func (s *System) Crash(pid int, applyPending bool) (op Op, applied bool, err error) {
+	req, err := s.fetch(pid)
+	if err != nil {
+		return Op{}, false, fmt.Errorf("sched: crash p%d: %w", pid, err)
+	}
+	p := s.procs[pid]
+	op = req.op
+	if applyPending && op.Kind == OpWrite {
+		op.Step = s.steps
+		s.mem[op.Reg] = op.Val
+		s.steps++
+		s.trace = append(s.trace, op)
+		applied = true
+	}
+	p.pending = nil
+	close(p.killCh) // the victim's gate panics errKilled and unwinds
+	select {
+	case <-p.doneCh:
+	case <-time.After(Watchdog):
+		return op, applied, fmt.Errorf("%w: crash p%d", ErrTimeout, pid)
+	}
+	p.done = true
+	p.crashed = true
+	p.err = fmt.Errorf("%w: p%d poised to %v (applied=%v)", ErrCrashed, pid, op, applied)
+	return op, applied, nil
+}
+
+// Crashed reports whether process pid was halted by Crash.
+func (s *System) Crashed(pid int) bool { return s.procs[pid].crashed }
 
 // Run executes the schedule: one step per process index, in order.
 func (s *System) Run(schedule ...int) error {

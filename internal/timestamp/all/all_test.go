@@ -18,6 +18,7 @@ var expected = []struct {
 	mutant  bool
 }{
 	{"collect", false, false},
+	{"collect-crash-memo", false, true},
 	{"collect-stale-scan", false, true},
 	{"dense", false, false},
 	{"dense-two-silent", false, true},

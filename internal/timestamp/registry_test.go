@@ -15,7 +15,7 @@ func TestRegistryCatalog(t *testing.T) {
 	if got := timestamp.Names(); !reflect.DeepEqual(got, want) {
 		t.Errorf("Names() = %v, want %v", got, want)
 	}
-	wantAll := []string{"collect", "collect-stale-scan", "dense", "dense-two-silent", "fas", "simple", "sqrt", "sqrt-broken-norepair"}
+	wantAll := []string{"collect", "collect-crash-memo", "collect-stale-scan", "dense", "dense-two-silent", "fas", "simple", "sqrt", "sqrt-broken-norepair"}
 	if got := timestamp.AllNames(); !reflect.DeepEqual(got, wantAll) {
 		t.Errorf("AllNames() = %v, want %v", got, wantAll)
 	}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"tsspace/internal/register"
 	"tsspace/internal/timestamp"
@@ -60,8 +61,13 @@ type Object struct {
 	active    int           // currently attached sessions
 	exhausted chan struct{} // one-shot only: closed when retired == procs
 
+	// sessions is the live-session registry, non-nil only when the object
+	// was built WithSessionTTL; maintained on the attach/detach cold path.
+	sessions map[*Session]struct{}
+
 	calls    atomic.Uint64
 	attaches atomic.Uint64
+	reaped   atomic.Uint64
 }
 
 // Algorithm returns the registry name of the implementation backing the
@@ -97,11 +103,14 @@ func (o *Object) Attach(ctx context.Context) (*Session, error) {
 	select {
 	case pid := <-o.free:
 		o.attaches.Add(1)
-		o.mu.Lock()
-		o.active++
-		o.mu.Unlock()
 		s := &Session{obj: o, pid: pid, seq0: o.slots[pid].seq}
 		s.seq.Store(s.seq0)
+		o.mu.Lock()
+		o.active++
+		if o.sessions != nil {
+			o.sessions[s] = struct{}{}
+		}
+		o.mu.Unlock()
 		return s, nil
 	case <-o.exhausted: // nil (blocks forever) unless one-shot
 		return nil, fmt.Errorf("%w: all %d process slots have issued their timestamp", ErrExhausted, o.procs)
@@ -113,11 +122,69 @@ func (o *Object) Attach(ctx context.Context) (*Session, error) {
 }
 
 // Close shuts the object down: subsequent Attach and GetTS calls report
-// ErrClosed and blocked Attach calls wake up. Close is idempotent and
-// does not wait for attached sessions.
+// ErrClosed and blocked Attach calls wake up. Close is idempotent, does
+// not wait for attached sessions, and stops the session reaper when one
+// is armed.
 func (o *Object) Close() error {
 	o.once.Do(func() { close(o.closed) })
 	return nil
+}
+
+// reapState is the reaper's view of one session: the last sequence number
+// observed and when that observation first held.
+type reapState struct {
+	seq   int64
+	since time.Time
+}
+
+// reapLoop is the WithSessionTTL goroutine: every ttl/4 it snapshots each
+// live session's sequence number, and a session whose number has not
+// moved for a full ttl is force-detached — the abandoned lease of a
+// crashed client, returned to the free pool. Idleness is measured from
+// the snapshot that first saw the stalled number, so a session is
+// reclaimed between ttl and ttl+ttl/4 after its last call, never before
+// ttl.
+func (o *Object) reapLoop(ttl time.Duration) {
+	tick := ttl / 4
+	if tick < time.Millisecond {
+		tick = time.Millisecond
+	}
+	ticker := time.NewTicker(tick)
+	defer ticker.Stop()
+	state := make(map[*Session]reapState)
+	for {
+		select {
+		case <-o.closed:
+			return
+		case now := <-ticker.C:
+			o.mu.Lock()
+			live := make([]*Session, 0, len(o.sessions))
+			for s := range o.sessions {
+				live = append(live, s)
+			}
+			o.mu.Unlock()
+			seen := make(map[*Session]bool, len(live))
+			for _, s := range live {
+				seen[s] = true
+				seq := s.seq.Load()
+				st, ok := state[s]
+				if !ok || st.seq != seq {
+					state[s] = reapState{seq: seq, since: now}
+					continue
+				}
+				if now.Sub(st.since) >= ttl {
+					s.Detach()
+					o.reaped.Add(1)
+					delete(state, s)
+				}
+			}
+			for s := range state {
+				if !seen[s] {
+					delete(state, s) // detached on its own between ticks
+				}
+			}
+		}
+	}
 }
 
 // Usage reports the object's register-space footprint. The boolean is
@@ -147,6 +214,7 @@ func (o *Object) Stats() Stats {
 	return Stats{
 		Calls:          o.calls.Load(),
 		Attaches:       o.attaches.Load(),
+		Reaped:         o.reaped.Load(),
 		ActiveSessions: active,
 	}
 }
@@ -172,6 +240,9 @@ type Stats struct {
 	Calls uint64
 	// Attaches is the number of sessions handed out.
 	Attaches uint64
+	// Reaped is the number of abandoned leases reclaimed by the
+	// WithSessionTTL reaper (0 when no TTL is armed).
+	Reaped uint64
 	// ActiveSessions is the number of currently attached sessions.
 	ActiveSessions int
 }
@@ -316,6 +387,7 @@ func (s *Session) Detach() error {
 	o.slots[s.pid].seq = seq // ordered before the next lease by the channel send below
 	o.mu.Lock()
 	o.active--
+	delete(o.sessions, s)
 	if o.oneShot && seq > 0 {
 		o.retired++
 		if o.retired == o.procs {

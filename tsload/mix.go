@@ -37,6 +37,15 @@ type Mix struct {
 	// single-call GetTS. Against one-shot targets the driver forces 1 (a
 	// one-shot paper-process has exactly one timestamp to give).
 	Batch int
+	// AbandonFrac is the probability that a worker ends a lease by
+	// crashing instead of detaching: the session is dropped without
+	// Detach, leaving its pid leased until the target's idle-TTL reaper
+	// reclaims it. It models client death and only bites on targets with
+	// a session TTL armed — without one, abandoned pids leak until every
+	// Attach wedges (which is exactly the failure mode the TTL exists
+	// for). ErrDetached on a later op of such a run is an expected error
+	// (the reaper won a race), counted separately from unexpected ones.
+	AbandonFrac float64
 }
 
 // Kind renders the mix parameters the way engine workloads render theirs.
@@ -58,6 +67,9 @@ func (m Mix) Kind() string {
 	}
 	if m.Batch > 1 {
 		parts = append(parts, fmt.Sprintf("batch=%d", m.Batch))
+	}
+	if m.AbandonFrac > 0 {
+		parts = append(parts, fmt.Sprintf("abandon=%.0f%%", m.AbandonFrac*100))
 	}
 	return strings.Join(parts, "/")
 }
@@ -93,6 +105,12 @@ var builtinMixes = []Mix{
 		Summary:     "compare-heavy read mix: 90% compare over previously issued timestamps, 10% getTS",
 		AttachEvery: 0,
 		CompareFrac: 0.9,
+	},
+	{
+		Name:        "crash",
+		Summary:     "crash-recovery churn: workers abandon half their leases without Detach; the target's TTL reaper must keep the namespace circulating",
+		AttachEvery: 4,
+		AbandonFrac: 0.5,
 	},
 }
 

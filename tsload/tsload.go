@@ -97,11 +97,23 @@ type Result struct {
 	// for full batches), so per-timestamp throughput is Timestamps /
 	// ElapsedSeconds. Errors and HBViolations count over the whole run,
 	// warmup included.
-	Ops          uint64 `json:"ops"`
-	GetTSOps     uint64 `json:"getts_ops"`
-	Timestamps   uint64 `json:"timestamps"`
-	CompareOps   uint64 `json:"compare_ops"`
-	Errors       uint64 `json:"errors"`
+	//
+	// Errors splits into ExpectedErrors — failures the mix provokes by
+	// design (ErrDetached after the TTL reaper reclaimed a lease the crash
+	// mix abandoned) — and UnexpectedErrors, everything else. A crash-mix
+	// run is healthy iff UnexpectedErrors == 0 and HBViolations == 0;
+	// gating on Errors == 0 would reject the fault injection itself.
+	Ops              uint64 `json:"ops"`
+	GetTSOps         uint64 `json:"getts_ops"`
+	Timestamps       uint64 `json:"timestamps"`
+	CompareOps       uint64 `json:"compare_ops"`
+	Errors           uint64 `json:"errors"`
+	ExpectedErrors   uint64 `json:"expected_errors,omitempty"`
+	UnexpectedErrors uint64 `json:"unexpected_errors"`
+	// Abandoned counts leases the workers crashed on purpose (see
+	// Mix.AbandonFrac): sessions dropped without Detach, left for the
+	// target's idle-TTL reaper.
+	Abandoned    uint64 `json:"abandoned,omitempty"`
 	HBViolations uint64 `json:"hb_violations"`
 	// Dropped counts open-loop arrivals that could not even be queued
 	// (dispatch backlog full). Non-zero means the latency digest
@@ -161,9 +173,19 @@ type run struct {
 	measuredIssued atomic.Uint64 // timestamps issued by measured getTS ops
 	measuredCmp    atomic.Uint64
 	errs           atomic.Uint64
+	expErrs        atomic.Uint64 // subset of errs the mix provokes by design
+	abandoned      atomic.Uint64 // leases crashed on purpose (Mix.AbandonFrac)
 	hbViolations   atomic.Uint64
 	dropped        atomic.Uint64
 	budgetSpent    atomic.Bool
+}
+
+// expectedErr reports whether an operation error is one the mix provokes
+// by design: under a crash mix (AbandonFrac > 0) the target's reaper
+// legitimately kills leases, so ErrDetached on a session the worker still
+// holds is the fault injection working, not the target failing.
+func (r *run) expectedErr(err error) bool {
+	return r.cfg.Mix.AbandonFrac > 0 && errors.Is(err, tsspace.ErrDetached)
 }
 
 // Run executes one workload against cfg.Target and returns its Result. It
@@ -264,25 +286,28 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 	}
 
 	res := Result{
-		Mix:          cfg.Mix.Name,
-		MixKind:      cfg.Mix.Kind(),
-		Target:       cfg.Target.Kind(),
-		Algorithm:    cfg.Target.Algorithm(),
-		Procs:        cfg.Target.Procs(),
-		Mode:         "closed",
-		Workers:      cfg.Workers,
-		Rate:         cfg.Rate,
-		Seed:         cfg.Seed,
-		BatchSize:    r.batch,
-		Ops:          r.measured.Load(),
-		GetTSOps:     r.measuredTS.Load(),
-		Timestamps:   r.measuredIssued.Load(),
-		CompareOps:   r.measuredCmp.Load(),
-		Errors:       r.errs.Load(),
-		HBViolations: r.hbViolations.Load(),
-		Dropped:      r.dropped.Load(),
-		BudgetSpent:  r.budgetSpent.Load(),
-		LatencyNs:    merged.Summarize(),
+		Mix:              cfg.Mix.Name,
+		MixKind:          cfg.Mix.Kind(),
+		Target:           cfg.Target.Kind(),
+		Algorithm:        cfg.Target.Algorithm(),
+		Procs:            cfg.Target.Procs(),
+		Mode:             "closed",
+		Workers:          cfg.Workers,
+		Rate:             cfg.Rate,
+		Seed:             cfg.Seed,
+		BatchSize:        r.batch,
+		Ops:              r.measured.Load(),
+		GetTSOps:         r.measuredTS.Load(),
+		Timestamps:       r.measuredIssued.Load(),
+		CompareOps:       r.measuredCmp.Load(),
+		Errors:           r.errs.Load(),
+		ExpectedErrors:   r.expErrs.Load(),
+		UnexpectedErrors: r.errs.Load() - r.expErrs.Load(),
+		Abandoned:        r.abandoned.Load(),
+		HBViolations:     r.hbViolations.Load(),
+		Dropped:          r.dropped.Load(),
+		BudgetSpent:      r.budgetSpent.Load(),
+		LatencyNs:        merged.Summarize(),
 	}
 	if cfg.Rate > 0 {
 		res.Mode = "open"
@@ -521,6 +546,9 @@ func (r *run) worker(ctx context.Context, id int, h *hist.H, tokens <-chan token
 				return
 			}
 			r.errs.Add(1)
+			if r.expectedErr(err) {
+				r.expErrs.Add(1)
+			}
 			continue
 		}
 
@@ -597,6 +625,14 @@ func (r *run) doOp(ctx context.Context, rng *rand.Rand, sess *tsspace.SessionAPI
 	}
 	*leaseCalls++ // AttachEvery counts getTS operations: a whole batch is one
 	if r.attachEv > 0 && *leaseCalls >= r.attachEv {
+		if r.cfg.Mix.AbandonFrac > 0 && rng.Float64() < r.cfg.Mix.AbandonFrac {
+			// Crash: walk away from the lease without Detach. The pid
+			// stays leased until the target's idle-TTL reaper reclaims
+			// it — the abandonment path this mix exists to exercise.
+			*sess = nil
+			r.abandoned.Add(1)
+			return issued, nil
+		}
 		err := (*sess).Detach()
 		*sess = nil
 		if err != nil {

@@ -320,6 +320,58 @@ func TestOneShotForcesBatchOne(t *testing.T) {
 	}
 }
 
+// The crash mix abandons half its leases without Detach; against a
+// TTL-armed target the reaper must keep the namespace circulating, the
+// only errors must be the expected ErrDetached races, and happens-before
+// must hold across every reclamation.
+func TestCrashMixAgainstTTLTarget(t *testing.T) {
+	obj, err := tsspace.New(
+		tsspace.WithAlgorithm("collect"),
+		tsspace.WithProcs(8),
+		tsspace.WithSessionTTL(20*time.Millisecond),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := tsload.NewInProc(obj)
+	t.Cleanup(func() { target.Close() })
+
+	res, err := tsload.Run(context.Background(), tsload.Config{
+		Mix:      mustMix(t, "crash"),
+		Target:   target,
+		Workers:  4,
+		Duration: 2 * time.Second,
+		Seed:     14,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops == 0 {
+		t.Fatalf("no measured ops under crash mix: %+v", res)
+	}
+	if res.Abandoned == 0 {
+		t.Errorf("crash mix abandoned no leases (AttachEvery=%d, AbandonFrac=%v)",
+			mustMix(t, "crash").AttachEvery, mustMix(t, "crash").AbandonFrac)
+	}
+	if res.UnexpectedErrors != 0 {
+		t.Errorf("%d unexpected errors under crash mix (total %d, expected %d)",
+			res.UnexpectedErrors, res.Errors, res.ExpectedErrors)
+	}
+	if res.Errors != res.ExpectedErrors+res.UnexpectedErrors {
+		t.Errorf("error split does not add up: %d != %d + %d",
+			res.Errors, res.ExpectedErrors, res.UnexpectedErrors)
+	}
+	if res.HBViolations != 0 {
+		t.Errorf("%d happens-before violations across reaped leases", res.HBViolations)
+	}
+	if reaped := obj.Stats().Reaped; reaped == 0 {
+		t.Errorf("target reaped no leases although %d were abandoned", res.Abandoned)
+	}
+	if !strings.Contains(res.MixKind, "abandon=50%") {
+		t.Errorf("MixKind %q does not render the abandon knob", res.MixKind)
+	}
+}
+
 func TestHTTPTarget(t *testing.T) {
 	res, err := tsload.Run(context.Background(), tsload.Config{
 		Mix:      mustMix(t, "compare"),

@@ -1,0 +1,154 @@
+package tsserve_test
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"tsspace"
+	"tsspace/tsserve"
+)
+
+// 64 concurrent clients churn the wire session table — half crash
+// (abandon their lease without Detach), half detach cleanly — split
+// across wire v2 (HTTP) and wire v3 (binary), which share one table and
+// one TTL reaper. The reaper must reclaim every abandoned pid, the full
+// namespace must be attachable afterwards, and happens-before must hold
+// from every pre-churn timestamp to every post-churn one (the reaped
+// pids' sequence history survives reclamation).
+//
+// Run under -race this doubles as the data-race check on the session
+// table: concurrent attach, getTS, detach, reap and metrics reads.
+func TestWireCrashChurnRace(t *testing.T) {
+	const (
+		procs   = 8
+		workers = 64
+	)
+	bc, hc, _, _ := newBinaryServer(t, tsserve.ServerConfig{SessionTTL: 40 * time.Millisecond},
+		tsspace.WithAlgorithm("collect"), tsspace.WithProcs(procs))
+
+	var (
+		mu      sync.Mutex
+		churnTS []tsspace.Timestamp
+		crashed int
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+
+			// Even workers speak wire v2, odd workers wire v3; both lease
+			// from the same table.
+			var sess tsspace.SessionAPI
+			var err error
+			if w%2 == 0 {
+				sess, err = hc.Attach(ctx)
+			} else {
+				sess, err = bc.Attach(ctx)
+			}
+			if err != nil {
+				t.Errorf("worker %d attach: %v", w, err)
+				return
+			}
+			t1, err := sess.GetTS(ctx)
+			if err != nil {
+				t.Errorf("worker %d getTS: %v", w, err)
+				return
+			}
+			t2, err := sess.GetTS(ctx)
+			if err != nil {
+				t.Errorf("worker %d second getTS: %v", w, err)
+				return
+			}
+			// A worker's own stream is sequential, so its two timestamps
+			// must be ordered whatever the interleaving around it.
+			if before, err := sess.Compare(ctx, t1, t2); err != nil || !before {
+				t.Errorf("worker %d: Compare(t1, t2) = %v, %v, want true", w, before, err)
+			}
+			mu.Lock()
+			churnTS = append(churnTS, t1, t2)
+			mu.Unlock()
+
+			// Half the workers crash: walk away without Detach, leaving the
+			// lease for the reaper.
+			if w%4 < 2 {
+				mu.Lock()
+				crashed++
+				mu.Unlock()
+				return
+			}
+			if err := sess.Detach(); err != nil {
+				t.Errorf("worker %d detach: %v", w, err)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if crashed == 0 {
+		t.Fatal("no worker crashed; the churn exercised nothing")
+	}
+
+	// Every abandoned lease must be reaped — exactly once each — and the
+	// table must drain completely. Poll: the last crashes may still be
+	// inside their TTL window.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	var m tsserve.Metrics
+	for deadline := time.Now().Add(10 * time.Second); ; {
+		var err error
+		if m, err = hc.Metrics(ctx); err != nil {
+			t.Fatal(err)
+		}
+		if m.ReapedSessions >= uint64(crashed) && m.WireSessions == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("table never drained: %d/%d reaped, %d wire sessions live",
+				m.ReapedSessions, crashed, m.WireSessions)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Exactly the abandoned leases in the common case; a cleanly-detaching
+	// worker descheduled past the TTL can legitimately add to the count,
+	// so only the lower bound (the poll above) is asserted.
+	t.Logf("churn: %d workers, %d crashed, %d reaped", workers, crashed, m.ReapedSessions)
+
+	// Every pid is free again: attaching the full namespace concurrently
+	// succeeds. Each lease takes its timestamp immediately and detaches,
+	// staying well inside the TTL.
+	post := make([]tsspace.Timestamp, procs)
+	errs := make([]error, procs)
+	var postWG sync.WaitGroup
+	for i := 0; i < procs; i++ {
+		postWG.Add(1)
+		go func(i int) {
+			defer postWG.Done()
+			sess, err := hc.Attach(ctx)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer sess.Detach()
+			post[i], errs[i] = sess.GetTS(ctx)
+		}(i)
+	}
+	postWG.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("post-churn lease %d: %v", i, err)
+		}
+	}
+
+	// Happens-before across the crashes: every churn-phase getTS completed
+	// before any post-churn call was invoked, reaped pids included.
+	for _, pre := range churnTS {
+		for i, p := range post {
+			if before, err := hc.Compare(ctx, pre, p); err != nil || !before {
+				t.Errorf("Compare(pre=%v, post[%d]=%v) = %v, %v across reaped lease", pre, i, p, before, err)
+			}
+		}
+	}
+}

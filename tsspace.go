@@ -43,6 +43,7 @@ package tsspace
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"tsspace/internal/register"
 	"tsspace/internal/timestamp"
@@ -102,6 +103,7 @@ type config struct {
 	procs   int
 	sharded bool
 	metered bool
+	ttl     time.Duration
 }
 
 // Option configures New.
@@ -150,6 +152,30 @@ func WithSharded() Option {
 func WithMetering() Option {
 	return func(c *config) error {
 		c.metered = true
+		return nil
+	}
+}
+
+// WithSessionTTL arms the object's lease reaper: a session that issues no
+// timestamp for d is force-detached, returning its process id to the free
+// pool. This is crash protection, not idle management — it exists so a
+// client that dies without Detach (a crashed worker, a dropped
+// connection) cannot leak its pid forever, which on a fixed namespace of
+// n processes eventually wedges every Attach. Choose d comfortably above
+// the longest pause a *live* client can make between calls: a reaped
+// session's next call fails with ErrDetached and the client must
+// re-attach (its call history survives — sequence numbers persist in the
+// pid's slot).
+//
+// The reaper detects idleness by sequence-number snapshots taken every
+// d/4, so the session hot path carries no extra stores for it. Reclaimed
+// leases are counted in Stats.Reaped.
+func WithSessionTTL(d time.Duration) Option {
+	return func(c *config) error {
+		if d <= 0 {
+			return fmt.Errorf("tsspace: WithSessionTTL(%v): need a positive duration", d)
+		}
+		c.ttl = d
 		return nil
 	}
 }
@@ -220,6 +246,10 @@ func New(opts ...Option) (*Object, error) {
 	}
 	if o.oneShot {
 		o.exhausted = make(chan struct{})
+	}
+	if cfg.ttl > 0 {
+		o.sessions = make(map[*Session]struct{})
+		go o.reapLoop(cfg.ttl)
 	}
 	return o, nil
 }

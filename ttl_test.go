@@ -1,0 +1,158 @@
+package tsspace_test
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"tsspace"
+)
+
+// Abandon every lease without Detach: the TTL reaper must reclaim all of
+// them, re-attach must succeed for the full namespace, and the sequence
+// history must survive the reclamation (the re-leased pids continue their
+// call counts, so the happens-before property holds across the crash).
+func TestSessionTTLReclaimsAbandonedLeases(t *testing.T) {
+	const n = 8
+	obj, err := tsspace.New(
+		tsspace.WithAlgorithm("collect"),
+		tsspace.WithProcs(n),
+		tsspace.WithSessionTTL(50*time.Millisecond),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer obj.Close()
+	ctx := context.Background()
+
+	first := make([]tsspace.Timestamp, n)
+	abandoned := make([]*tsspace.Session, n)
+	for i := 0; i < n; i++ {
+		s, err := obj.Attach(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first[i], err = s.GetTS(ctx); err != nil {
+			t.Fatal(err)
+		}
+		abandoned[i] = s // crash: never Detach
+	}
+
+	// All pids are leased and abandoned; a fresh Attach can only succeed
+	// once the reaper reclaims one.
+	attachCtx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	second := make([]tsspace.Timestamp, n)
+	for i := 0; i < n; i++ {
+		s, err := obj.Attach(attachCtx)
+		if err != nil {
+			t.Fatalf("re-attach %d after abandonment: %v", i, err)
+		}
+		if second[i], err = s.GetTS(ctx); err != nil {
+			t.Fatal(err)
+		}
+		s.Detach()
+	}
+
+	// Happens-before across the reclamation: every pre-crash timestamp
+	// completed before every post-reclaim call was invoked.
+	for i := range first {
+		for j := range second {
+			if !obj.Compare(first[i], second[j]) {
+				t.Errorf("Compare(first[%d]=%v, second[%d]=%v) = false across reaped lease", i, first[i], j, second[j])
+			}
+		}
+	}
+
+	if got := obj.Stats().Reaped; got < n {
+		t.Errorf("Stats().Reaped = %d, want ≥ %d", got, n)
+	}
+	// The abandoned handles are dead, not wedged: their next call reports
+	// ErrDetached.
+	if _, err := abandoned[0].GetTS(ctx); !errors.Is(err, tsspace.ErrDetached) {
+		t.Errorf("abandoned session GetTS = %v, want ErrDetached", err)
+	}
+}
+
+// A busy session must never be reaped: activity is what the reaper
+// watches, not attachment age.
+func TestSessionTTLSparesBusySessions(t *testing.T) {
+	obj, err := tsspace.New(
+		tsspace.WithAlgorithm("collect"),
+		tsspace.WithProcs(2),
+		tsspace.WithSessionTTL(40*time.Millisecond),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer obj.Close()
+	ctx := context.Background()
+	s, err := obj.Attach(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(250 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		if _, err := s.GetTS(ctx); err != nil {
+			t.Fatalf("busy session reaped: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := obj.Stats().Reaped; got != 0 {
+		t.Errorf("Stats().Reaped = %d for a busy session, want 0", got)
+	}
+	s.Detach()
+}
+
+// Local crash-churn under the race detector: concurrent workers abandon
+// sessions mid-stream while others attach; the reaper keeps the namespace
+// circulating and the object's counters stay coherent.
+func TestSessionTTLCrashChurnRace(t *testing.T) {
+	const n = 4
+	const workers = 16
+	obj, err := tsspace.New(
+		tsspace.WithAlgorithm("collect"),
+		tsspace.WithProcs(n),
+		tsspace.WithSessionTTL(20*time.Millisecond),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer obj.Close()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			s, err := obj.Attach(ctx)
+			if err != nil {
+				t.Errorf("worker %d attach: %v", w, err)
+				return
+			}
+			if _, err := s.GetTS(ctx); err != nil {
+				t.Errorf("worker %d getTS: %v", w, err)
+			}
+			// Half the workers crash (abandon), half detach cleanly.
+			if w%2 == 0 {
+				s.Detach()
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Every abandoned lease must come back within a few TTLs.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	for i := 0; i < n; i++ {
+		s, err := obj.Attach(ctx)
+		if err != nil {
+			t.Fatalf("post-churn attach %d: %v", i, err)
+		}
+		defer s.Detach()
+	}
+}
