@@ -1,0 +1,69 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"tsspace/cmd/tslint/internal/checks"
+	"tsspace/cmd/tslint/internal/lint"
+)
+
+var updateLint = flag.Bool("update-lint", false, "rewrite testdata/diagnostics.golden from the current fixture diagnostics")
+
+// TestGoldenDiagnostics pins the full diagnostic output of every analyzer
+// over its fixture packages — message wording included — so a refactor
+// that silently changes or drops diagnostics shows up as a diff.
+// Regenerate with: go test ./cmd/tslint -run TestGoldenDiagnostics -update-lint
+func TestGoldenDiagnostics(t *testing.T) {
+	root, err := lint.ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	for _, a := range checks.All() {
+		dirs, err := lint.FixtureDirs(root, a.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(dirs) == 0 {
+			t.Fatalf("no fixture packages under cmd/tslint/testdata/src/%s", a.Name)
+		}
+		pkgs, err := lint.Load(root, dirs...)
+		if err != nil {
+			t.Fatalf("loading %s fixtures: %v", a.Name, err)
+		}
+		findings, err := lint.Run(pkgs, []*lint.Analyzer{a}, checks.Names())
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmt.Fprintf(&buf, "# %s\n", a.Name)
+		for _, f := range findings {
+			rel, err := filepath.Rel(root, f.Position.Filename)
+			if err != nil {
+				rel = f.Position.Filename
+			}
+			fmt.Fprintf(&buf, "%s:%d:%d: %s (%s)\n",
+				filepath.ToSlash(rel), f.Position.Line, f.Position.Column, f.Message, f.Analyzer)
+		}
+	}
+
+	golden := filepath.Join("testdata", "diagnostics.golden")
+	if *updateLint {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update-lint)", err)
+	}
+	if !bytes.Equal(want, buf.Bytes()) {
+		t.Errorf("fixture diagnostics changed.\n--- want (%s)\n%s\n--- got\n%s\nregenerate with: go test ./cmd/tslint -run TestGoldenDiagnostics -update-lint",
+			golden, want, buf.Bytes())
+	}
+}

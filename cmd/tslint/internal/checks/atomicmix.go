@@ -1,0 +1,154 @@
+package checks
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"tsspace/cmd/tslint/internal/lint"
+)
+
+// AtomicMix flags fields with a split personality: a field that is
+// accessed through sync/atomic — either a typed atomic (atomic.Uint64 and
+// friends) or a plain word whose address is passed to the atomic
+// functions — must never also be read or written plainly. Mixed access is
+// a data race the race detector only catches when both sides actually
+// collide in a run; statically the field either belongs to the atomic
+// API or it does not. Constructors (New*/init) are exempt: before the
+// value escapes, plain initialization is unobservable.
+var AtomicMix = &lint.Analyzer{
+	Name: "atomicmix",
+	Doc:  "a field accessed through sync/atomic must not also be accessed plainly outside constructors",
+	Run:  runAtomicMix,
+}
+
+var atomicTypeNames = map[string]bool{
+	"Bool": true, "Int32": true, "Int64": true, "Uint32": true,
+	"Uint64": true, "Uintptr": true, "Pointer": true, "Value": true,
+}
+
+func runAtomicMix(pass *lint.Pass) error {
+	info := pass.TypesInfo
+
+	// Fields of a typed atomic (the type itself is the atomic API).
+	typedFields := make(map[*types.Var]bool)
+	// Plain fields used via &f with the sync/atomic functions somewhere
+	// in this package.
+	rawFields := make(map[*types.Var]bool)
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.StructType:
+				for _, field := range n.Fields.List {
+					for _, name := range field.Names {
+						v, ok := info.Defs[name].(*types.Var)
+						if !ok {
+							continue
+						}
+						if tn, ok := namedIn(v.Type(), "sync/atomic"); ok && atomicTypeNames[tn] {
+							typedFields[v] = true
+						}
+					}
+				}
+			case *ast.CallExpr:
+				callee := calleeFunc(info, n)
+				if callee == nil || callee.Pkg() == nil || callee.Pkg().Path() != "sync/atomic" {
+					return true
+				}
+				for _, arg := range n.Args {
+					if u, ok := ast.Unparen(arg).(*ast.UnaryExpr); ok && u.Op == token.AND {
+						if sel, ok := ast.Unparen(u.X).(*ast.SelectorExpr); ok {
+							if s, ok := info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+								if v, ok := s.Obj().(*types.Var); ok {
+									rawFields[v] = true
+								}
+							}
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	if len(typedFields) == 0 && len(rawFields) == 0 {
+		return nil
+	}
+
+	qual := types.RelativeTo(pass.Pkg)
+	fieldName := func(sel *ast.SelectorExpr) string {
+		if tv, ok := info.Types[sel.X]; ok && tv.Type != nil {
+			return types.TypeString(tv.Type, qual) + "." + sel.Sel.Name
+		}
+		return sel.Sel.Name
+	}
+
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			name := fn.Name.Name
+			if fn.Recv == nil && (strings.HasPrefix(name, "New") || strings.HasPrefix(name, "new") || name == "init") {
+				continue // constructors may initialize plainly before the value escapes
+			}
+			checkAtomicMixFunc(pass, fn, typedFields, rawFields, fieldName)
+		}
+	}
+	return nil
+}
+
+// checkAtomicMixFunc walks one function body with a parent stack, flagging
+// disallowed plain uses of atomic fields.
+func checkAtomicMixFunc(pass *lint.Pass, fn *ast.FuncDecl, typedFields, rawFields map[*types.Var]bool, fieldName func(*ast.SelectorExpr) string) {
+	info := pass.TypesInfo
+	var stack []ast.Node
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		s, ok := info.Selections[sel]
+		if !ok || s.Kind() != types.FieldVal {
+			return true
+		}
+		v, ok := s.Obj().(*types.Var)
+		if !ok {
+			return true
+		}
+		parent := ast.Node(nil)
+		if len(stack) >= 2 {
+			parent = stack[len(stack)-2]
+		}
+		switch {
+		case typedFields[v]:
+			// Fine: receiver of a method selection (s.calls.Add(1)) or
+			// explicit address-of for delegation (&s.calls).
+			if p, ok := parent.(*ast.SelectorExpr); ok && p.X == sel {
+				return true
+			}
+			if u, ok := parent.(*ast.UnaryExpr); ok && u.Op == token.AND {
+				return true
+			}
+			pass.Reportf(sel.Pos(), "atomic field %s used without its atomic API: copying or reassigning a typed atomic races with concurrent Load/Store", fieldName(sel))
+		case rawFields[v]:
+			// Fine only as &f directly inside a sync/atomic call.
+			if u, ok := parent.(*ast.UnaryExpr); ok && u.Op == token.AND && len(stack) >= 3 {
+				if call, ok := stack[len(stack)-3].(*ast.CallExpr); ok {
+					if callee := calleeFunc(info, call); callee != nil && callee.Pkg() != nil && callee.Pkg().Path() == "sync/atomic" {
+						return true
+					}
+				}
+			}
+			pass.Reportf(sel.Pos(), "field %s is accessed with sync/atomic elsewhere in this package: plain access outside constructors is a data race", fieldName(sel))
+		}
+		return true
+	})
+}

@@ -1,0 +1,35 @@
+package checks_test
+
+import (
+	"testing"
+
+	"tsspace/cmd/tslint/internal/checks"
+	"tsspace/cmd/tslint/internal/lint"
+)
+
+// testFixture runs one analyzer over its testdata/src/<name> fixture
+// packages and matches findings against the // want comments.
+func testFixture(t *testing.T, a *lint.Analyzer) {
+	t.Helper()
+	root, err := lint.ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs, err := lint.FixtureDirs(root, a.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirs) == 0 {
+		t.Fatalf("no fixture packages under cmd/tslint/testdata/src/%s", a.Name)
+	}
+	lint.Fixture(t, a, checks.Names(), dirs...)
+}
+
+func TestRegisterAccessFixtures(t *testing.T) { testFixture(t, checks.RegisterAccess) }
+func TestHotpathFixtures(t *testing.T)        { testFixture(t, checks.Hotpath) }
+func TestTypedErrFixtures(t *testing.T)       { testFixture(t, checks.TypedErr) }
+func TestRegistryInitFixtures(t *testing.T)   { testFixture(t, checks.RegistryInit) }
+func TestAtomicMixFixtures(t *testing.T)      { testFixture(t, checks.AtomicMix) }
+func TestCopyLocksFixtures(t *testing.T)      { testFixture(t, checks.CopyLocks) }
+func TestNilnessFixtures(t *testing.T)        { testFixture(t, checks.Nilness) }
+func TestUnusedWriteFixtures(t *testing.T)    { testFixture(t, checks.UnusedWrite) }

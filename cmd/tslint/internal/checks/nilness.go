@@ -1,0 +1,128 @@
+package checks
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"tsspace/cmd/tslint/internal/lint"
+)
+
+// Nilness is the curated lite port of the stock nilness pass, without the
+// SSA machinery: inside the then-branch of `if x == nil`, x is known nil,
+// so dereferencing it (field selection or indexing through a nil pointer,
+// calling a method on a nil interface) is a guaranteed panic. The branch
+// is skipped entirely if it reassigns x, and closures are not entered —
+// the check only fires where the panic is certain.
+var Nilness = &lint.Analyzer{
+	Name: "nilness",
+	Doc:  "a value compared equal to nil must not be dereferenced in the guarded branch",
+	Run:  runNilness,
+}
+
+func runNilness(pass *lint.Pass) error {
+	info := pass.TypesInfo
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ifs, ok := n.(*ast.IfStmt)
+			if !ok {
+				return true
+			}
+			cond, ok := ast.Unparen(ifs.Cond).(*ast.BinaryExpr)
+			if !ok || cond.Op != token.EQL {
+				return true
+			}
+			var x *ast.Ident
+			if id, ok := ast.Unparen(cond.X).(*ast.Ident); ok && isNilExpr(info, cond.Y) {
+				x = id
+			} else if id, ok := ast.Unparen(cond.Y).(*ast.Ident); ok && isNilExpr(info, cond.X) {
+				x = id
+			}
+			if x == nil {
+				return true
+			}
+			obj := info.Uses[x]
+			if obj == nil {
+				return true
+			}
+			t := obj.Type()
+			isPtr := false
+			switch t.Underlying().(type) {
+			case *types.Pointer:
+				isPtr = true
+			case *types.Interface:
+			default:
+				return true // maps/slices/chans: nil reads are defined
+			}
+			if branchReassigns(info, ifs.Body, obj) {
+				return true
+			}
+			ast.Inspect(ifs.Body, func(m ast.Node) bool {
+				switch m := m.(type) {
+				case *ast.FuncLit:
+					return false
+				case *ast.StarExpr:
+					if isPtr && usesObj(info, m.X, obj) {
+						pass.Reportf(m.Pos(), "dereference of %s, which is nil on this branch", x.Name)
+					}
+				case *ast.IndexExpr:
+					if isPtr && usesObj(info, m.X, obj) {
+						pass.Reportf(m.Pos(), "index through %s, which is nil on this branch", x.Name)
+					}
+				case *ast.SelectorExpr:
+					if !usesObj(info, m.X, obj) {
+						return true
+					}
+					if isPtr {
+						// Selecting a field through a nil pointer panics;
+						// method values/calls may too, but a method with a
+						// pointer receiver can legally handle nil — only
+						// flag field selections.
+						if s, ok := info.Selections[m]; ok && s.Kind() == types.FieldVal {
+							pass.Reportf(m.Pos(), "field access through %s, which is nil on this branch", x.Name)
+						}
+					} else {
+						// Any method call on a nil interface panics.
+						if s, ok := info.Selections[m]; ok && s.Kind() == types.MethodVal {
+							pass.Reportf(m.Pos(), "method call on %s, which is a nil interface on this branch", x.Name)
+						}
+					}
+				}
+				return true
+			})
+			return true
+		})
+	}
+	return nil
+}
+
+func isNilExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[ast.Unparen(e)]
+	return ok && tv.IsNil()
+}
+
+func usesObj(info *types.Info, e ast.Expr, obj types.Object) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && info.Uses[id] == obj
+}
+
+// branchReassigns reports whether body assigns to obj anywhere (in which
+// case the nil fact no longer holds for the whole branch and the lite
+// analysis backs off).
+func branchReassigns(info *types.Info, body *ast.BlockStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if as, ok := n.(*ast.AssignStmt); ok {
+			for _, lhs := range as.Lhs {
+				if usesObj(info, lhs, obj) {
+					found = true
+				}
+			}
+		}
+		if u, ok := n.(*ast.UnaryExpr); ok && u.Op == token.AND && usesObj(info, u.X, obj) {
+			found = true // address taken: anything may write it
+		}
+		return !found
+	})
+	return found
+}

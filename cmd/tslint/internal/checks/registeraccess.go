@@ -1,0 +1,65 @@
+package checks
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+
+	"tsspace/cmd/tslint/internal/lint"
+)
+
+// RegisterAccess enforces the paper's instrumentation boundary: algorithm
+// packages under internal/timestamp/... may not reach shared state behind
+// the scheduler's back. The per-register operation accounting (and the
+// model checker's interception of every step) is exact only if every
+// shared access goes through internal/register, so these packages may not
+// import sync, sync/atomic or time, and may not use channels or start
+// goroutines. Deliberate exceptions (the fas swap-object contrast, mutant
+// instance-local caches) opt out per line with
+// //tslint:allow registeraccess <reason>.
+var RegisterAccess = &lint.Analyzer{
+	Name: "registeraccess",
+	Doc:  "timestamp algorithm packages must touch shared state only through internal/register",
+	Run:  runRegisterAccess,
+}
+
+var registerAccessBannedImports = map[string]string{
+	"sync":        "locks and waitgroups bypass the scheduler's step interception",
+	"sync/atomic": "raw atomics bypass the per-register operation accounting",
+	"time":        "real time is invisible to the deterministic scheduler",
+}
+
+func runRegisterAccess(pass *lint.Pass) error {
+	if !inTimestampTree(pass.Path) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if why, banned := registerAccessBannedImports[path]; banned {
+				pass.Reportf(imp.Pos(), "timestamp package imports %q: %s; shared state must go through internal/register", path, why)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				pass.Reportf(n.Pos(), "timestamp package starts a goroutine: processes are scheduled by the harness, not spawned by algorithms")
+			case *ast.SendStmt:
+				pass.Reportf(n.Pos(), "timestamp package sends on a channel: inter-process communication must go through internal/register")
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW {
+					pass.Reportf(n.Pos(), "timestamp package receives from a channel: inter-process communication must go through internal/register")
+				}
+			case *ast.SelectStmt:
+				pass.Reportf(n.Pos(), "timestamp package uses select: inter-process communication must go through internal/register")
+			case *ast.ChanType:
+				pass.Reportf(n.Pos(), "timestamp package declares a channel type: inter-process communication must go through internal/register")
+			}
+			return true
+		})
+	}
+	return nil
+}

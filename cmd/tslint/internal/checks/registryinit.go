@@ -1,0 +1,205 @@
+package checks
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+
+	"tsspace/cmd/tslint/internal/lint"
+)
+
+// RegistryInit enforces the catalog contract of internal/timestamp: every
+// package that defines a timestamp algorithm self-registers from init()
+// (so blank-importing the catalog really yields the full roster), and the
+// registered Info literal is coherent — a non-empty Name and Summary,
+// Mutant set exactly on packages in the mutant tree, and OneShot agreeing
+// with what the package's OneShot() methods constantly return. An
+// incoherent OneShot would make consumers plan call budgets that the
+// constructed object rejects; a missing Mutant would let a deliberately
+// broken implementation into the default conformance roster.
+var RegistryInit = &lint.Analyzer{
+	Name: "registryinit",
+	Doc:  "timestamp algorithm packages must Register from init() with coherent Info metadata",
+	Run:  runRegistryInit,
+}
+
+func runRegistryInit(pass *lint.Pass) error {
+	if !inTimestampTree(pass.Path) {
+		return nil
+	}
+	isMutantPkg := hasPathSegment(pass.Path, "mutant")
+
+	// Algorithm implementations declared here: named non-interface types
+	// whose method set carries the timestamp.Algorithm trio.
+	algTypes := 0
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok || types.IsInterface(named) {
+			continue
+		}
+		ms := types.NewMethodSet(types.NewPointer(named))
+		if ms.Lookup(pass.Pkg, "GetTS") != nil &&
+			ms.Lookup(pass.Pkg, "Registers") != nil &&
+			ms.Lookup(pass.Pkg, "OneShot") != nil {
+			algTypes++
+		}
+	}
+
+	// The constant every OneShot() method in the package returns, when
+	// they all agree (mixed packages cannot be checked against a single
+	// Info literal and are skipped).
+	oneShotConst, oneShotKnown, oneShotMixed := false, false, false
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Recv == nil || fn.Name.Name != "OneShot" || fn.Body == nil {
+				continue
+			}
+			if len(fn.Body.List) != 1 {
+				continue
+			}
+			ret, ok := fn.Body.List[0].(*ast.ReturnStmt)
+			if !ok || len(ret.Results) != 1 {
+				continue
+			}
+			tv, ok := pass.TypesInfo.Types[ret.Results[0]]
+			if !ok || tv.Value == nil || tv.Value.Kind() != constant.Bool {
+				continue
+			}
+			v := constant.BoolVal(tv.Value)
+			if oneShotKnown && v != oneShotConst {
+				oneShotMixed = true
+			}
+			oneShotConst, oneShotKnown = v, true
+		}
+	}
+
+	registeredFromInit := false
+	registrations, mutantRegistrations := 0, 0
+	var firstMutantLit ast.Expr
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			inInit := fn.Recv == nil && fn.Name.Name == "init"
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := calleeFunc(pass.TypesInfo, call)
+				if !isPkgFunc(callee, "internal/timestamp", "Register") {
+					return true
+				}
+				if inInit {
+					registeredFromInit = true
+				} else {
+					pass.Reportf(call.Pos(), "timestamp.Register outside init(): registration must happen at import time so blank-importing the catalog yields the full roster")
+				}
+				registrations++
+				if mutant, lit := checkInfoLiteral(pass, call, isMutantPkg, oneShotConst, oneShotKnown && !oneShotMixed); mutant {
+					mutantRegistrations++
+					if firstMutantLit == nil {
+						firstMutantLit = lit
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	if algTypes > 0 && !isMutantPkg && !registeredFromInit {
+		pass.Reportf(firstFile(pass).Package, "package %s defines a timestamp algorithm but no init() calls timestamp.Register: it is invisible to the catalog, the conformance sweeps and the SDK", pass.Pkg.Name())
+	}
+	if !isMutantPkg && registrations > 0 && mutantRegistrations == registrations {
+		pass.Reportf(firstMutantLit.Pos(), "package registers only Mutant implementations: deliberately broken packages live under internal/timestamp/mutant (broken variants may ride along with a rostered sibling)")
+	}
+	return nil
+}
+
+// checkInfoLiteral validates the timestamp.Info composite literal passed
+// to Register, when the argument is written as one. It reports whether
+// the literal declares a mutant, and the literal itself.
+func checkInfoLiteral(pass *lint.Pass, call *ast.CallExpr, isMutantPkg, oneShotWant, oneShotChecked bool) (bool, ast.Expr) {
+	if len(call.Args) != 1 {
+		return false, nil
+	}
+	lit, ok := ast.Unparen(call.Args[0]).(*ast.CompositeLit)
+	if !ok {
+		return false, nil
+	}
+	tv, ok := pass.TypesInfo.Types[lit]
+	if !ok {
+		return false, nil
+	}
+	if name, ok := namedIn(tv.Type, "internal/timestamp"); !ok || name != "Info" {
+		return false, nil
+	}
+
+	fields := make(map[string]ast.Expr)
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		if key, ok := kv.Key.(*ast.Ident); ok {
+			fields[key.Name] = kv.Value
+		}
+	}
+
+	boolField := func(name string) bool {
+		v, ok := fields[name]
+		if !ok {
+			return false
+		}
+		tv, ok := pass.TypesInfo.Types[v]
+		if !ok || tv.Value == nil || tv.Value.Kind() != constant.Bool {
+			return false
+		}
+		return constant.BoolVal(tv.Value)
+	}
+	stringFieldEmpty := func(name string) (present, empty bool) {
+		v, ok := fields[name]
+		if !ok {
+			return false, false
+		}
+		tv, ok := pass.TypesInfo.Types[v]
+		if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+			return true, false
+		}
+		return true, constant.StringVal(tv.Value) == ""
+	}
+
+	if present, empty := stringFieldEmpty("Name"); !present {
+		pass.Reportf(lit.Pos(), "Info.Name is missing: Register panics on an empty name at import time")
+	} else if empty {
+		pass.Reportf(fields["Name"].Pos(), "Info.Name is empty: Register panics on an empty name at import time")
+	}
+	if present, empty := stringFieldEmpty("Summary"); !present || empty {
+		pass.Reportf(lit.Pos(), "Info.Summary is empty: flag help and /healthz would show a blank description")
+	}
+	if _, ok := fields["New"]; !ok {
+		pass.Reportf(lit.Pos(), "Info.New is missing: Register panics on a nil constructor at import time")
+	}
+
+	mutant := boolField("Mutant")
+	if isMutantPkg && !mutant {
+		pass.Reportf(lit.Pos(), "Info in a mutant package must set Mutant: true, or the broken implementation joins the default conformance roster")
+	}
+
+	// OneShot coherence is only checked against the primary (non-mutant)
+	// registration: broken variants may deliberately differ.
+	if oneShotChecked && !mutant {
+		if got := boolField("OneShot"); got != oneShotWant {
+			pass.Reportf(lit.Pos(), "Info.OneShot is %v but the package's OneShot() methods return %v: consumers would plan call budgets the object rejects", got, oneShotWant)
+		}
+	}
+	return mutant, lit
+}

@@ -1,0 +1,73 @@
+package checks
+
+import (
+	"go/ast"
+	"go/constant"
+	"strings"
+
+	"tsspace/cmd/tslint/internal/lint"
+)
+
+// TypedErr keeps the public error surface of the SDK packages (tsspace,
+// tsserve, tsload) programmable: exported functions must not mint
+// anonymous error values. A fmt.Errorf without %w produces an error no
+// caller can errors.Is/As against, and an errors.New inside a function
+// body creates a new identity per call instead of a package-level
+// sentinel. Root errors that genuinely have no sentinel to wrap opt out
+// with //tslint:allow typederr <reason>.
+var TypedErr = &lint.Analyzer{
+	Name: "typederr",
+	Doc:  "exported SDK functions must return wrapped (%w) or sentinel errors, not anonymous ones",
+	Run:  runTypedErr,
+}
+
+// typedErrPackages are the public packages under the contract, matched by
+// package name + final import path element (so fixtures and forks match,
+// but cmd/tsload's main package does not).
+var typedErrPackages = map[string]bool{
+	"tsspace": true,
+	"tsserve": true,
+	"tsload":  true,
+}
+
+func runTypedErr(pass *lint.Pass) error {
+	name := pass.Pkg.Name()
+	if !typedErrPackages[name] {
+		return nil
+	}
+	if path := pass.Path; path != name && !strings.HasSuffix(path, "/"+name) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !exportedFuncDecl(fn) {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := calleeFunc(pass.TypesInfo, call)
+				switch {
+				case isPkgFunc(callee, "errors", "New"):
+					pass.Reportf(call.Pos(), "errors.New in exported %s mints a fresh error identity per call: declare a package-level sentinel", fn.Name.Name)
+				case isPkgFunc(callee, "fmt", "Errorf"):
+					if len(call.Args) == 0 {
+						return true
+					}
+					tv, ok := pass.TypesInfo.Types[call.Args[0]]
+					if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+						return true // non-constant format: cannot judge statically
+					}
+					if !strings.Contains(constant.StringVal(tv.Value), "%w") {
+						pass.Reportf(call.Pos(), "fmt.Errorf without %%w in exported %s: callers cannot errors.Is/As the result — wrap a sentinel", fn.Name.Name)
+					}
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}

@@ -1,0 +1,212 @@
+package checks
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"tsspace/cmd/tslint/internal/lint"
+)
+
+// UnusedWrite is the curated lite port of the stock unusedwrite pass: a
+// write to a field of a by-value receiver or by-value struct parameter
+// mutates a function-local copy, so if the copy is never read afterwards
+// the write is lost — almost always a missing pointer receiver. The lite
+// port stays sound without SSA by backing off inside loops and whenever
+// the variable is captured by a closure or has its address taken.
+var UnusedWrite = &lint.Analyzer{
+	Name: "unusedwrite",
+	Doc:  "a field write through a by-value receiver or parameter that is never read again is lost",
+	Run:  runUnusedWrite,
+}
+
+func runUnusedWrite(pass *lint.Pass) error {
+	info := pass.TypesInfo
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			// By-value struct receiver and parameters.
+			copies := make(map[types.Object]string)
+			addGroup := func(fl *ast.FieldList, what string) {
+				if fl == nil {
+					return
+				}
+				for _, field := range fl.List {
+					for _, name := range field.Names {
+						obj := info.Defs[name]
+						if obj == nil {
+							continue
+						}
+						if _, isStruct := obj.Type().Underlying().(*types.Struct); isStruct {
+							copies[obj] = what
+						}
+					}
+				}
+			}
+			addGroup(fn.Recv, "receiver")
+			addGroup(fn.Type.Params, "parameter")
+			if len(copies) == 0 {
+				continue
+			}
+			checkUnusedWrites(pass, fn, copies)
+		}
+	}
+	return nil
+}
+
+func checkUnusedWrites(pass *lint.Pass, fn *ast.FuncDecl, copies map[types.Object]string) {
+	info := pass.TypesInfo
+
+	// Back off for any variable that is captured, aliased, or written
+	// inside a loop — position-based "read after write" is unsound there.
+	disqualified := make(map[types.Object]bool)
+	var loopDepth, closureDepth int
+	type write struct {
+		obj  types.Object
+		what string
+		pos  token.Pos
+		end  token.Pos
+		name string
+	}
+	var writes []write
+
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			loopDepth++
+			for _, child := range childNodes(n) {
+				ast.Inspect(child, walk)
+			}
+			loopDepth--
+			return false
+		case *ast.FuncLit:
+			closureDepth++
+			ast.Inspect(n.Body, walk)
+			closureDepth--
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if obj := baseObj(info, n.X); obj != nil {
+					disqualified[obj] = true
+				}
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				id, ok := ast.Unparen(sel.X).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := info.Uses[id]
+				what, tracked := copies[obj]
+				if !tracked {
+					continue
+				}
+				if loopDepth > 0 || closureDepth > 0 {
+					disqualified[obj] = true
+					continue
+				}
+				if s, ok := info.Selections[sel]; !ok || s.Kind() != types.FieldVal {
+					continue
+				}
+				writes = append(writes, write{obj: obj, what: what, pos: sel.Pos(), end: n.End(), name: id.Name + "." + sel.Sel.Name})
+			}
+		}
+		return true
+	}
+	ast.Inspect(fn.Body, walk)
+	for obj := range copies {
+		if closureUses(info, fn.Body, obj) {
+			disqualified[obj] = true
+		}
+	}
+
+	for _, w := range writes {
+		if disqualified[w.obj] {
+			continue
+		}
+		if readAfter(info, fn.Body, w.obj, w.end) {
+			continue
+		}
+		pass.Reportf(w.pos, "write to %s is lost: %s %s is a by-value copy never read afterwards (use a pointer %s)", w.name, w.what, w.obj.Name(), w.what)
+	}
+}
+
+// childNodes returns the direct child nodes of a loop statement so its
+// body is walked with the loop depth raised.
+func childNodes(n ast.Node) []ast.Node {
+	var out []ast.Node
+	switch n := n.(type) {
+	case *ast.ForStmt:
+		if n.Init != nil {
+			out = append(out, n.Init)
+		}
+		if n.Cond != nil {
+			out = append(out, n.Cond)
+		}
+		if n.Post != nil {
+			out = append(out, n.Post)
+		}
+		out = append(out, n.Body)
+	case *ast.RangeStmt:
+		if n.X != nil {
+			out = append(out, n.X)
+		}
+		out = append(out, n.Body)
+	}
+	return out
+}
+
+// baseObj resolves the root identifier of a selector chain (x, x.f, x.f.g).
+func baseObj(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch v := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return info.Uses[v]
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// closureUses reports whether any closure in body references obj.
+func closureUses(info *types.Info, body *ast.BlockStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		lit, ok := n.(*ast.FuncLit)
+		if !ok {
+			return !found
+		}
+		ast.Inspect(lit.Body, func(m ast.Node) bool {
+			if id, ok := m.(*ast.Ident); ok && info.Uses[id] == obj {
+				found = true
+			}
+			return !found
+		})
+		return !found
+	})
+	return found
+}
+
+// readAfter reports whether obj is referenced anywhere after end.
+func readAfter(info *types.Info, body *ast.BlockStmt, obj types.Object, end token.Pos) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj && id.Pos() > end {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

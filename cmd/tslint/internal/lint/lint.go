@@ -1,0 +1,126 @@
+// Package lint is a self-contained, stdlib-only analysis framework in the
+// shape of golang.org/x/tools/go/analysis: an Analyzer inspects one
+// type-checked package through a Pass and reports Diagnostics. The module
+// vendors no third-party code (the container builds offline), so instead
+// of importing x/tools the package re-implements the small slice of it the
+// tslint suite needs — the Analyzer/Pass contract, a `go list -export`
+// driven loader, and an analysistest-style fixture harness — with the same
+// field names, so a future PR can swap the real framework in mechanically.
+//
+// Two comment directives tie analyzers to source:
+//
+//	//tslint:hotpath
+//	    in a function's doc comment marks it as a hot-path root: the
+//	    hotpath analyzer checks everything reachable from it inside the
+//	    package.
+//
+//	//tslint:allow <analyzer> <reason>
+//	    on (or immediately above) the offending line suppresses that
+//	    analyzer's diagnostics for the line. The reason is mandatory:
+//	    an allow without one, naming an unknown analyzer, or matching no
+//	    diagnostic is itself reported (as analyzer "tslint"), so stale
+//	    opt-outs rot loudly.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// An Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //tslint:allow annotations.
+	Name string
+	// Doc is the help text: first line is a one-line summary.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// A Pass presents one type-checked package to an Analyzer.Run and
+// collects its diagnostics.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Path is the package's import path ("tsspace/internal/register").
+	Path string
+	// Report records one diagnostic.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a diagnostic at pos with a formatted message.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Diagnostic is one finding, positioned inside the package's FileSet.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+const (
+	allowPrefix   = "//tslint:allow"
+	hotpathMarker = "//tslint:hotpath"
+)
+
+// An Allow is one parsed //tslint:allow annotation.
+type Allow struct {
+	Pos      token.Pos
+	Line     int // line the annotation is written on
+	File     string
+	Analyzer string
+	Reason   string
+	Used     bool // set by the runner when it suppresses a diagnostic
+}
+
+// ParseAllows extracts every //tslint:allow annotation from a file.
+// Malformed annotations (no analyzer name, empty reason) are returned
+// too, with the missing parts empty — the runner turns those into
+// diagnostics rather than silently honoring or dropping them.
+func ParseAllows(fset *token.FileSet, f *ast.File) []*Allow {
+	var allows []*Allow
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, allowPrefix) {
+				continue
+			}
+			rest := strings.TrimPrefix(c.Text, allowPrefix)
+			if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+				continue // e.g. //tslint:allowfoo — not ours
+			}
+			pos := fset.Position(c.Pos())
+			fields := strings.Fields(rest)
+			a := &Allow{Pos: c.Pos(), Line: pos.Line, File: pos.Filename}
+			if len(fields) > 0 {
+				a.Analyzer = fields[0]
+			}
+			if len(fields) > 1 {
+				a.Reason = strings.TrimSpace(strings.Join(fields[1:], " "))
+			}
+			allows = append(allows, a)
+		}
+	}
+	return allows
+}
+
+// HotpathRoot reports whether fn is marked as a hot-path root via a
+// //tslint:hotpath line in its doc comment.
+func HotpathRoot(fn *ast.FuncDecl) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if strings.TrimSpace(c.Text) == hotpathMarker {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,171 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// ModuleRoot walks up from dir to the directory containing go.mod: the
+// working directory for go list and the anchor for fixture patterns.
+func ModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// expectation is one `// want "regexp"` annotation in a fixture file.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// Fixture runs one analyzer over fixture packages (patterns relative to
+// the module root) in the style of x/tools' analysistest: every surviving
+// finding must match a `// want "regexp"` comment on its line, and every
+// want comment must be matched by a finding. known lists the full
+// analyzer suite so fixtures can carry //tslint:allow annotations for
+// analyzers other than the one under test.
+func Fixture(t *testing.T, analyzer *Analyzer, known []string, patterns ...string) {
+	t.Helper()
+	root, err := ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := Load(root, patterns...)
+	if err != nil {
+		t.Fatalf("loading fixtures %v: %v", patterns, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("no packages matched %v", patterns)
+	}
+	findings, err := Run(pkgs, []*Analyzer{analyzer}, known)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wants []*expectation
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			wants = append(wants, parseWants(t, pkg.Fset, f)...)
+		}
+	}
+
+	for _, finding := range findings {
+		matched := false
+		for _, w := range wants {
+			if w.matched || w.file != finding.Position.Filename || w.line != finding.Position.Line {
+				continue
+			}
+			if w.re.MatchString(finding.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding: %s", finding)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no finding matched `// want %s`", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// FixtureDirs lists the fixture packages of one analyzer: every
+// directory under cmd/tslint/testdata/src/<name> holding Go files, as
+// ./-relative go list patterns. Explicit directories are required —
+// wildcard patterns never descend into testdata.
+func FixtureDirs(root, name string) ([]string, error) {
+	base := filepath.Join(root, "cmd", "tslint", "testdata", "src", name)
+	seen := make(map[string]bool)
+	var dirs []string
+	err := filepath.WalkDir(base, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || !strings.HasSuffix(d.Name(), ".go") {
+			return nil
+		}
+		rel, err := filepath.Rel(root, filepath.Dir(path))
+		if err != nil {
+			return err
+		}
+		pattern := "./" + filepath.ToSlash(rel)
+		if !seen[pattern] {
+			seen[pattern] = true
+			dirs = append(dirs, pattern)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// parseWants extracts `// want "regexp" ["regexp" ...]` comments. Block
+// form (`/* want ... */`) is accepted too, for lines whose trailing line
+// comment is already spoken for by a //tslint:allow annotation.
+func parseWants(t *testing.T, fset *token.FileSet, f *ast.File) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := c.Text
+			if strings.HasPrefix(text, "/*") {
+				text = strings.TrimSuffix(strings.TrimPrefix(text, "/*"), "*/")
+			} else {
+				text = strings.TrimPrefix(text, "//")
+			}
+			text = strings.TrimSpace(text)
+			if !strings.HasPrefix(text, "want ") {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			rest := strings.TrimSpace(strings.TrimPrefix(text, "want"))
+			for rest != "" {
+				quoted, err := strconv.QuotedPrefix(rest)
+				if err != nil {
+					t.Fatalf("%s:%d: malformed want comment %q: %v", pos.Filename, pos.Line, c.Text, err)
+				}
+				pattern, err := strconv.Unquote(quoted)
+				if err != nil {
+					t.Fatalf("%s:%d: malformed want pattern %q: %v", pos.Filename, pos.Line, quoted, err)
+				}
+				re, err := regexp.Compile(pattern)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pattern, err)
+				}
+				wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re, raw: quoted})
+				rest = strings.TrimSpace(rest[len(quoted):])
+			}
+		}
+	}
+	return wants
+}

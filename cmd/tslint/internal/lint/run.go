@@ -1,0 +1,125 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// A Finding is one surviving diagnostic, resolved to a file position.
+type Finding struct {
+	Analyzer string
+	Position token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s (%s)", f.Position.Filename, f.Position.Line, f.Position.Column, f.Message, f.Analyzer)
+}
+
+// MetaAnalyzer is the Finding.Analyzer name for problems with the
+// //tslint:allow annotations themselves. Those findings cannot be
+// suppressed.
+const MetaAnalyzer = "tslint"
+
+// Run applies every analyzer to every package and returns the surviving
+// findings sorted by position. A diagnostic is suppressed when a
+// //tslint:allow annotation for its analyzer sits on the same line or the
+// line directly above; known lists every valid annotation target (usually
+// the full suite even when running a subset, so an allow for an analyzer
+// that exists but is not running is tolerated rather than reported as
+// unknown). Unknown-analyzer, reasonless and unused annotations are
+// reported under the MetaAnalyzer name.
+func Run(pkgs []*Package, analyzers []*Analyzer, known []string) ([]Finding, error) {
+	knownSet := make(map[string]bool, len(known))
+	for _, name := range known {
+		knownSet[name] = true
+	}
+	running := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		running[a.Name] = true
+	}
+
+	var findings []Finding
+	for _, pkg := range pkgs {
+		// allowsAt indexes annotations by (file, line, analyzer).
+		type key struct {
+			file     string
+			line     int
+			analyzer string
+		}
+		allowsAt := make(map[key]*Allow)
+		var allows []*Allow
+		for _, f := range pkg.Files {
+			for _, a := range ParseAllows(pkg.Fset, f) {
+				allows = append(allows, a)
+				if a.Analyzer != "" && a.Reason != "" {
+					allowsAt[key{a.File, a.Line, a.Analyzer}] = a
+				}
+			}
+		}
+
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Pkg,
+				TypesInfo: pkg.Info,
+				Path:      pkg.Path,
+			}
+			pass.Report = func(d Diagnostic) {
+				pos := pkg.Fset.Position(d.Pos)
+				for _, line := range []int{pos.Line, pos.Line - 1} {
+					if allow, ok := allowsAt[key{pos.Filename, line, a.Name}]; ok {
+						allow.Used = true
+						return
+					}
+				}
+				findings = append(findings, Finding{Analyzer: a.Name, Position: pos, Message: d.Message})
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: analyzing %s: %v", a.Name, pkg.Path, err)
+			}
+		}
+
+		for _, allow := range allows {
+			pos := pkg.Fset.Position(allow.Pos)
+			switch {
+			case allow.Analyzer == "" || !knownSet[allow.Analyzer]:
+				findings = append(findings, Finding{
+					Analyzer: MetaAnalyzer,
+					Position: pos,
+					Message:  fmt.Sprintf("//tslint:allow names unknown analyzer %q (known: %v)", allow.Analyzer, known),
+				})
+			case allow.Reason == "":
+				findings = append(findings, Finding{
+					Analyzer: MetaAnalyzer,
+					Position: pos,
+					Message:  fmt.Sprintf("//tslint:allow %s needs a non-empty reason", allow.Analyzer),
+				})
+			case running[allow.Analyzer] && !allow.Used:
+				findings = append(findings, Finding{
+					Analyzer: MetaAnalyzer,
+					Position: pos,
+					Message:  fmt.Sprintf("//tslint:allow %s suppresses nothing and should be removed", allow.Analyzer),
+				})
+			}
+		}
+	}
+
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Position.Filename != b.Position.Filename {
+			return a.Position.Filename < b.Position.Filename
+		}
+		if a.Position.Line != b.Position.Line {
+			return a.Position.Line < b.Position.Line
+		}
+		if a.Position.Column != b.Position.Column {
+			return a.Position.Column < b.Position.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}

@@ -1,0 +1,29 @@
+package main
+
+import (
+	"testing"
+
+	"tsspace/cmd/tslint/internal/checks"
+	"tsspace/cmd/tslint/internal/lint"
+)
+
+// TestRepoClean runs the full analyzer suite against the repository
+// itself: the tree must come up finding-free, so `go test ./...` catches
+// a lint regression even where CI's explicit tslint step is not wired.
+func TestRepoClean(t *testing.T) {
+	root, err := lint.ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := lint.Load(root, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := lint.Run(pkgs, checks.All(), checks.Names())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}

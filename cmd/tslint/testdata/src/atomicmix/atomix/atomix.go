@@ -1,0 +1,32 @@
+// Package atomix mixes atomic and plain access to the same fields.
+// tslint fixture for the atomicmix analyzer.
+package atomix
+
+import "sync/atomic"
+
+// Counter has a typed atomic and a raw word driven through the atomic
+// functions elsewhere in the package.
+type Counter struct {
+	typed atomic.Int64
+	raw   int64
+}
+
+// NewCounter may initialize plainly: the value has not escaped yet.
+func NewCounter() *Counter {
+	var c Counter
+	c.raw = 1
+	return &c
+}
+
+// Add uses both fields through their atomic APIs: fine.
+func (c *Counter) Add() {
+	c.typed.Add(1)
+	atomic.AddInt64(&c.raw, 1)
+}
+
+// Peek reads both fields plainly: a data race on each.
+func (c *Counter) Peek() int64 {
+	t := c.typed // want `typed used without its atomic API`
+	_ = t
+	return c.raw // want `raw is accessed with sync/atomic elsewhere`
+}

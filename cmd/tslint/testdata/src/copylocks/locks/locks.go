@@ -1,0 +1,33 @@
+// Package locks copies values that embed a mutex by value. tslint
+// fixture for the copylocks analyzer.
+package locks
+
+import "sync"
+
+// Guarded embeds a mutex by value.
+type Guarded struct {
+	Mu sync.Mutex
+	N  int
+}
+
+// ByValue copies its receiver, splitting the lock in two.
+func (g Guarded) ByValue() int { return g.N } // want `receiver passes a lock by value`
+
+// Take copies its parameter.
+func Take(g Guarded) int { return g.N } // want `parameter passes a lock by value`
+
+// Fresh hands the caller a copy of a lock-bearing value.
+func Fresh() Guarded { // want `result passes a lock by value`
+	return Guarded{}
+}
+
+// Snapshot copies lock-bearing storage three different ways.
+func Snapshot(src *Guarded) int {
+	g := *src // want `assignment copies a lock-bearing value`
+	sum := g.N
+	all := []Guarded{{N: 1}}
+	for _, v := range all { // want `range value copies a lock-bearing element`
+		sum += v.N
+	}
+	return sum + Take(*src) // want `call copies a lock-bearing value into an argument`
+}

@@ -1,0 +1,46 @@
+// Package hot exercises the hotpath analyzer: Bump is an annotated root,
+// trace is reachable from it, cold is not, and grow shows the per-line
+// opt-out. tslint fixture.
+package hot
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Counter is a tiny hot object.
+type Counter struct {
+	mu sync.Mutex
+	n  int64
+	f  func() int64
+}
+
+// Bump is the steady-state operation.
+//
+//tslint:hotpath
+func (c *Counter) Bump(k int64) int64 {
+	c.n += k
+	return c.trace(k)
+}
+
+// trace is reachable from Bump inside the package, so it is hot too.
+func (c *Counter) trace(k int64) int64 {
+	fmt.Println("bump", k)          // want `calls fmt\.Println` `boxes string into any` `boxes int64 into any`
+	c.mu.Lock()                     // want `acquires sync\.Mutex\.Lock`
+	buf := make([]int64, 8)         // want `allocates with make`
+	c.f = func() int64 { return k } // want `allocates a closure`
+	c.mu.Unlock()                   // want `acquires sync\.Mutex\.Unlock`
+	return buf[0] + c.n
+}
+
+// cold is not reachable from any root: anything goes here.
+func (c *Counter) cold() string {
+	return fmt.Sprintf("%d", c.n)
+}
+
+// grow is a root whose single allocation is deliberately annotated.
+//
+//tslint:hotpath
+func (c *Counter) grow(n int) []int64 {
+	return make([]int64, n) //tslint:allow hotpath fixture: growth path amortizes to zero over the steady state
+}

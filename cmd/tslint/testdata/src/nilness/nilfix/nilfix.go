@@ -1,0 +1,45 @@
+// Package nilfix dereferences values inside the branch that proved them
+// nil. tslint fixture for the nilness analyzer.
+package nilfix
+
+// Node is a list cell.
+type Node struct {
+	Next *Node
+	V    int
+}
+
+// Summer is a tiny interface.
+type Summer interface{ Sum() int }
+
+// Broken reads a field through a pointer known to be nil.
+func Broken(n *Node) int {
+	if n == nil {
+		return n.V // want `field access through n, which is nil on this branch`
+	}
+	return 0
+}
+
+// BrokenStar dereferences explicitly.
+func BrokenStar(p *int) int {
+	if nil == p {
+		return *p // want `dereference of p, which is nil on this branch`
+	}
+	return *p
+}
+
+// BrokenIface calls a method on an interface known to be nil.
+func BrokenIface(s Summer) int {
+	if s == nil {
+		return s.Sum() // want `method call on s, which is a nil interface on this branch`
+	}
+	return s.Sum()
+}
+
+// Fixed reassigns inside the branch: the analysis backs off.
+func Fixed(n *Node) int {
+	if n == nil {
+		n = &Node{}
+		return n.V
+	}
+	return n.V
+}

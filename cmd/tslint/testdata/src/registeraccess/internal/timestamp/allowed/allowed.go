@@ -1,0 +1,27 @@
+// Package allowed exercises the //tslint:allow opt-out and the meta
+// diagnostics for malformed annotations. tslint fixture for the
+// registeraccess analyzer.
+package allowed
+
+import (
+	"sync" //tslint:allow registeraccess fixture: instance-local lock outside the paper's register accounting
+)
+
+// Memo is harness-side bookkeeping of the kind the opt-out exists for.
+type Memo struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Bump is ordinary mutex use, suppressed at the import above.
+func (m *Memo) Bump() {
+	m.mu.Lock()
+	m.n++
+	m.mu.Unlock()
+}
+
+var _ int /* want `names unknown analyzer "bogus"` */ //tslint:allow bogus no such analyzer
+
+var _ int /* want `needs a non-empty reason` */ //tslint:allow registeraccess
+
+var _ int /* want `suppresses nothing` */ //tslint:allow registeraccess fixture: nothing on this line violates anything

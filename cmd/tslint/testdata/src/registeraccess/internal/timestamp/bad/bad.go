@@ -1,0 +1,34 @@
+// Package bad trips every register-access rule: banned imports, channel
+// use and goroutine creation inside the instrumented algorithm tree.
+// tslint fixture for the registeraccess analyzer.
+package bad
+
+import (
+	"sync"        // want `imports "sync"`
+	"sync/atomic" // want `imports "sync/atomic"`
+	"time"        // want `imports "time"`
+)
+
+// Gate shares state behind the scheduler's back.
+type Gate struct {
+	mu   sync.Mutex
+	n    int64
+	wake chan struct{} // want `declares a channel type`
+}
+
+// Bump takes steps the harness cannot intercept.
+func (g *Gate) Bump() {
+	g.mu.Lock()
+	atomic.AddInt64(&g.n, 1)
+	g.mu.Unlock()
+	time.Sleep(time.Microsecond)
+	go g.notify() // want `starts a goroutine`
+}
+
+func (g *Gate) notify() {
+	g.wake <- struct{}{} // want `sends on a channel`
+	select {             // want `uses select`
+	case <-g.wake: // want `receives from a channel`
+	default:
+	}
+}

@@ -1,0 +1,45 @@
+// Package badinfo registers incoherent Info literals: missing metadata,
+// an empty name, a OneShot flag disagreeing with the methods, and a
+// registration outside init(). tslint fixture for the registryinit
+// analyzer.
+package badinfo
+
+import "tsspace/internal/timestamp"
+
+// Alg carries the timestamp.Algorithm method trio so the analyzer treats
+// badinfo as an algorithm-defining package.
+type Alg struct{}
+
+// GetTS is a stub.
+func (a *Alg) GetTS() int { return 0 }
+
+// Registers is a stub.
+func (a *Alg) Registers() int { return 0 }
+
+// OneShot reports the constant the Info literals must agree with.
+func (a *Alg) OneShot() bool { return true }
+
+func newAlg(n int) timestamp.Algorithm { return nil }
+
+func init() {
+	timestamp.Register(timestamp.Info{ // want `Info\.Summary is empty` `Info\.New is missing` `Info\.OneShot is false but the package's OneShot\(\) methods return true`
+		Name: "tslint-fixture-bare",
+	})
+	timestamp.Register(timestamp.Info{
+		Name:    "", // want `Info\.Name is empty`
+		Summary: "fixture",
+		New:     newAlg,
+		OneShot: true,
+	})
+}
+
+// RegisterLate registers after import time: blank importers of the
+// catalog never see it.
+func RegisterLate() {
+	timestamp.Register(timestamp.Info{ // want `timestamp\.Register outside init\(\)`
+		Name:    "tslint-fixture-late",
+		Summary: "fixture",
+		New:     newAlg,
+		OneShot: true,
+	})
+}

@@ -1,0 +1,16 @@
+// Package nomut sits in the mutant tree but forgets Mutant: true, which
+// would let a deliberately broken implementation into the default
+// conformance roster. tslint fixture for the registryinit analyzer.
+package nomut
+
+import "tsspace/internal/timestamp"
+
+func newAlg(n int) timestamp.Algorithm { return nil }
+
+func init() {
+	timestamp.Register(timestamp.Info{ // want `Info in a mutant package must set Mutant: true`
+		Name:    "tslint-fixture-nomut",
+		Summary: "fixture",
+		New:     newAlg,
+	})
+}

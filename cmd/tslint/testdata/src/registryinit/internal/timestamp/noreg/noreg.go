@@ -1,0 +1,16 @@
+// Package noreg defines a type carrying the timestamp.Algorithm method
+// trio but never registers it: invisible to the catalog. tslint fixture
+// for the registryinit analyzer.
+package noreg // want `defines a timestamp algorithm but no init\(\) calls timestamp\.Register`
+
+// Alg looks like an algorithm implementation.
+type Alg struct{}
+
+// GetTS is a stub.
+func (a *Alg) GetTS() int { return 0 }
+
+// Registers is a stub.
+func (a *Alg) Registers() int { return 0 }
+
+// OneShot is a stub.
+func (a *Alg) OneShot() bool { return false }

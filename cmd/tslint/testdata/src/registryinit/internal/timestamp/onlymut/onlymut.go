@@ -1,0 +1,16 @@
+// Package onlymut lives outside the mutant tree but registers nothing
+// except a broken variant. tslint fixture for the registryinit analyzer.
+package onlymut
+
+import "tsspace/internal/timestamp"
+
+func newAlg(n int) timestamp.Algorithm { return nil }
+
+func init() {
+	timestamp.Register(timestamp.Info{ // want `package registers only Mutant implementations`
+		Name:    "tslint-fixture-onlymut",
+		Summary: "fixture",
+		New:     newAlg,
+		Mutant:  true,
+	})
+}

@@ -1,0 +1,32 @@
+// Package tsserve is the typederr fixture: it reuses the real package
+// name and final path element so the analyzer's SDK-package scope
+// matches it exactly like the real tsserve.
+package tsserve
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBase is the sentinel the good wrappers use.
+var ErrBase = errors.New("tsserve: base failure")
+
+// Bad mints anonymous error values in both forbidden ways.
+func Bad(n int) error {
+	if n < 0 {
+		return errors.New("tsserve: negative") // want `errors.New in exported Bad`
+	}
+	return fmt.Errorf("tsserve: odd %d", n) // want `fmt\.Errorf without %w in exported Bad`
+}
+
+// Good wraps the package sentinel: callers can errors.Is against it.
+func Good(n int) error {
+	return fmt.Errorf("%w: %d", ErrBase, n)
+}
+
+// quiet is unexported and therefore out of contract.
+func quiet(n int) error {
+	return fmt.Errorf("tsserve: quiet %d", n)
+}
+
+var _ = quiet

@@ -1,0 +1,27 @@
+// Package uw writes to by-value copies that are never read again.
+// tslint fixture for the unusedwrite analyzer.
+package uw
+
+// Conf is a small plain struct.
+type Conf struct {
+	N int
+	S string
+}
+
+// SetN writes through a by-value receiver: the caller never sees it.
+func (c Conf) SetN(n int) {
+	c.N = n // want `write to c\.N is lost`
+}
+
+// Normalize writes a parameter copy it never reads again.
+func Normalize(c Conf) int {
+	before := c.N
+	c.S = "normalized" // want `write to c\.S is lost`
+	return before
+}
+
+// Renamed writes the copy but returns it: the write is observed.
+func Renamed(c Conf) Conf {
+	c.S = "renamed"
+	return c
+}

@@ -55,6 +55,7 @@ func NewInt64Array(m int) *Int64Array {
 // non-negative by construction.
 func packInt64(v int64) uint64 {
 	if v < 0 {
+		//tslint:allow hotpath panic formatting on an invariant violation; unreachable for real timestamps
 		panic(fmt.Sprintf("register: scalar arrays hold non-negative timestamps, got %d", v))
 	}
 	return uint64(v) + 1
@@ -71,12 +72,16 @@ func unpackInt64(w uint64) (int64, bool) {
 func (a *Int64Array) Size() int { return len(a.words) }
 
 // ReadInt64 returns the value of register i without boxing.
+//
+//tslint:hotpath
 func (a *Int64Array) ReadInt64(i int) (int64, bool) {
 	return unpackInt64(a.words[i].Load())
 }
 
 // WriteInt64 atomically replaces the value of register i without
 // allocating.
+//
+//tslint:hotpath
 func (a *Int64Array) WriteInt64(i int, v int64) {
 	a.words[i].Store(packInt64(v))
 }
@@ -129,12 +134,16 @@ func NewShardedInt64Array(m int) *ShardedInt64Array {
 func (a *ShardedInt64Array) Size() int { return len(a.cells) }
 
 // ReadInt64 returns the value of register i without boxing.
+//
+//tslint:hotpath
 func (a *ShardedInt64Array) ReadInt64(i int) (int64, bool) {
 	return unpackInt64(a.cells[i].w.Load())
 }
 
 // WriteInt64 atomically replaces the value of register i without
 // allocating.
+//
+//tslint:hotpath
 func (a *ShardedInt64Array) WriteInt64(i int, v int64) {
 	a.cells[i].w.Store(packInt64(v))
 }

@@ -25,7 +25,7 @@ package fas
 import (
 	"fmt"
 	"runtime"
-	"sync/atomic"
+	"sync/atomic" //tslint:allow registeraccess swap-chain nodes hand off through a raw atomic pointer; fas runs on real goroutines only, outside the deterministic scheduler (see package doc)
 
 	"tsspace/internal/register"
 	"tsspace/internal/timestamp"

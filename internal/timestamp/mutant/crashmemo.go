@@ -2,7 +2,7 @@ package mutant
 
 import (
 	"fmt"
-	"sync"
+	"sync" //tslint:allow registeraccess the mutex guards the mutant's crash-memo table, harness-side state outside the paper's register accounting
 
 	"tsspace/internal/register"
 	"tsspace/internal/timestamp"

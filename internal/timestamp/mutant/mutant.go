@@ -13,7 +13,7 @@ package mutant
 
 import (
 	"fmt"
-	"sync"
+	"sync" //tslint:allow registeraccess the mutex guards mutant bookkeeping (stale-scan caches), not paper-visible register state
 
 	"tsspace/internal/register"
 	"tsspace/internal/timestamp"

@@ -2,7 +2,7 @@ package sqrt
 
 import (
 	"fmt"
-	"sync"
+	"sync" //tslint:allow registeraccess the trace recorder is verification instrumentation, not algorithm shared state
 )
 
 // WriteEvent is a shared-register write performed by Algorithm 4, tagged

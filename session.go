@@ -311,10 +311,12 @@ func (s *Session) next() (Timestamp, error) {
 	o := s.obj
 	seq := s.seq.Load()
 	if o.oneShot && seq > 0 {
+		//tslint:allow hotpath cold failure path: a conforming one-shot client never re-calls
 		return Timestamp{}, fmt.Errorf("tsspace: process %d already issued its timestamp: %w", s.pid, ErrOneShot)
 	}
 	ts, err := o.alg.GetTS(o.mems[s.pid], s.pid, int(seq))
 	if err != nil {
+		//tslint:allow hotpath algorithm failure path: an errored call has already left the zero-alloc contract
 		return Timestamp{}, fmt.Errorf("tsspace: %s p%d getTS#%d: %w", o.info.Name, s.pid, seq, err)
 	}
 	s.seq.Store(seq + 1)
@@ -325,6 +327,8 @@ func (s *Session) next() (Timestamp, error) {
 // sequence number the implementation contract requires is tracked in the
 // session (seeded from the pid's slot at Attach and written back at
 // Detach), surviving lease recycling without any shared lock.
+//
+//tslint:hotpath
 func (s *Session) GetTS(ctx context.Context) (Timestamp, error) {
 	if err := s.ready(ctx); err != nil {
 		return Timestamp{}, err
@@ -347,6 +351,8 @@ func (s *Session) GetTS(ctx context.Context) (Timestamp, error) {
 // and dst is caller-owned, so a batch performs zero allocations on top of
 // the algorithm's register operations — the amortization the BENCH
 // trajectory prices against batch size. An empty dst is a no-op.
+//
+//tslint:hotpath
 func (s *Session) GetTSBatch(ctx context.Context, dst []Timestamp) (int, error) {
 	if err := s.ready(ctx); err != nil {
 		return 0, err

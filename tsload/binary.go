@@ -2,6 +2,7 @@ package tsload
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net/http"
 
@@ -22,6 +23,10 @@ type Binary struct {
 	health tsserve.Health
 }
 
+// ErrUnhealthy is wrapped when a probed daemon answers the health
+// check with a status other than "ok".
+var ErrUnhealthy = errors.New("tsload: daemon not healthy")
+
 // NewBinary probes the daemon at baseURL over HTTP, then wraps its binary
 // listener at binAddr (e.g. "127.0.0.1:8038") as a load target. hc may be
 // nil for tsserve's shared keep-alive client. The probe also exercises one
@@ -33,7 +38,7 @@ func NewBinary(ctx context.Context, baseURL, binAddr string, hc *http.Client) (*
 		return nil, fmt.Errorf("tsload: probing %s: %w", baseURL, err)
 	}
 	if h.Status != "ok" {
-		return nil, fmt.Errorf("tsload: daemon at %s reports status %q", baseURL, h.Status)
+		return nil, fmt.Errorf("%w: %s reports status %q", ErrUnhealthy, baseURL, h.Status)
 	}
 	bin := tsserve.NewBinaryClient(binAddr)
 	if _, err := bin.Compare(ctx, tsspace.Timestamp{}, tsspace.Timestamp{Rnd: 1}); err != nil {

@@ -2,6 +2,7 @@ package tsload
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -10,6 +11,10 @@ import (
 
 // BenchSchema versions the BENCH_*.json layout.
 const BenchSchema = "tsload/bench/v1"
+
+// ErrBenchSchema is wrapped when a BENCH file carries a schema other
+// than BenchSchema.
+var ErrBenchSchema = errors.New("tsload: bench schema mismatch")
 
 // Host describes the machine a BENCH file was produced on.
 type Host struct {
@@ -79,7 +84,7 @@ func ReadBench(path string) (BenchReport, error) {
 		return rep, fmt.Errorf("%s: %w", path, err)
 	}
 	if rep.Schema != BenchSchema {
-		return rep, fmt.Errorf("%s: schema %q, want %q", path, rep.Schema, BenchSchema)
+		return rep, fmt.Errorf("%s: %w: have %q, want %q", path, ErrBenchSchema, rep.Schema, BenchSchema)
 	}
 	return rep, nil
 }

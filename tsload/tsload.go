@@ -188,15 +188,19 @@ func (r *run) expectedErr(err error) bool {
 	return r.cfg.Mix.AbandonFrac > 0 && errors.Is(err, tsspace.ErrDetached)
 }
 
+// ErrBadConfig is wrapped by every configuration-validation failure
+// out of Run.
+var ErrBadConfig = errors.New("tsload: invalid config")
+
 // Run executes one workload against cfg.Target and returns its Result. It
 // returns an error only for unusable configurations or a cancelled ctx;
 // operation failures are counted in the Result instead.
 func Run(ctx context.Context, cfg Config) (Result, error) {
 	if cfg.Target == nil {
-		return Result{}, errors.New("tsload: Config.Target is nil")
+		return Result{}, fmt.Errorf("%w: Config.Target is nil", ErrBadConfig)
 	}
 	if cfg.Mix.Name == "" {
-		return Result{}, errors.New("tsload: Config.Mix has no name")
+		return Result{}, fmt.Errorf("%w: Config.Mix has no name", ErrBadConfig)
 	}
 	if cfg.Workers < 1 {
 		cfg.Workers = 8

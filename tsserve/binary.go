@@ -142,10 +142,11 @@ func (fr *frameReader) next() (typ byte, payload []byte, err error) {
 		return 0, nil, errFrameEmpty
 	}
 	if n > MaxBinaryFrame {
+		//tslint:allow hotpath oversized-frame rejection: the connection fails here
 		return 0, nil, fmt.Errorf("%w: %d > %d", errFrameTooLarge, n, MaxBinaryFrame)
 	}
 	if cap(fr.buf) < int(n) {
-		fr.buf = make([]byte, n)
+		fr.buf = make([]byte, n) //tslint:allow hotpath buffer growth amortizes to zero: the steady state reuses the capacity
 	}
 	fr.buf = fr.buf[:n]
 	if _, err := io.ReadFull(fr.r, fr.buf); err != nil {
@@ -189,6 +190,8 @@ func sessionID(p []byte) (id, rest []byte, err error) {
 // batch with the first (rnd, turn) absolute and every later pair as
 // per-field deltas — all zigzag varints, so the common
 // same-rnd/ascending-turn batch costs ~2 bytes per timestamp.
+//
+//tslint:hotpath
 func appendTimestamps(dst []byte, pid int, ts []tsspace.Timestamp) []byte {
 	dst = binary.AppendUvarint(dst, uint64(pid))
 	dst = binary.AppendUvarint(dst, uint64(len(ts)))
@@ -205,6 +208,8 @@ func appendTimestamps(dst []byte, pid int, ts []tsspace.Timestamp) []byte {
 // the pid and the batch size. A batch larger than len(dst) is an error:
 // the caller sized the request, so an oversized reply is a protocol
 // violation, not a reason to allocate.
+//
+//tslint:hotpath
 func decodeTimestamps(p []byte, dst []tsspace.Timestamp) (pid, n int, err error) {
 	v, off, err := uvarint(p, 0)
 	if err != nil {
@@ -216,6 +221,7 @@ func decodeTimestamps(p []byte, dst []tsspace.Timestamp) (pid, n int, err error)
 		return 0, 0, err
 	}
 	if v > uint64(len(dst)) {
+		//tslint:allow hotpath malformed-reply rejection: the connection is torn down after this
 		return 0, 0, fmt.Errorf("tsserve: binary batch of %d exceeds the %d requested", v, len(dst))
 	}
 	n = int(v)
@@ -232,6 +238,7 @@ func decodeTimestamps(p []byte, dst []tsspace.Timestamp) (pid, n int, err error)
 		dst[i] = prev
 	}
 	if off != len(p) {
+		//tslint:allow hotpath malformed-reply rejection: the connection is torn down after this
 		return 0, 0, fmt.Errorf("tsserve: %d trailing bytes after binary batch", len(p)-off)
 	}
 	return pid, n, nil
@@ -251,5 +258,6 @@ func decodeError(p []byte) error {
 	if len(p) < 1 {
 		return errTruncated
 	}
+	//tslint:allow hotpath error replies are off the steady-state path and must carry a full APIError
 	return &APIError{StatusCode: 0, Code: binCodeString(p[0]), Message: string(p[1:])}
 }

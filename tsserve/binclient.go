@@ -142,6 +142,7 @@ func (cn *binClientConn) arm(ctx context.Context) {
 		cn.stopWatch = nil
 		if ctx.Done() != nil {
 			conn := cn.c
+			//tslint:allow hotpath the cancellation watch arms once per bound context, not per call
 			cn.stopWatch = context.AfterFunc(ctx, func() {
 				_ = conn.SetDeadline(time.Unix(1, 0))
 			})
@@ -186,6 +187,7 @@ func (cn *binClientConn) exchange(ctx context.Context, wantType byte) ([]byte, e
 		return nil, decodeError(p)
 	}
 	cn.broken = true
+	//tslint:allow hotpath protocol-violation path: the connection is marked broken
 	return nil, fmt.Errorf("tsserve: binary response type 0x%02x, want 0x%02x", typ, wantType)
 }
 
@@ -305,6 +307,8 @@ func (s *BinarySession) GetTS(ctx context.Context) (tsspace.Timestamp, error) {
 // GetTSBatch fills dst with one pipelined batch: len(dst) timestamps
 // issued back to back by the leased paper-process, each happens-before
 // the next. An empty dst is a no-op.
+//
+//tslint:hotpath
 func (s *BinarySession) GetTSBatch(ctx context.Context, dst []tsspace.Timestamp) (int, error) {
 	if len(dst) == 0 {
 		return 0, nil

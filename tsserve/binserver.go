@@ -12,6 +12,10 @@ import (
 	"tsspace"
 )
 
+// ErrServerClosed is returned by ServeBinary when the server has
+// already been closed, mirroring net/http.ErrServerClosed.
+var ErrServerClosed = errors.New("tsserve: server closed")
+
 // ServeBinary serves the wire-v3 binary protocol on ln until the listener
 // fails or the server is closed. It shares the server's session space
 // with the HTTP front end: binary attach frames lease sessions in the
@@ -32,7 +36,7 @@ func (s *Server) ServeBinary(ln net.Listener) error {
 	case <-s.stop:
 		s.binMu.Unlock()
 		ln.Close()
-		return errors.New("tsserve: server closed")
+		return ErrServerClosed
 	default:
 	}
 	s.binListeners = append(s.binListeners, ln)

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"sync"
@@ -12,6 +13,10 @@ import (
 
 	"tsspace"
 )
+
+// ErrProtocol is wrapped when a daemon reply violates the wire
+// contract (impossible counts, malformed payloads).
+var ErrProtocol = errors.New("tsserve: protocol violation")
 
 // defaultClient is the HTTP client every NewClient(url, nil) shares: a
 // keep-alive transport tuned for session pipelining, so consecutive
@@ -138,7 +143,7 @@ func (s *RemoteSession) GetTSBatch(ctx context.Context, dst []tsspace.Timestamp)
 		return 0, err
 	}
 	if len(resp.Timestamps) > len(dst) {
-		return 0, fmt.Errorf("tsserve: daemon returned %d timestamps for a batch of %d", len(resp.Timestamps), len(dst))
+		return 0, fmt.Errorf("%w: daemon returned %d timestamps for a batch of %d", ErrProtocol, len(resp.Timestamps), len(dst))
 	}
 	for i, ts := range resp.Timestamps {
 		dst[i] = ts.Timestamp()

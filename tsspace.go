@@ -62,6 +62,9 @@ var (
 	// ErrUnknownAlgorithm is returned by New when WithAlgorithm names no
 	// registered implementation.
 	ErrUnknownAlgorithm = errors.New("tsspace: unknown algorithm")
+	// ErrBadOption is wrapped by every option- and configuration-
+	// validation failure out of New.
+	ErrBadOption = errors.New("tsspace: invalid configuration")
 	// ErrClosed is returned once the object has been closed.
 	ErrClosed = errors.New("tsspace: object closed")
 	// ErrDetached is returned by calls on a detached session.
@@ -116,7 +119,7 @@ type Option func(*config) error
 func WithAlgorithm(name string) Option {
 	return func(c *config) error {
 		if name == "" {
-			return errors.New("tsspace: WithAlgorithm with empty name")
+			return fmt.Errorf("%w: WithAlgorithm with empty name", ErrBadOption)
 		}
 		c.alg = name
 		return nil
@@ -129,7 +132,7 @@ func WithAlgorithm(name string) Option {
 func WithProcs(n int) Option {
 	return func(c *config) error {
 		if n < 1 {
-			return fmt.Errorf("tsspace: WithProcs(%d): need at least one process", n)
+			return fmt.Errorf("%w: WithProcs(%d): need at least one process", ErrBadOption, n)
 		}
 		c.procs = n
 		return nil
@@ -173,7 +176,7 @@ func WithMetering() Option {
 func WithSessionTTL(d time.Duration) Option {
 	return func(c *config) error {
 		if d <= 0 {
-			return fmt.Errorf("tsspace: WithSessionTTL(%v): need a positive duration", d)
+			return fmt.Errorf("%w: WithSessionTTL(%v): need a positive duration", ErrBadOption, d)
 		}
 		c.ttl = d
 		return nil
@@ -191,11 +194,11 @@ func New(opts ...Option) (*Object, error) {
 	}
 	info, ok := timestamp.Lookup(cfg.alg)
 	if !ok {
-		return nil, fmt.Errorf("%w: %q (have %v)", ErrUnknownAlgorithm, cfg.alg, timestamp.Names())
+		return nil, fmt.Errorf("%w: %w %q (have %v)", ErrBadOption, ErrUnknownAlgorithm, cfg.alg, timestamp.Names())
 	}
 	if cfg.procs < info.MinProcs {
-		return nil, fmt.Errorf("tsspace: algorithm %q needs at least %d processes, got %d",
-			info.Name, info.MinProcs, cfg.procs)
+		return nil, fmt.Errorf("%w: algorithm %q needs at least %d processes, got %d",
+			ErrBadOption, info.Name, info.MinProcs, cfg.procs)
 	}
 	alg := info.New(cfg.procs)
 
