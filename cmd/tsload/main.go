@@ -16,8 +16,8 @@
 //	tsload [-scenarios all] [-algs all] [-targets inproc,http,binary]
 //	       [-batch 1] [-procs 64] [-oneshot-procs 4096] [-workers 16]
 //	       [-rate 0] [-duration 2s] [-warmup 300ms] [-maxops 0]
-//	       [-seed 1] [-out .] [-url http://...] [-binary-url host:port]
-//	       [-cpuprofile f] [-memprofile f]
+//	       [-seed 1] [-progress 0] [-out .] [-url http://...]
+//	       [-binary-url host:port] [-cpuprofile f] [-memprofile f]
 //	tsload -mixes               list the workload mixes
 //	tsload -smoke               short closed-loop sweep (all mixes, all
 //	                            three transports, collect + sqrt; plus a
@@ -80,6 +80,7 @@ type options struct {
 	warmup       time.Duration
 	maxOps       uint64
 	seed         int64
+	progress     time.Duration // live Progress snapshot interval; 0 = off
 	url          string
 	binURL       string       // external daemon's binary listener, beside url
 	hc           *http.Client // shared by every http row of the sweep
@@ -98,6 +99,7 @@ func main() {
 	warmup := flag.Duration("warmup", 300*time.Millisecond, "warmup before the measure window")
 	maxOps := flag.Uint64("maxops", 0, "end a run after this many measured ops; 0 = time-bounded")
 	seed := flag.Int64("seed", 1, "base seed of the per-worker RNGs")
+	progress := flag.Duration("progress", 0, "print a live progress line (per-mix throughput, p50/p99, error counts) to stderr at this interval; 0 disables")
 	out := flag.String("out", ".", "directory for BENCH_<scenario>.json")
 	url := flag.String("url", "", "external tsserved base URL for http rows (default: self-host per run)")
 	binURL := flag.String("binary-url", "", "external tsserved binary listener (host:port) for binary rows; needs -url for the control plane")
@@ -117,7 +119,8 @@ func main() {
 	opt := options{
 		procs: *procs, oneshotProcs: *oneshotProcs, workers: *workers,
 		rate: *rate, duration: *duration, warmup: *warmup,
-		maxOps: *maxOps, seed: *seed, url: *url, binURL: *binURL,
+		maxOps: *maxOps, seed: *seed, progress: *progress,
+		url: *url, binURL: *binURL,
 	}
 	opt.hc = newHTTPClient(opt.workers)
 	ctx := context.Background()
@@ -417,7 +420,7 @@ func runOne(ctx context.Context, mix tsload.Mix, alg, kind string, opt options) 
 		return tsload.Result{}, false, fmt.Errorf("unknown target kind %q", kind)
 	}
 
-	res, err := tsload.Run(ctx, tsload.Config{
+	cfg := tsload.Config{
 		Mix:      mix,
 		Target:   target,
 		Workers:  opt.workers,
@@ -426,8 +429,33 @@ func runOne(ctx context.Context, mix tsload.Mix, alg, kind string, opt options) 
 		Duration: opt.duration,
 		Seed:     opt.seed,
 		MaxOps:   opt.maxOps,
-	})
+	}
+	if opt.progress > 0 {
+		cfg.ProgressEvery = opt.progress
+		cfg.OnProgress = printProgress
+	}
+	res, err := tsload.Run(ctx, cfg)
 	return res, false, err
+}
+
+// printProgress renders one live snapshot as a stderr line, so long runs
+// show their per-mix throughput, tail latency and error counts while the
+// BENCH rows are still cooking. stderr keeps the stdout row/JSON stream
+// clean for pipelines.
+func printProgress(p tsload.Progress) {
+	line := fmt.Sprintf("progress: %-8s %-9s %-7s t=%-8s ops=%-9d %10.0f ops/s  p50=%-8s p99=%-8s",
+		p.Mix, p.Target, p.Phase, p.Elapsed.Round(time.Millisecond), p.Ops, p.Throughput,
+		time.Duration(p.P50Ns), time.Duration(p.P99Ns))
+	if p.Errors > 0 {
+		line += fmt.Sprintf(" errs=%d", p.Errors)
+	}
+	if p.Abandoned > 0 {
+		line += fmt.Sprintf(" abandoned=%d", p.Abandoned)
+	}
+	if p.Dropped > 0 {
+		line += fmt.Sprintf(" dropped=%d", p.Dropped)
+	}
+	fmt.Fprintln(os.Stderr, line)
 }
 
 // hosted names the two planes of a self-hosted daemon.

@@ -7,15 +7,20 @@
 //
 // Endpoints: wire v2 sessions (POST /session, POST /session/{id}/getts,
 // DELETE /session/{id}), POST /getts (deprecated single-request shim),
-// POST /compare, GET /healthz, GET /metrics (space report + throughput).
+// POST /compare, GET /healthz, GET /metrics (space report + throughput),
+// GET /metrics/prometheus (the same registry in text exposition format).
 // With -binary-addr the daemon additionally serves wire v3 — the same
-// session space over a persistent-connection binary protocol. See
+// session space over a persistent-connection binary protocol. With
+// -debug-addr it serves an operator-only debug listener: net/http/pprof,
+// expvar, and GET /debug/events, the flight recorder's JSON-lines dump
+// of recent attach/detach/reap/crash/error/slow-op events. See
 // tsspace/tsserve.
 //
 // Usage:
 //
-//	tsserved [-addr :8037] [-binary-addr :8038] [-alg collect] [-procs 64]
-//	         [-sharded] [-unmetered] [-maxbatch 1024] [-session-ttl 60s]
+//	tsserved [-addr :8037] [-binary-addr :8038] [-debug-addr 127.0.0.1:8039]
+//	         [-alg collect] [-procs 64] [-sharded] [-unmetered]
+//	         [-maxbatch 1024] [-session-ttl 60s]
 //	tsserved -algs                 list the servable algorithms
 //	tsserved -smoke URL            run the end-to-end smoke check against
 //	                               a running daemon and exit 0/1; with
@@ -34,11 +39,14 @@ package main
 import (
 	"context"
 	"errors"
+	"expvar"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -46,12 +54,14 @@ import (
 	"time"
 
 	"tsspace"
+	"tsspace/internal/obs"
 	"tsspace/tsserve"
 )
 
 func main() {
 	addr := flag.String("addr", ":8037", "listen address")
 	binAddr := flag.String("binary-addr", "", "wire-v3 binary listen address (e.g. :8038); empty serves HTTP only")
+	debugAddr := flag.String("debug-addr", "", "debug listen address (e.g. 127.0.0.1:8039) serving net/http/pprof, expvar, and GET /debug/events (flight-recorder dump); empty disables")
 	alg := flag.String("alg", "collect", "algorithm: one of "+strings.Join(tsspace.Algorithms(), " | "))
 	procs := flag.Int("procs", 64, "paper-processes n: the object's concurrency level (and, for one-shot algorithms, the total timestamp budget)")
 	sharded := flag.Bool("sharded", false, "cache-line-padded register array")
@@ -114,6 +124,32 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
+
+	// The debug surface lives on its own listener (bind it to loopback:
+	// pprof and the flight recorder are operator tools, not service API)
+	// and rides through the drain: it stays up while in-flight requests
+	// finish — exactly when /debug/events is most interesting — and is
+	// closed after the main listener has drained. A second signal still
+	// kills the process immediately via the restored default handler.
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dmux.Handle("/debug/vars", expvar.Handler())
+		dmux.Handle("GET /debug/events", front.EventsHandler())
+		debugSrv = &http.Server{Addr: *debugAddr, Handler: dmux}
+		log.Printf("tsserved: debug listener (pprof, expvar, /debug/events) on %s", *debugAddr)
+		go func() {
+			if err := debugSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				errCh <- fmt.Errorf("debug listener: %w", err)
+			}
+		}()
+	}
+
 	if *binAddr != "" {
 		ln, err := net.Listen("tcp", *binAddr)
 		if err != nil {
@@ -145,9 +181,17 @@ func main() {
 		if err := srv.Shutdown(shutdownCtx); err != nil {
 			log.Printf("tsserved: drain incomplete: %v", err)
 			_ = srv.Close()
+			if debugSrv != nil {
+				_ = debugSrv.Close()
+			}
 			os.Exit(1)
 		}
 		<-errCh // ListenAndServe has returned http.ErrServerClosed
+		if debugSrv != nil {
+			// The debug surface outlives the drain so a stuck drain can be
+			// profiled; once the main listener is down, close it too.
+			_ = debugSrv.Close()
+		}
 		log.Printf("tsserved: drained, bye")
 	}
 }
@@ -296,7 +340,65 @@ func runSmoke(url, binAddr string) error {
 		fmt.Printf("smoke: wire-v3 leg ok: %d frames, %d bytes in, %d bytes out\n",
 			m.BinaryFrames, m.BinaryBytesIn, m.BinaryBytesOut)
 	}
+	if err := checkPrometheus(ctx, url); err != nil {
+		return fmt.Errorf("prometheus exposition: %w", err)
+	}
 	fmt.Printf("smoke: %s n=%d: %d timestamps strictly ordered (%d compare round trips); %d calls served\n",
 		h.Algorithm, h.Procs, len(batch), len(batch)*(len(batch)-1), m.Calls)
+	return nil
+}
+
+// requiredFamilies are the metric families every daemon must expose on
+// GET /metrics/prometheus; the smoke (and so CI) fails when one is
+// missing or the exposition is malformed.
+var requiredFamilies = []string{
+	"tsserve_calls_total",
+	"tsserve_attaches_total",
+	"tsserve_batches_total",
+	"tsserve_active_sessions",
+	"tsserve_wire_sessions",
+	"tsserve_uptime_seconds",
+	"tsserve_getts_latency_ns",
+	"tsspace_registers_total",
+}
+
+// checkPrometheus scrapes GET /metrics/prometheus and validates it: the
+// exposition must parse strictly (obs.ParseExposition enforces the
+// metric-name charset, HELP/TYPE placement and cumulative histogram
+// buckets), and every required family must be present.
+func checkPrometheus(ctx context.Context, url string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, strings.TrimSuffix(url, "/")+"/metrics/prometheus", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %s", resp.Status)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		return fmt.Errorf("content type %q, want text/plain exposition", ct)
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return err
+	}
+	families, err := obs.ParseExposition(body)
+	if err != nil {
+		return fmt.Errorf("malformed: %w", err)
+	}
+	for _, name := range requiredFamilies {
+		if _, ok := families[name]; !ok {
+			return fmt.Errorf("required family %s missing (got %d families)", name, len(families))
+		}
+	}
+	if calls := families["tsserve_calls_total"]; calls.Samples != 1 {
+		return fmt.Errorf("tsserve_calls_total has %d samples, want 1", calls.Samples)
+	}
+	fmt.Printf("smoke: prometheus exposition ok: %d families, %d required present\n",
+		len(families), len(requiredFamilies))
 	return nil
 }

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+	"sort"
 	"sync/atomic"
 )
 
@@ -206,6 +207,34 @@ func (h *H) Merge(other *H) {
 		}
 	}
 	h.count.Add(n) // last, as in Record: count > 0 implies min/max are set
+}
+
+// CumulativeLE re-buckets the histogram onto a coarser ladder: for each
+// bound (ascending) it returns the number of recorded values at or
+// below it, judging each internal bucket by its midpoint — the same
+// representative value Quantile reports. It also returns the running
+// sum and total count, the three ingredients of a Prometheus histogram
+// exposition. Like every reader it races cleanly with writers: the
+// counts are a valid view of some recent prefix of the recording.
+func (h *H) CumulativeLE(bounds []int64) (counts []uint64, sum int64, count uint64) {
+	counts = make([]uint64, len(bounds))
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		if c == 0 {
+			continue
+		}
+		mid := bucketMid(i)
+		// First bound ≥ mid takes the bucket; later bounds inherit it via
+		// the cumulative pass below.
+		j := sort.Search(len(bounds), func(k int) bool { return bounds[k] >= mid })
+		if j < len(bounds) {
+			counts[j] += c
+		}
+	}
+	for i := 1; i < len(counts); i++ {
+		counts[i] += counts[i-1]
+	}
+	return counts, h.sum.Load(), h.count.Load()
 }
 
 // Summary is a fixed percentile digest of a histogram, the shape the

@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// TextContentType is the Content-Type of the Prometheus text exposition
+// format this package writes.
+const TextContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders every registered metric in the Prometheus
+// text exposition format (version 0.0.4): a # HELP and # TYPE line per
+// family followed by its samples, families sorted by name. Histograms
+// render their cumulative le buckets plus _sum and _count. This is
+// scrape-path code: it samples derived metrics and locks nothing hot.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, m := range r.snapshot() {
+		bw.WriteString("# HELP ")
+		bw.WriteString(m.name)
+		bw.WriteByte(' ')
+		bw.WriteString(escapeHelp(m.help))
+		bw.WriteString("\n# TYPE ")
+		bw.WriteString(m.name)
+		bw.WriteByte(' ')
+		bw.WriteString(m.kind.String())
+		bw.WriteByte('\n')
+		switch {
+		case m.counter != nil:
+			bw.WriteString(m.name)
+			bw.WriteByte(' ')
+			bw.WriteString(strconv.FormatUint(m.counter.Value(), 10))
+			bw.WriteByte('\n')
+		case m.gauge != nil:
+			bw.WriteString(m.name)
+			bw.WriteByte(' ')
+			bw.WriteString(strconv.FormatInt(m.gauge.Value(), 10))
+			bw.WriteByte('\n')
+		case m.fn != nil:
+			bw.WriteString(m.name)
+			bw.WriteByte(' ')
+			bw.WriteString(formatFloat(m.fn()))
+			bw.WriteByte('\n')
+		case m.histo != nil:
+			writeHistogram(bw, m.name, m.histo)
+		}
+	}
+	return bw.Flush()
+}
+
+// writeHistogram renders one histogram family: cumulative le buckets
+// (counts of observations ≤ each bound), the +Inf bucket equal to
+// _count, then _sum and _count.
+//
+// The snapshot is taken from a live lock-free histogram: bucket counts
+// and the total are loaded independently, so under concurrent recording
+// the +Inf bucket is clamped up to the largest finite cumulative count
+// to keep the exposition internally monotone — a scrape is a consistent
+// recent view, not a linearization point.
+func writeHistogram(bw *bufio.Writer, name string, h *Histogram) {
+	counts, sum, count := h.h.CumulativeLE(h.bounds)
+	for i, bound := range h.bounds {
+		bw.WriteString(name)
+		bw.WriteString(`_bucket{le="`)
+		bw.WriteString(strconv.FormatInt(bound, 10))
+		bw.WriteString(`"} `)
+		bw.WriteString(strconv.FormatUint(counts[i], 10))
+		bw.WriteByte('\n')
+	}
+	inf := count
+	if n := len(counts); n > 0 && counts[n-1] > inf {
+		inf = counts[n-1]
+	}
+	bw.WriteString(name)
+	bw.WriteString(`_bucket{le="+Inf"} `)
+	bw.WriteString(strconv.FormatUint(inf, 10))
+	bw.WriteByte('\n')
+	bw.WriteString(name)
+	bw.WriteString("_sum ")
+	bw.WriteString(strconv.FormatInt(sum, 10))
+	bw.WriteByte('\n')
+	bw.WriteString(name)
+	bw.WriteString("_count ")
+	bw.WriteString(strconv.FormatUint(inf, 10))
+	bw.WriteByte('\n')
+}
+
+// formatFloat renders a sampled value the way Prometheus expects:
+// shortest round-trip decimal, integral values without an exponent.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp escapes backslashes and newlines, the two characters the
+// exposition format requires escaped in HELP text.
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

@@ -42,6 +42,7 @@ type Meter struct {
 	writeCnt  []uint64
 	maxRead   int
 	maxWrite  int
+	written   int // distinct registers written, kept incrementally for Totals
 	reads     uint64
 	writes    uint64
 	perWriter map[int]uint64 // writer pid -> writes, when attributed
@@ -111,6 +112,9 @@ func (m *Meter) recordWrite(i, pid int) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.writeCnt[i]++
+	if m.writeCnt[i] == 1 {
+		m.written++
+	}
 	m.writes++
 	if i > m.maxWrite {
 		m.maxWrite = i
@@ -143,6 +147,27 @@ func (m *Meter) Report() SpaceReport {
 	return r
 }
 
+// Totals is the scrape-cheap slice of a SpaceReport: the four scalar
+// space measures, with no per-register slices copied.
+type Totals struct {
+	// Registers is the allocated array size (the budget).
+	Registers int
+	// Written is the number of distinct registers written at least once —
+	// the paper's "used" count that the Θ-bound certificates bound.
+	Written int
+	// Reads and Writes are total operation counts.
+	Reads, Writes uint64
+}
+
+// Totals returns the scalar space measures without copying the
+// per-register count slices, cheap enough to sample on every metrics
+// scrape of a live daemon.
+func (m *Meter) Totals() Totals {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return Totals{Registers: m.size, Written: m.written, Reads: m.reads, Writes: m.writes}
+}
+
 // WritesTo returns the number of writes applied to register i.
 func (m *Meter) WritesTo(i int) uint64 {
 	m.mu.Lock()
@@ -167,6 +192,7 @@ func (m *Meter) Reset() {
 		m.writeCnt[i] = 0
 	}
 	m.maxRead, m.maxWrite = -1, -1
+	m.written = 0
 	m.reads, m.writes = 0, 0
 	m.perWriter = make(map[int]uint64)
 }

@@ -206,6 +206,20 @@ func (o *Object) Usage() (Usage, bool) {
 	}, true
 }
 
+// SpaceTotals reports the scalar register-space measures — allocated
+// registers, distinct registers written, total reads and writes —
+// without copying the per-register breakdowns Usage carries, so a
+// metrics scraper can sample a live object cheaply. The boolean is
+// false when the object was built without WithMetering, in which case
+// only Registers is populated.
+func (o *Object) SpaceTotals() (SpaceTotals, bool) {
+	if o.meter == nil {
+		return SpaceTotals{Registers: o.alg.Registers()}, false
+	}
+	t := o.meter.Totals()
+	return SpaceTotals{Registers: t.Registers, Written: t.Written, Reads: t.Reads, Writes: t.Writes}, true
+}
+
 // Stats returns the object's traffic counters.
 func (o *Object) Stats() Stats {
 	o.mu.Lock()
@@ -232,6 +246,19 @@ type Usage struct {
 	// WriteCounts break them down per register.
 	Reads, Writes           uint64
 	ReadCounts, WriteCounts []uint64
+}
+
+// SpaceTotals is the scalar slice of Usage: the live register-space
+// gauges (cf. the paper's space measures, Θ(√n) one-shot vs Θ(n)
+// long-lived) at the cost of one mutex acquisition — no slices copied.
+type SpaceTotals struct {
+	// Registers is the allocated array size (the budget).
+	Registers int
+	// Written is the number of distinct registers written so far — the
+	// paper's "used" count.
+	Written int
+	// Reads and Writes are total operation counts.
+	Reads, Writes uint64
 }
 
 // Stats are the object's lifetime traffic counters.

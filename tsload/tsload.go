@@ -72,6 +72,48 @@ type Config struct {
 	// MaxOps ends the run once this many operations have been measured;
 	// 0 means time-bounded only.
 	MaxOps uint64
+	// ProgressEvery enables live progress reporting: every interval, a
+	// Progress snapshot of the running workload goes to OnProgress.
+	// Zero (or a nil OnProgress) disables reporting.
+	ProgressEvery time.Duration
+	// OnProgress receives the periodic snapshots. It is called from the
+	// run's reporter goroutine — never concurrently with itself — and
+	// must not block for long (a slow consumer delays later snapshots,
+	// nothing else).
+	OnProgress func(Progress)
+}
+
+// Progress is one live snapshot of a running workload, delivered to
+// Config.OnProgress every ProgressEvery: enough to watch a long run
+// converge (or misbehave) without waiting for the final Result. Counters
+// cover measured operations only; Errors, Abandoned and Dropped count
+// the whole run like their Result namesakes.
+type Progress struct {
+	// Mix and Target identify the run (a sweep reports many runs through
+	// one callback).
+	Mix    string
+	Target string
+	// Phase is "warmup", "measure" or "done".
+	Phase string
+	// Elapsed is time since Run started; MeasureElapsed time since the
+	// measure window opened (0 during warmup).
+	Elapsed        time.Duration
+	MeasureElapsed time.Duration
+	// Ops = GetTSOps + CompareOps measured so far; Timestamps is what
+	// the measured getTS ops issued.
+	Ops        uint64
+	GetTSOps   uint64
+	CompareOps uint64
+	Timestamps uint64
+	// Throughput is measured ops per second of measure-window time so far.
+	Throughput float64
+	// P50Ns and P99Ns digest the latency recorded so far (nanoseconds).
+	P50Ns int64
+	P99Ns int64
+	// Errors, Abandoned and Dropped are running totals, warmup included.
+	Errors    uint64
+	Abandoned uint64
+	Dropped   uint64
 }
 
 // Result is one BENCH row: everything measured about one (mix, target,
@@ -278,8 +320,24 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 			r.worker(runCtx, w, hists[w], tokens)
 		}(w)
 	}
+	reporting := cfg.ProgressEvery > 0 && cfg.OnProgress != nil
+	var repWG sync.WaitGroup
+	if reporting {
+		repWG.Add(1)
+		go func() {
+			defer repWG.Done()
+			r.report(runCtx, start, hists)
+		}()
+	}
 	wg.Wait()
 	r.finish(time.Now())
+	// The final "done" snapshot fires only after every worker has joined
+	// and the reporter has stopped, so it sees the settled counters and
+	// OnProgress is never called concurrently with itself.
+	repWG.Wait()
+	if reporting {
+		cfg.OnProgress(r.snapshot(start, time.Now(), hists))
+	}
 
 	var memEnd runtime.MemStats
 	runtime.ReadMemStats(&memEnd)
@@ -391,6 +449,67 @@ func (r *run) finish(now time.Time) {
 		r.phase.Store(phaseDone)
 		r.cancel()
 	})
+}
+
+// report is the live progress goroutine: every ProgressEvery it merges
+// the per-worker histograms into a fresh digest and hands OnProgress a
+// snapshot. Merging reads each worker's atomic bucket counters without
+// disturbing them, so reporting costs the workers nothing. The final
+// "done" snapshot is fired by Run after the workers join, not here, so
+// it always reflects the settled counters.
+func (r *run) report(ctx context.Context, start time.Time, hists []*hist.H) {
+	t := time.NewTicker(r.cfg.ProgressEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case now := <-t.C:
+			r.cfg.OnProgress(r.snapshot(start, now, hists))
+		}
+	}
+}
+
+// snapshot assembles one Progress from the run's live counters.
+func (r *run) snapshot(start, now time.Time, hists []*hist.H) Progress {
+	p := Progress{
+		Mix:        r.cfg.Mix.Name,
+		Target:     r.cfg.Target.Kind(),
+		Elapsed:    now.Sub(start),
+		Ops:        r.measured.Load(),
+		GetTSOps:   r.measuredTS.Load(),
+		CompareOps: r.measuredCmp.Load(),
+		Timestamps: r.measuredIssued.Load(),
+		Errors:     r.errs.Load(),
+		Abandoned:  r.abandoned.Load(),
+		Dropped:    r.dropped.Load(),
+	}
+	switch r.phase.Load() {
+	case phaseWarm:
+		p.Phase = "warmup"
+	case phaseMeasure:
+		p.Phase = "measure"
+	default:
+		p.Phase = "done"
+	}
+	ms := r.measureStartNs.Load()
+	end := now.UnixNano()
+	if d := r.doneNs.Load(); d > 0 && d < end {
+		end = d
+	}
+	if ms > 0 && end > ms {
+		p.MeasureElapsed = time.Duration(end - ms)
+		p.Throughput = float64(p.Ops) / p.MeasureElapsed.Seconds()
+	}
+	merged := hist.New()
+	for _, h := range hists {
+		merged.Merge(h)
+	}
+	if merged.Count() > 0 {
+		p.P50Ns = merged.Quantile(0.50)
+		p.P99Ns = merged.Quantile(0.99)
+	}
+	return p
 }
 
 // token is one open-loop arrival. Latency is measured against intended —

@@ -7,6 +7,7 @@ import (
 	"net/http/httptest"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -556,4 +557,84 @@ func mustMix(t *testing.T, name string) tsload.Mix {
 		t.Fatalf("mix %q not registered", name)
 	}
 	return m
+}
+
+// A run with a progress reporter must deliver periodic snapshots whose
+// counters never go backwards, walk the warmup→measure phases, and fire
+// a final snapshot consistent with the run's Result.
+func TestProgressReporting(t *testing.T) {
+	var mu sync.Mutex
+	var snaps []tsload.Progress
+	res, err := tsload.Run(context.Background(), tsload.Config{
+		Mix:           mustMix(t, "steady"),
+		Target:        newInProc(t, "collect", 8),
+		Workers:       4,
+		Warmup:        20 * time.Millisecond,
+		Duration:      150 * time.Millisecond,
+		Seed:          1,
+		ProgressEvery: 10 * time.Millisecond,
+		OnProgress: func(p tsload.Progress) {
+			mu.Lock()
+			snaps = append(snaps, p)
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, res)
+	mu.Lock()
+	defer mu.Unlock()
+	if len(snaps) < 3 {
+		t.Fatalf("got %d progress snapshots, want >= 3", len(snaps))
+	}
+	var lastOps uint64
+	sawMeasure := false
+	for i, p := range snaps {
+		if p.Mix != "steady" || p.Target != "inproc" {
+			t.Errorf("snapshot %d labels wrong: %+v", i, p)
+		}
+		switch p.Phase {
+		case "warmup", "measure", "done":
+		default:
+			t.Errorf("snapshot %d has unknown phase %q", i, p.Phase)
+		}
+		if p.Phase == "measure" || p.Phase == "done" {
+			sawMeasure = true
+		}
+		if p.Ops < lastOps {
+			t.Errorf("snapshot %d ops went backwards: %d after %d", i, p.Ops, lastOps)
+		}
+		lastOps = p.Ops
+		// Mid-run snapshots read independent atomics, so the per-kind
+		// split may be off by the ops in flight — one per worker at most.
+		if skew := absDiff(p.Ops, p.GetTSOps+p.CompareOps); skew > 4 {
+			t.Errorf("snapshot %d: Ops %d vs GetTSOps %d + CompareOps %d (skew %d)",
+				i, p.Ops, p.GetTSOps, p.CompareOps, skew)
+		}
+	}
+	if !sawMeasure {
+		t.Error("no snapshot ever reached the measure phase")
+	}
+	final := snaps[len(snaps)-1]
+	if final.Phase != "done" {
+		t.Errorf("final snapshot phase %q, want done", final.Phase)
+	}
+	if final.Ops != final.GetTSOps+final.CompareOps {
+		t.Errorf("final snapshot: Ops %d != GetTSOps %d + CompareOps %d",
+			final.Ops, final.GetTSOps, final.CompareOps)
+	}
+	if final.Ops < res.Ops {
+		t.Errorf("final snapshot ops %d below measured result ops %d", final.Ops, res.Ops)
+	}
+	if final.Throughput <= 0 {
+		t.Errorf("final snapshot throughput %v, want > 0", final.Throughput)
+	}
+}
+
+func absDiff(a, b uint64) uint64 {
+	if a > b {
+		return a - b
+	}
+	return b - a
 }

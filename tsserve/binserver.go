@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"tsspace"
+	"tsspace/internal/obs"
 )
 
 // ErrServerClosed is returned by ServeBinary when the server has
@@ -98,18 +99,29 @@ type binServerConn struct {
 	out   []byte // response scratch, reused per frame
 	tsBuf []tsspace.Timestamp
 	owned map[string]struct{}
+	// Latency histograms resolved once per connection, so the per-frame
+	// path records without a map lookup.
+	binGettsLat   *obs.Histogram
+	binCompareLat *obs.Histogram
 }
 
 func (s *Server) serveBinConn(c net.Conn) {
 	defer c.Close()
 	var magic [len(BinaryMagic)]byte
 	if _, err := io.ReadFull(c, magic[:]); err != nil || string(magic[:]) != BinaryMagic {
-		return // not a wire-v3 client; nothing sensible to answer
+		// Not a wire-v3 client; nothing sensible to answer. Count it —
+		// a burst of these is a misconfigured client or a port scan.
+		s.met.badMagicConns.Inc()
+		return
 	}
 	br := bufio.NewReaderSize(c, 16<<10)
 	bw := bufio.NewWriterSize(c, 64<<10)
 	fr := frameReader{r: br}
-	st := &binServerConn{s: s, bw: bw, owned: make(map[string]struct{})}
+	st := &binServerConn{
+		s: s, bw: bw, owned: make(map[string]struct{}),
+		binGettsLat:   s.met.lat["binary_getts"],
+		binCompareLat: s.met.lat["binary_compare"],
+	}
 	defer st.cleanup()
 	for {
 		select {
@@ -124,14 +136,17 @@ func (s *Server) serveBinConn(c net.Conn) {
 			// the stream: answer once, then hang up. I/O errors and EOF just
 			// end the connection.
 			if errors.Is(err, errFrameTooLarge) || errors.Is(err, errFrameEmpty) {
+				if errors.Is(err, errFrameTooLarge) {
+					s.met.oversizedFrames.Inc()
+				}
 				st.writeError(binCodeBadRequest, err.Error())
 				_ = bw.Flush()
 			}
 			return
 		}
 		s.binBusy.Add(1)
-		s.binFrames.Add(1)
-		s.binBytesIn.Add(uint64(4 + 1 + len(payload)))
+		s.met.binFrames.Inc()
+		s.met.binBytesIn.Add(uint64(4 + 1 + len(payload)))
 		st.handle(typ, payload)
 		s.binBusy.Add(-1)
 		// Flush when no request is already buffered: pipelined bursts share
@@ -146,12 +161,18 @@ func (s *Server) serveBinConn(c net.Conn) {
 
 // cleanup detaches every session attached through this connection that is
 // still leased (the reaper or an explicit detach may have won already).
+// Leases released here are crash events in the flight recorder: their
+// owner vanished without detaching.
 func (st *binServerConn) cleanup() {
 	for id := range st.owned {
 		if ws, ok := st.s.remove(id); ok {
 			ws.mu.Lock()
+			calls := ws.sess.Calls()
+			pid := ws.sess.Pid()
 			_ = ws.sess.Detach()
 			ws.mu.Unlock()
+			st.s.met.crashReclaimed.Inc()
+			st.s.met.ring.Record(obs.EventCrash, ws.idNum, int32(pid), int64(calls))
 		}
 	}
 }
@@ -204,6 +225,8 @@ func (st *binServerConn) getTS(payload []byte) {
 	}
 	ws, ok := s.lookupKey(id)
 	if !ok {
+		s.met.unknownSessions.Inc()
+		s.met.ring.Record(obs.EventError, sessionIDNum(string(id)), -1, int64(binCodeUnknownSession))
 		st.writeError(binCodeUnknownSession, fmt.Sprintf("unknown session %q (detached, reaped, or never attached)", id))
 		return
 	}
@@ -225,8 +248,12 @@ func (st *binServerConn) getTS(payload []byte) {
 	st.out = appendTimestamps(st.out, pid, buf[:n])
 	st.out = endFrame(st.out, 0)
 	st.write()
-	s.batches.Add(1)
-	s.lat["binary_getts"].Record(time.Since(start).Nanoseconds())
+	s.met.batches.Inc()
+	d := time.Since(start)
+	st.binGettsLat.Record(d.Nanoseconds())
+	if d > s.slowOp {
+		s.met.ring.Record(obs.EventSlowOp, ws.idNum, int32(pid), d.Nanoseconds())
+	}
 }
 
 // attach leases a session in the shared wire table and marks it
@@ -305,14 +332,14 @@ func (st *binServerConn) compare(payload []byte) {
 	st.out = append(st.out, b)
 	st.out = endFrame(st.out, 0)
 	st.write()
-	s.lat["binary_compare"].Record(time.Since(start).Nanoseconds())
+	st.binCompareLat.Record(time.Since(start).Nanoseconds())
 }
 
 // write flushes st.out into the buffered writer and counts the bytes; a
 // failed write surfaces on the next Flush, ending the connection.
 func (st *binServerConn) write() {
 	_, _ = st.bw.Write(st.out)
-	st.s.binBytesOut.Add(uint64(len(st.out)))
+	st.s.met.binBytesOut.Add(uint64(len(st.out)))
 }
 
 // writeError answers the current frame with an error frame.

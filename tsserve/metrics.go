@@ -1,0 +1,232 @@
+package tsserve
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"tsspace/internal/obs"
+)
+
+// serverMetrics is the server's half of the observability core: one
+// obs.Registry holding every counter, gauge and histogram the server
+// publishes, plus the flight recorder. The JSON /metrics body and the
+// Prometheus exposition are both rendered from this registry — there is
+// no second set of books. Two kinds of series live here:
+//
+//   - owned: the wire-layer counters (batches, reaped sessions, binary
+//     frame/byte counts, rejected frames) and the per-endpoint latency
+//     histograms are allocated here and written by the handlers; this
+//     struct is their only bookkeeping location.
+//   - derived: everything the SDK object already counts (calls,
+//     attaches, active sessions, register-space totals) and the session
+//     table's sizes are sampled at scrape time via CounterFunc /
+//     GaugeFunc, so the object's own atomics stay the single source of
+//     truth.
+type serverMetrics struct {
+	reg  *obs.Registry
+	ring *obs.Ring
+
+	// Owned wire-layer counters: this struct is where these live.
+	batches *obs.Counter
+	reaped  *obs.Counter
+	// crashReclaimed counts leases reclaimed because their binary
+	// connection closed while still attached (client crash, disconnect,
+	// or a garbage-collected abandoned client conn) — the reaper's
+	// sibling channel for returning pids to the pool.
+	crashReclaimed *obs.Counter
+	binFrames      *obs.Counter
+	binBytesIn     *obs.Counter
+	binBytesOut    *obs.Counter
+	// Rejection counters: frames over MaxBinaryFrame, connections whose
+	// first bytes were not the wire-v3 magic, and session-scoped
+	// requests against an id that is not (or no longer) leased.
+	oversizedFrames *obs.Counter
+	badMagicConns   *obs.Counter
+	unknownSessions *obs.Counter
+
+	// lat holds the per-endpoint latency histograms, keyed by the
+	// /metrics JSON latency keys; the same histograms render to
+	// Prometheus as tsserve_<key>_latency_ns families.
+	lat map[string]*obs.Histogram
+}
+
+// latencyEndpoints are the instrumented endpoints, in the order their
+// Prometheus families register. The keys double as JSON latency keys.
+var latencyEndpoints = []string{"attach", "getts", "compare", "binary_getts", "binary_compare"}
+
+// newServerMetrics builds the registry for s. Registration happens once
+// at construction; everything the request paths touch afterwards is a
+// plain atomic on the returned handles.
+func newServerMetrics(s *Server) *serverMetrics {
+	r := obs.NewRegistry()
+	m := &serverMetrics{
+		reg:  r,
+		ring: obs.NewRing(obs.DefaultRingSize),
+
+		batches:        r.Counter("tsserve_batches_total", "Completed getTS batches (HTTP and binary)."),
+		reaped:         r.Counter("tsserve_reaped_sessions_total", "Idle wire sessions detached by the TTL reaper."),
+		crashReclaimed: r.Counter("tsserve_crash_reclaimed_sessions_total", "Leases reclaimed because their binary connection closed while attached."),
+
+		binFrames:   r.Counter("tsserve_binary_frames_total", "Wire-v3 request frames processed."),
+		binBytesIn:  r.Counter("tsserve_binary_bytes_in_total", "Wire-v3 bytes read, framing included."),
+		binBytesOut: r.Counter("tsserve_binary_bytes_out_total", "Wire-v3 bytes written, framing included."),
+
+		oversizedFrames: r.Counter("tsserve_rejected_frames_oversized_total", "Wire-v3 frames rejected for exceeding the size cap."),
+		badMagicConns:   r.Counter("tsserve_rejected_conns_bad_magic_total", "Binary connections dropped for a bad magic prefix."),
+		unknownSessions: r.Counter("tsserve_unknown_sessions_total", "Session-scoped requests against an unknown or reaped session id."),
+
+		lat: make(map[string]*obs.Histogram, len(latencyEndpoints)),
+	}
+	for _, ep := range latencyEndpoints {
+		m.lat[ep] = r.Histogram("tsserve_"+ep+"_latency_ns",
+			"Server-side latency of the "+ep+" endpoint, nanoseconds.", nil)
+	}
+
+	// Derived series: sampled from the SDK object and the session table
+	// at scrape time. The object's counters are the bookkeeping; these
+	// closures only read them.
+	r.CounterFunc("tsserve_calls_total", "Timestamps issued by the object (getTS calls).",
+		func() float64 { return float64(s.obj.Stats().Calls) })
+	r.CounterFunc("tsserve_attaches_total", "Sessions handed out by the object, wire and in-process.",
+		func() float64 { return float64(s.obj.Stats().Attaches) })
+	r.GaugeFunc("tsserve_active_sessions", "Currently attached SDK sessions.",
+		func() float64 { return float64(s.obj.Stats().ActiveSessions) })
+	r.GaugeFunc("tsserve_wire_sessions", "Live wire leases, HTTP and binary.",
+		func() float64 { wire, _ := s.sessionCounts(); return float64(wire) })
+	r.GaugeFunc("tsserve_binary_sessions", "Live wire leases attached over the binary transport.",
+		func() float64 { _, bin := s.sessionCounts(); return float64(bin) })
+	r.GaugeFunc("tsserve_uptime_seconds", "Seconds since the server was constructed.",
+		func() float64 { return time.Since(s.start).Seconds() })
+
+	// Register-space metering, the paper's live space measure. The
+	// budget is always known; the used/read/write series exist only when
+	// the object meters (they would read as constant zero otherwise and
+	// invite bogus dashboards).
+	r.GaugeFunc("tsspace_registers_total", "Allocated registers (the space budget).",
+		func() float64 { t, _ := s.obj.SpaceTotals(); return float64(t.Registers) })
+	if _, metered := s.obj.SpaceTotals(); metered {
+		r.GaugeFunc("tsspace_registers_used", "Distinct registers written — the paper's used-register count.",
+			func() float64 { t, _ := s.obj.SpaceTotals(); return float64(t.Written) })
+		r.CounterFunc("tsspace_register_reads_total", "Register read operations.",
+			func() float64 { t, _ := s.obj.SpaceTotals(); return float64(t.Reads) })
+		r.CounterFunc("tsspace_register_writes_total", "Register write operations.",
+			func() float64 { t, _ := s.obj.SpaceTotals(); return float64(t.Writes) })
+	}
+	return m
+}
+
+// sessionCounts sizes the wire session table: total live leases and the
+// binary-attached subset. Scrape-path only.
+func (s *Server) sessionCounts() (wire, binary int) {
+	s.sessMu.Lock()
+	defer s.sessMu.Unlock()
+	for _, ws := range s.sessions {
+		wire++
+		if ws.binary {
+			binary++
+		}
+	}
+	return wire, binary
+}
+
+// MetricsSnapshot assembles the JSON /metrics body from the same
+// registry handles and SDK counters the Prometheus exposition samples —
+// the two endpoints are two renderings of one set of books.
+func (s *Server) MetricsSnapshot() Metrics {
+	st := s.obj.Stats()
+	uptime := time.Since(s.start).Seconds()
+	wire, binSessions := s.sessionCounts()
+	m := Metrics{
+		Algorithm:       s.obj.Algorithm(),
+		Procs:           s.obj.Procs(),
+		Calls:           st.Calls,
+		Batches:         s.met.batches.Value(),
+		Attaches:        st.Attaches,
+		ActiveSessions:  st.ActiveSessions,
+		WireSessions:    wire,
+		BinarySessions:  binSessions,
+		ReapedSessions:  s.met.reaped.Value(),
+		CrashReclaimed:  s.met.crashReclaimed.Value(),
+		BinaryFrames:    s.met.binFrames.Value(),
+		BinaryBytesIn:   s.met.binBytesIn.Value(),
+		BinaryBytesOut:  s.met.binBytesOut.Value(),
+		OversizedFrames: s.met.oversizedFrames.Value(),
+		BadMagicConns:   s.met.badMagicConns.Value(),
+		UnknownSessions: s.met.unknownSessions.Value(),
+		UptimeSeconds:   uptime,
+	}
+	if uptime > 0 {
+		m.CallsPerSecond = float64(st.Calls) / uptime
+	}
+	if t, metered := s.obj.SpaceTotals(); metered {
+		m.Space = &Space{Registers: t.Registers, Written: t.Written, Reads: t.Reads, Writes: t.Writes}
+	}
+	m.Latency = make(map[string]Latency, len(s.met.lat))
+	for endpoint, h := range s.met.lat {
+		if h.Count() == 0 {
+			continue
+		}
+		d := h.Summarize()
+		m.Latency[endpoint] = Latency{
+			Count: d.Count, MeanNs: d.Mean,
+			P50Ns: d.P50, P90Ns: d.P90, P99Ns: d.P99, P999Ns: d.P999, MaxNs: d.Max,
+		}
+	}
+	return m
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.MetricsSnapshot())
+}
+
+// handlePrometheus is GET /metrics/prometheus: the registry rendered in
+// the Prometheus text exposition format.
+func (s *Server) handlePrometheus(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", obs.TextContentType)
+	_ = s.met.reg.WritePrometheus(w)
+}
+
+// EventsHandler returns the flight-recorder dump handler (GET
+// /debug/events on the daemon's debug listener, also mountable by
+// embedders): the most recent events as JSON lines, oldest first. Each
+// line carries the event's sequence number, monotonic nanosecond
+// timestamp, kind, 16-hex-digit session id (empty when the event has
+// none), pid (-1 when none) and kind-specific detail.
+func (s *Server) EventsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		events := make([]obs.Event, s.met.ring.Cap())
+		n := s.met.ring.Snapshot(events)
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		for _, e := range events[:n] {
+			sess := ""
+			if e.Session != 0 {
+				sess = fmt.Sprintf("%016x", e.Session)
+			}
+			line := marshalEvent(e, sess)
+			_, _ = w.Write(append(line, '\n'))
+		}
+	})
+}
+
+// marshalEvent renders one flight-recorder event as a JSON object. The
+// fields are assembled by hand so kinds render as their names and the
+// session id as the wire-format hex string.
+func marshalEvent(e obs.Event, sess string) []byte {
+	b := make([]byte, 0, 128)
+	b = append(b, `{"seq":`...)
+	b = strconv.AppendUint(b, e.Seq, 10)
+	b = append(b, `,"t_ns":`...)
+	b = strconv.AppendInt(b, e.TimeNs, 10)
+	b = append(b, `,"kind":"`...)
+	b = append(b, e.Kind.String()...)
+	b = append(b, `","session":"`...)
+	b = append(b, sess...)
+	b = append(b, `","pid":`...)
+	b = strconv.AppendInt(b, int64(e.Pid), 10)
+	b = append(b, `,"detail":`...)
+	b = strconv.AppendInt(b, e.Detail, 10)
+	b = append(b, '}')
+	return b
+}

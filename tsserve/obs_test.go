@@ -1,0 +1,243 @@
+package tsserve_test
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"tsspace"
+	"tsspace/internal/obs"
+	"tsspace/tsserve"
+)
+
+// debugEvent mirrors one NDJSON line of the flight-recorder dump.
+type debugEvent struct {
+	Seq     uint64 `json:"seq"`
+	TimeNs  int64  `json:"t_ns"`
+	Kind    string `json:"kind"`
+	Session string `json:"session"`
+	Pid     int    `json:"pid"`
+	Detail  int64  `json:"detail"`
+}
+
+func dumpEvents(t *testing.T, front *tsserve.Server) []debugEvent {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	front.EventsHandler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/events", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("events dump status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("events dump Content-Type = %q", ct)
+	}
+	var events []debugEvent
+	sc := bufio.NewScanner(bytes.NewReader(rec.Body.Bytes()))
+	for sc.Scan() {
+		var e debugEvent
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("events dump line %q: %v", sc.Text(), err)
+		}
+		events = append(events, e)
+	}
+	return events
+}
+
+// The flight recorder must tell the lease's life story: an attach event
+// when the wire session registers and a reap event when the TTL reaper
+// detaches it, both carrying the session's wire id.
+func TestDebugEventsShowAttachAndReap(t *testing.T) {
+	ctx := context.Background()
+	c, _, front := newTestServerCfg(t, tsserve.ServerConfig{SessionTTL: 50 * time.Millisecond},
+		tsspace.WithProcs(1))
+
+	sess, err := c.Attach(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.GetTS(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// With the only pid leased, a fresh attach succeeds exactly when the
+	// reaper has freed the idle lease — which records the reap event.
+	next, err := c.Attach(ctx)
+	if err != nil {
+		t.Fatalf("attach after reap window: %v", err)
+	}
+	defer next.Detach()
+
+	events := dumpEvents(t, front)
+	var sawAttach, sawReap bool
+	var lastSeq uint64
+	for _, e := range events {
+		if e.Seq <= lastSeq {
+			t.Errorf("event seq not increasing: %d after %d", e.Seq, lastSeq)
+		}
+		lastSeq = e.Seq
+		if e.Session != sess.ID() {
+			continue
+		}
+		switch e.Kind {
+		case "attach":
+			sawAttach = true
+		case "reap":
+			sawReap = true
+			if e.Detail < 1 {
+				t.Errorf("reap event detail (calls served) = %d, want >= 1", e.Detail)
+			}
+		}
+	}
+	if !sawAttach || !sawReap {
+		t.Fatalf("events for session %s: attach=%v reap=%v (dump: %+v)",
+			sess.ID(), sawAttach, sawReap, events)
+	}
+}
+
+// A getts against a session id the table does not hold must surface in
+// the flight recorder as an error event carrying the unknown-session
+// wire code.
+func TestDebugEventsRecordUnknownSession(t *testing.T) {
+	ctx := context.Background()
+	c, _, front := newTestServerCfg(t, tsserve.ServerConfig{})
+
+	bogus := strings.Repeat("f", 16)
+	body := bytes.NewReader([]byte(`{"count":1}`))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL()+"/session/"+bogus+"/getts", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("bogus-session getts status = %d, want 404", resp.StatusCode)
+	}
+
+	for _, e := range dumpEvents(t, front) {
+		if e.Kind == "error" && e.Session == bogus {
+			return
+		}
+	}
+	t.Fatalf("no error event recorded for unknown session %s", bogus)
+}
+
+// promValue extracts one scalar sample value from an exposition body.
+func promValue(t *testing.T, body []byte, name string) uint64 {
+	t.Helper()
+	for _, line := range strings.Split(string(body), "\n") {
+		if v, ok := strings.CutPrefix(line, name+" "); ok {
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				t.Fatalf("sample %s has value %q: %v", name, v, err)
+			}
+			return uint64(f)
+		}
+	}
+	t.Fatalf("exposition has no sample %s", name)
+	return 0
+}
+
+// The JSON /metrics body and the Prometheus exposition are two renderings
+// of one registry: after the same traffic, the counters they report must
+// agree exactly, and every wire-layer rejection family must be present in
+// the exposition even at zero.
+func TestMetricsTwoViewsOneRegistry(t *testing.T) {
+	ctx := context.Background()
+	c, _, _ := newTestServerCfg(t, tsserve.ServerConfig{MaxBatch: 16}, tsspace.WithMetering())
+
+	sess, err := c.Attach(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]tsspace.Timestamp, 5)
+	for i := 0; i < 3; i++ {
+		if _, err := sess.GetTSBatch(ctx, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sess.Detach(); err != nil {
+		t.Fatal(err)
+	}
+	// A getts on the now-detached lease drives the unknown-session path.
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		c.BaseURL()+"/session/"+sess.ID()+"/getts", bytes.NewReader([]byte(`{"count":1}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	promResp, err := http.Get(c.BaseURL() + "/metrics/prometheus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer promResp.Body.Close()
+	if ct := promResp.Header.Get("Content-Type"); ct != obs.TextContentType {
+		t.Errorf("exposition Content-Type = %q, want %q", ct, obs.TextContentType)
+	}
+	var body bytes.Buffer
+	if _, err := body.ReadFrom(promResp.Body); err != nil {
+		t.Fatal(err)
+	}
+	families, err := obs.ParseExposition(body.Bytes())
+	if err != nil {
+		t.Fatalf("exposition does not validate: %v\n%s", err, body.String())
+	}
+
+	for _, want := range []struct {
+		name string
+		json uint64
+	}{
+		{"tsserve_calls_total", m.Calls},
+		{"tsserve_batches_total", m.Batches},
+		{"tsserve_attaches_total", m.Attaches},
+		{"tsserve_unknown_sessions_total", m.UnknownSessions},
+		{"tsserve_rejected_frames_oversized_total", m.OversizedFrames},
+		{"tsserve_rejected_conns_bad_magic_total", m.BadMagicConns},
+		{"tsspace_registers_used", uint64(m.Space.Written)},
+	} {
+		if _, ok := families[want.name]; !ok {
+			t.Errorf("exposition missing family %s", want.name)
+			continue
+		}
+		if got := promValue(t, body.Bytes(), want.name); got != want.json {
+			t.Errorf("%s: prometheus %d != json %d", want.name, got, want.json)
+		}
+	}
+	if m.UnknownSessions == 0 {
+		t.Error("unknown-session counter did not move")
+	}
+	if m.Batches != 3 {
+		t.Errorf("batches = %d, want 3", m.Batches)
+	}
+
+	// The getts latency histogram must cover the batches in both views.
+	f, ok := families["tsserve_getts_latency_ns"]
+	if !ok || f.Type != "histogram" {
+		t.Fatalf("exposition getts latency family missing or mistyped: %+v", f)
+	}
+	jl, ok := m.Latency["getts"]
+	if !ok {
+		t.Fatalf("JSON metrics carry no getts latency: %+v", m.Latency)
+	}
+	if f.Count != jl.Count {
+		t.Errorf("getts latency count: prometheus %d != json %d", f.Count, jl.Count)
+	}
+}

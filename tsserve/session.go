@@ -2,6 +2,7 @@ package tsserve
 
 import (
 	"crypto/rand"
+	"encoding/binary"
 	"encoding/hex"
 	"fmt"
 	"net/http"
@@ -10,6 +11,7 @@ import (
 	"time"
 
 	"tsspace"
+	"tsspace/internal/obs"
 )
 
 // Wire v2: session-scoped endpoints. A remote caller attaches once,
@@ -45,8 +47,11 @@ type DetachResponse struct {
 // wireSession is one leased SDK session addressable over the wire — by
 // HTTP and binary clients alike, since both protocols share this table.
 type wireSession struct {
-	id   string
-	sess *tsspace.Session
+	id string
+	// idNum is the id's numeric value (the same 8 random bytes id
+	// hex-encodes), the form the flight recorder stores per event.
+	idNum uint64
+	sess  *tsspace.Session
 	// binary marks a lease attached over the wire-v3 transport, for the
 	// /metrics session split.
 	binary bool
@@ -57,25 +62,43 @@ type wireSession struct {
 	last atomic.Int64 // unix nanos of the last completed request; drives reaping
 }
 
-// newSessionID returns a 16-hex-digit random id. Ids are capability-ish
-// tokens: unguessable enough that one client cannot plausibly stumble into
-// another's lease on a shared daemon.
-func newSessionID() string {
+// newSessionID returns a 16-hex-digit random id, both as the wire
+// string and as its numeric value (for the flight recorder). Ids are
+// capability-ish tokens: unguessable enough that one client cannot
+// plausibly stumble into another's lease on a shared daemon.
+func newSessionID() (string, uint64) {
 	var b [8]byte
 	if _, err := rand.Read(b[:]); err != nil {
 		panic(fmt.Sprintf("tsserve: crypto/rand failed: %v", err))
 	}
-	return hex.EncodeToString(b[:])
+	return hex.EncodeToString(b[:]), binary.BigEndian.Uint64(b[:])
 }
 
-// register stores a freshly attached session and returns its wire form.
-// binary marks leases attached over the wire-v3 transport.
+// sessionIDNum parses a wire session id back to its numeric form for
+// the flight recorder, so error events name the id the caller asked
+// for. Malformed ids record as zero.
+func sessionIDNum(id string) uint64 {
+	var b [8]byte
+	if len(id) != 16 {
+		return 0
+	}
+	if _, err := hex.Decode(b[:], []byte(id)); err != nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b[:])
+}
+
+// register stores a freshly attached session, records the attach in the
+// flight recorder, and returns the wire form. binary marks leases
+// attached over the wire-v3 transport.
 func (s *Server) register(sess *tsspace.Session, binary bool) *wireSession {
-	ws := &wireSession{id: newSessionID(), sess: sess, binary: binary}
+	id, idNum := newSessionID()
+	ws := &wireSession{id: id, idNum: idNum, sess: sess, binary: binary}
 	ws.last.Store(time.Now().UnixNano())
 	s.sessMu.Lock()
 	s.sessions[ws.id] = ws
 	s.sessMu.Unlock()
+	s.met.ring.Record(obs.EventAttach, ws.idNum, int32(sess.Pid()), 0)
 	return ws
 }
 
@@ -139,9 +162,12 @@ func (s *Server) reapIdle(now time.Time) {
 	}
 	s.sessMu.Unlock()
 	for _, ws := range idle {
+		calls := ws.sess.Calls()
+		pid := ws.sess.Pid()
 		_ = ws.sess.Detach()
 		ws.mu.Unlock()
-		s.reaped.Add(1)
+		s.met.reaped.Inc()
+		s.met.ring.Record(obs.EventReap, ws.idNum, int32(pid), int64(calls))
 	}
 }
 
@@ -195,6 +221,8 @@ func (s *Server) handleAttach(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleSessionGetTS(w http.ResponseWriter, r *http.Request) {
 	ws, ok := s.lookup(r.PathValue("id"))
 	if !ok {
+		s.met.unknownSessions.Inc()
+		s.met.ring.Record(obs.EventError, sessionIDNum(r.PathValue("id")), -1, int64(binCodeUnknownSession))
 		writeError(w, http.StatusNotFound, CodeUnknownSession,
 			fmt.Sprintf("unknown session %q (detached, reaped, or never attached)", r.PathValue("id")))
 		return
@@ -236,7 +264,7 @@ func (s *Server) handleSessionGetTS(w http.ResponseWriter, r *http.Request) {
 	for i := 0; i < n; i++ {
 		resp.Timestamps[i] = FromTimestamp(buf[i])
 	}
-	s.batches.Add(1)
+	s.met.batches.Inc()
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -244,13 +272,17 @@ func (s *Server) handleSessionGetTS(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleDetach(w http.ResponseWriter, r *http.Request) {
 	ws, ok := s.remove(r.PathValue("id"))
 	if !ok {
+		s.met.unknownSessions.Inc()
+		s.met.ring.Record(obs.EventError, sessionIDNum(r.PathValue("id")), -1, int64(binCodeUnknownSession))
 		writeError(w, http.StatusNotFound, CodeUnknownSession,
 			fmt.Sprintf("unknown session %q (detached, reaped, or never attached)", r.PathValue("id")))
 		return
 	}
 	ws.mu.Lock() // wait out a batch in flight, then release the pid
 	calls := ws.sess.Calls()
+	pid := ws.sess.Pid()
 	_ = ws.sess.Detach()
 	ws.mu.Unlock()
+	s.met.ring.Record(obs.EventDetach, ws.idNum, int32(pid), int64(calls))
 	writeJSON(w, http.StatusOK, DetachResponse{Calls: calls})
 }

@@ -48,7 +48,7 @@ import (
 	"time"
 
 	"tsspace"
-	"tsspace/internal/hist"
+	"tsspace/internal/obs"
 )
 
 // TS is the wire form of a timestamp: the (rnd, turn) pair of the
@@ -137,19 +137,35 @@ type Metrics struct {
 	// protocols share one session table); BinarySessions the subset
 	// attached over the binary transport; ReapedSessions the idle leases
 	// the TTL reaper has detached over the server's lifetime.
+	// CrashReclaimed counts leases reclaimed because their binary
+	// connection closed while still attached — the reaper's sibling
+	// channel: a lease abandoned by a crashed or disconnected binary
+	// client is returned to the pool by connection teardown when that
+	// beats the idle TTL.
 	WireSessions   int    `json:"wire_sessions"`
 	BinarySessions int    `json:"binary_sessions"`
 	ReapedSessions uint64 `json:"reaped_sessions"`
+	CrashReclaimed uint64 `json:"crash_reclaimed_sessions"`
 	// BinaryFrames and the byte counters track the wire-v3 transport:
 	// frames processed (requests) and bytes in/out, magic and length
 	// prefixes included.
-	BinaryFrames   uint64             `json:"binary_frames"`
-	BinaryBytesIn  uint64             `json:"binary_bytes_in"`
-	BinaryBytesOut uint64             `json:"binary_bytes_out"`
-	UptimeSeconds  float64            `json:"uptime_seconds"`
-	CallsPerSecond float64            `json:"calls_per_second"`
-	Space          *Space             `json:"space,omitempty"`
-	Latency        map[string]Latency `json:"latency,omitempty"`
+	BinaryFrames   uint64 `json:"binary_frames"`
+	BinaryBytesIn  uint64 `json:"binary_bytes_in"`
+	BinaryBytesOut uint64 `json:"binary_bytes_out"`
+	// The rejection counters: binary frames over MaxBinaryFrame,
+	// connections dropped at the magic check, and session-scoped
+	// requests against ids that are not (or no longer) leased. The same
+	// families appear in the Prometheus exposition as
+	// tsserve_rejected_frames_oversized_total,
+	// tsserve_rejected_conns_bad_magic_total and
+	// tsserve_unknown_sessions_total.
+	OversizedFrames uint64             `json:"oversized_frames"`
+	BadMagicConns   uint64             `json:"bad_magic_conns"`
+	UnknownSessions uint64             `json:"unknown_sessions"`
+	UptimeSeconds   float64            `json:"uptime_seconds"`
+	CallsPerSecond  float64            `json:"calls_per_second"`
+	Space           *Space             `json:"space,omitempty"`
+	Latency         map[string]Latency `json:"latency,omitempty"`
 }
 
 // Error codes carried in error bodies, so clients can map failures back to
@@ -179,6 +195,10 @@ type ServerConfig struct {
 	// SessionTTL is how long a wire session's lease may sit idle before
 	// the reaper detaches it and recycles its pid. Values <= 0 mean 60s.
 	SessionTTL time.Duration
+	// SlowOp is the duration above which an operation is recorded in the
+	// flight recorder as a slow-op event (see EventsHandler). Values <= 0
+	// mean 10ms.
+	SlowOp time.Duration
 }
 
 // Server is the HTTP front end over one tsspace.Object. It implements
@@ -189,30 +209,29 @@ type Server struct {
 	summary    string
 	maxBatch   int
 	sessionTTL time.Duration
+	slowOp     time.Duration
 	start      time.Time
-	batches    atomic.Uint64
 	mux        *http.ServeMux
-	lat        map[string]*hist.H // per-endpoint handler latency, ns
+	// met is the observability core: every counter, gauge and latency
+	// histogram the server publishes, plus the flight recorder. The JSON
+	// /metrics view and the Prometheus exposition both render from it.
+	met *serverMetrics
 
 	sessMu   sync.Mutex
 	sessions map[string]*wireSession
-	reaped   atomic.Uint64
 	stop     chan struct{}
 	stopOnce sync.Once
 
 	// Wire-v3 binary transport state: the listeners ServeBinary runs on,
-	// the live connections (closed on shutdown), an in-flight frame gauge
-	// for the drain, and the /metrics counters. binCtx is the server-side
-	// context binary operations run under; Close cancels it.
+	// the live connections (closed on shutdown), and an in-flight frame
+	// gauge for the drain. binCtx is the server-side context binary
+	// operations run under; Close cancels it.
 	binCtx       context.Context
 	binCancel    context.CancelFunc
 	binMu        sync.Mutex
 	binListeners []net.Listener
 	binConns     map[net.Conn]struct{}
 	binBusy      atomic.Int64
-	binFrames    atomic.Uint64
-	binBytesIn   atomic.Uint64
-	binBytesOut  atomic.Uint64
 }
 
 // NewServer builds the front end for obj. The caller keeps ownership of
@@ -226,17 +245,18 @@ func NewServer(obj *tsspace.Object, cfg ServerConfig) *Server {
 	if ttl <= 0 {
 		ttl = 60 * time.Second
 	}
+	slowOp := cfg.SlowOp
+	if slowOp <= 0 {
+		slowOp = 10 * time.Millisecond
+	}
 	s := &Server{
-		obj: obj, maxBatch: maxBatch, sessionTTL: ttl,
+		obj: obj, maxBatch: maxBatch, sessionTTL: ttl, slowOp: slowOp,
 		start: time.Now(), mux: http.NewServeMux(),
-		lat: map[string]*hist.H{
-			"getts": hist.New(), "compare": hist.New(), "attach": hist.New(),
-			"binary_getts": hist.New(), "binary_compare": hist.New(),
-		},
 		sessions: make(map[string]*wireSession),
 		stop:     make(chan struct{}),
 		binConns: make(map[net.Conn]struct{}),
 	}
+	s.met = newServerMetrics(s)
 	s.binCtx, s.binCancel = context.WithCancel(context.Background())
 	for _, e := range tsspace.Catalog() {
 		if e.Name == obj.Algorithm() {
@@ -250,18 +270,25 @@ func NewServer(obj *tsspace.Object, cfg ServerConfig) *Server {
 	s.mux.HandleFunc("POST /compare", s.timed("compare", s.handleCompare))
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /metrics/prometheus", s.handlePrometheus)
 	go s.reapLoop()
 	return s
 }
 
 // timed records the whole handler's wall time — decode to flush — into the
 // endpoint's histogram, so /metrics reports what callers of that endpoint
-// experienced minus only the network.
+// experienced minus only the network. Durations over the slow-op
+// threshold additionally land in the flight recorder.
 func (s *Server) timed(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	lat := s.met.lat[endpoint]
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		h(w, r)
-		s.lat[endpoint].Record(time.Since(start).Nanoseconds())
+		d := time.Since(start)
+		lat.Record(d.Nanoseconds())
+		if d > s.slowOp {
+			s.met.ring.Record(obs.EventSlowOp, 0, -1, d.Nanoseconds())
+		}
 	}
 }
 
@@ -310,7 +337,7 @@ func (s *Server) handleGetTS(w http.ResponseWriter, r *http.Request) {
 	for i := 0; i < n; i++ {
 		resp.Timestamps[i] = FromTimestamp(buf[i])
 	}
-	s.batches.Add(1)
+	s.met.batches.Inc()
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -320,17 +347,22 @@ func (s *Server) handleGetTS(w http.ResponseWriter, r *http.Request) {
 func (s *Server) writeSDKError(w http.ResponseWriter, r *http.Request, err error) {
 	switch {
 	case errors.Is(err, tsspace.ErrExhausted) || errors.Is(err, tsspace.ErrOneShot):
+		s.met.ring.Record(obs.EventError, 0, -1, int64(binCodeExhausted))
 		writeError(w, http.StatusConflict, CodeExhausted, err.Error())
 	case errors.Is(err, tsspace.ErrDetached):
 		// The lease vanished between lookup and execution (reaper or a
 		// concurrent DELETE won the race): same verdict as an unknown id.
+		s.met.unknownSessions.Inc()
+		s.met.ring.Record(obs.EventError, 0, -1, int64(binCodeUnknownSession))
 		writeError(w, http.StatusNotFound, CodeUnknownSession, err.Error())
 	case errors.Is(err, tsspace.ErrClosed):
+		s.met.ring.Record(obs.EventError, 0, -1, int64(binCodeClosed))
 		writeError(w, http.StatusServiceUnavailable, CodeClosed, err.Error())
 	case r.Context().Err() != nil:
 		// The client went away while queued or mid-batch; any status works.
 		writeError(w, http.StatusServiceUnavailable, CodeInternal, err.Error())
 	default:
+		s.met.ring.Record(obs.EventError, 0, -1, int64(binCodeInternal))
 		writeError(w, http.StatusInternalServerError, CodeInternal, err.Error())
 	}
 }
@@ -355,53 +387,6 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Registers: s.obj.Registers(),
 		OneShot:   s.obj.OneShot(),
 	})
-}
-
-func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	st := s.obj.Stats()
-	uptime := time.Since(s.start).Seconds()
-	s.sessMu.Lock()
-	wire := len(s.sessions)
-	binSessions := 0
-	for _, ws := range s.sessions {
-		if ws.binary {
-			binSessions++
-		}
-	}
-	s.sessMu.Unlock()
-	m := Metrics{
-		Algorithm:      s.obj.Algorithm(),
-		Procs:          s.obj.Procs(),
-		Calls:          st.Calls,
-		Batches:        s.batches.Load(),
-		Attaches:       st.Attaches,
-		ActiveSessions: st.ActiveSessions,
-		WireSessions:   wire,
-		BinarySessions: binSessions,
-		ReapedSessions: s.reaped.Load(),
-		BinaryFrames:   s.binFrames.Load(),
-		BinaryBytesIn:  s.binBytesIn.Load(),
-		BinaryBytesOut: s.binBytesOut.Load(),
-		UptimeSeconds:  uptime,
-	}
-	if uptime > 0 {
-		m.CallsPerSecond = float64(st.Calls) / uptime
-	}
-	if u, metered := s.obj.Usage(); metered {
-		m.Space = &Space{Registers: u.Registers, Written: u.Written, Reads: u.Reads, Writes: u.Writes}
-	}
-	m.Latency = make(map[string]Latency, len(s.lat))
-	for endpoint, h := range s.lat {
-		if h.Count() == 0 {
-			continue
-		}
-		d := h.Summarize()
-		m.Latency[endpoint] = Latency{
-			Count: d.Count, MeanNs: d.Mean,
-			P50Ns: d.P50, P90Ns: d.P90, P99Ns: d.P99, P999Ns: d.P999, MaxNs: d.Max,
-		}
-	}
-	writeJSON(w, http.StatusOK, m)
 }
 
 // decode reads a JSON body strictly; an empty body decodes to the zero
