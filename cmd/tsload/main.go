@@ -5,8 +5,8 @@
 // (mix × target × algorithm) row.
 //
 // Each scenario is one of the built-in mixes (steady, churn, burst,
-// compare, crash — see tsspace/tsload); each algorithm comes from the
-// registry
+// compare, crash, tenants, storm — see tsspace/tsload); each algorithm
+// comes from the registry
 // (every non-mutant implementation by default); each row runs against the
 // in-process SDK and against tsserve over HTTP, so the delta between the
 // two prices the wire.
@@ -352,6 +352,14 @@ func runOne(ctx context.Context, mix tsload.Mix, alg, kind string, opt options) 
 	if mix.AbandonFrac > 0 && kind != "inproc" && opt.url != "" {
 		return tsload.Result{}, true, nil
 	}
+	if mix.Namespaces > 0 {
+		// The shim target has no namespace surface; and provisioning (and
+		// force-deprovisioning) namespaces on a shared external daemon is
+		// not this driver's call to make — multi-tenant rows self-host.
+		if kind == "http-shim" || (kind != "inproc" && opt.url != "") {
+			return tsload.Result{}, true, nil
+		}
+	}
 	var ttl time.Duration
 	if mix.AbandonFrac > 0 {
 		ttl = crashTTL
@@ -521,6 +529,12 @@ func row(r tsload.Result) string {
 	if r.Abandoned > 0 {
 		flags += fmt.Sprintf(" abandoned=%d expected-errors=%d", r.Abandoned, r.ExpectedErrors)
 	}
+	if r.Namespaces > 0 {
+		flags += fmt.Sprintf(" ns=%d", r.Namespaces)
+		if r.ExpectedErrors > 0 && r.Abandoned == 0 {
+			flags += fmt.Sprintf(" quota-rejections=%d", r.ExpectedErrors)
+		}
+	}
 	if r.UnexpectedErrors > 0 {
 		flags += fmt.Sprintf(" ERRORS=%d", r.UnexpectedErrors)
 	}
@@ -544,7 +558,10 @@ func row(r tsload.Result) string {
 // reject the crash mix's fault injection, whose whole point is provoking
 // ErrDetached (counted as ExpectedErrors) while happens-before holds. The
 // crash rows additionally must have abandoned at least one lease, or the
-// injection silently did not run. All rows land in one BENCH_smoke.json.
+// injection silently did not run; namespace rows must partition their
+// getTS ops across the provisioned namespaces, the storm mix must have
+// provoked at least one quota rejection, and at least one row must have
+// run multi-tenant. All rows land in one BENCH_smoke.json.
 func runSmoke(ctx context.Context, out string, opt options) error {
 	opt.workers = 4
 	opt.rate = 0
@@ -603,7 +620,8 @@ func runSmoke(ctx context.Context, out string, opt options) error {
 	fmt.Printf("wrote %s (%d rows)\n", path, len(results))
 
 	seen := map[string]bool{}
-	crashRows := 0
+	crashRows, multiNSRows := 0, 0
+	var stormRejections uint64
 	for _, r := range results {
 		if r.UnexpectedErrors > 0 {
 			return fmt.Errorf("%s/%s/%s: %d unexpected op errors (%d expected)",
@@ -618,6 +636,24 @@ func runSmoke(ctx context.Context, out string, opt options) error {
 				return fmt.Errorf("%s/%s/%s: crash mix abandoned no leases — the fault injection did not run",
 					r.Mix, r.Target, r.Algorithm)
 			}
+		}
+		if r.Namespaces > 0 {
+			if r.Namespaces >= 2 {
+				multiNSRows++
+			}
+			// Every measured getTS op ran against exactly one provisioned
+			// namespace, so the per-namespace op counts must partition them.
+			var nsOps uint64
+			for _, v := range r.NamespaceOps {
+				nsOps += v
+			}
+			if len(r.NamespaceOps) != r.Namespaces || nsOps != r.GetTSOps {
+				return fmt.Errorf("%s/%s/%s: namespace ops %v do not partition %d getTS ops",
+					r.Mix, r.Target, r.Algorithm, r.NamespaceOps, r.GetTSOps)
+			}
+		}
+		if r.Mix == "storm" {
+			stormRejections += r.ExpectedErrors
 		}
 		if r.Ops == 0 {
 			return fmt.Errorf("%s/%s/%s: no measured ops", r.Mix, r.Target, r.Algorithm)
@@ -638,6 +674,15 @@ func runSmoke(ctx context.Context, out string, opt options) error {
 	}
 	if crashRows == 0 {
 		return fmt.Errorf("smoke ran no crash-mix rows")
+	}
+	if multiNSRows == 0 {
+		return fmt.Errorf("smoke ran no multi-namespace rows")
+	}
+	if stormRejections == 0 {
+		// Per-transport counts are timing-dependent (in-process leases are
+		// microseconds wide), but across all storm rows the 2-slot quota
+		// must have turned at least one attach away.
+		return fmt.Errorf("smoke attach storms provoked no quota rejections — the quota never bit")
 	}
 	return checkShimEquivalence(results, batchAlg)
 }

@@ -9,6 +9,10 @@
 // DELETE /session/{id}), POST /getts (deprecated single-request shim),
 // POST /compare, GET /healthz, GET /metrics (space report + throughput),
 // GET /metrics/prometheus (the same registry in text exposition format).
+// The namespace broker rides on top: GET /catalog lists the servable
+// algorithms, PUT/DELETE /ns/{name} provision and deprovision named
+// Objects, and every session endpoint replicates under /ns/{name}/... —
+// one daemon, many isolated timestamp services (see tsspace/tsserve).
 // With -binary-addr the daemon additionally serves wire v3 — the same
 // session space over a persistent-connection binary protocol. With
 // -debug-addr it serves an operator-only debug listener: net/http/pprof,
@@ -33,7 +37,10 @@
 // single-request shim agrees, and checks /metrics counted the traffic.
 // The binary leg leases a wire-v3 session the same way and asserts its
 // timestamps order against the HTTP-issued stream — cross-transport
-// happens-before on one shared object.
+// happens-before on one shared object. The namespace leg provisions two
+// namespaces through the broker, binds into them over both transports,
+// and asserts register isolation, namespace-labeled metrics in both
+// /metrics views, and typed quota/unknown-namespace errors.
 package main
 
 import (
@@ -49,6 +56,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"slices"
 	"strings"
 	"syscall"
 	"time"
@@ -302,6 +310,13 @@ func runSmoke(url, binAddr string) error {
 				return fmt.Errorf("binary compare(first, last) = (%v, %v), want (true, nil)", before, err)
 			}
 		}
+
+		// Namespace broker leg: catalog → provision → bind → getts →
+		// deprovision, over both transports, with isolation and typed-error
+		// checks along the way.
+		if err := smokeNamespaces(ctx, c, binAddr); err != nil {
+			return fmt.Errorf("namespace leg: %w", err)
+		}
 	}
 	if len(batch) != want {
 		return fmt.Errorf("got %d timestamps, want %d", len(batch), want)
@@ -348,6 +363,211 @@ func runSmoke(url, binAddr string) error {
 	return nil
 }
 
+// smokeNamespaces drives the broker lifecycle end to end: the catalog
+// must mirror the SDK registry; two namespaces are provisioned (one
+// with a 2-session quota), bound into over HTTP — and over wire v3 when
+// a binary address is given — and driven; both /metrics views must
+// report them with isolated per-namespace counters; typed errors must
+// come back for quota exhaustion, unknown namespaces and double
+// deprovision.
+func smokeNamespaces(ctx context.Context, c *tsserve.Client, binAddr string) error {
+	// Catalog ≡ registry: same names, same order.
+	catalog, err := c.Catalog(ctx)
+	if err != nil {
+		return fmt.Errorf("catalog: %w", err)
+	}
+	names := make([]string, len(catalog))
+	for i, e := range catalog {
+		names[i] = e.Name
+	}
+	if want := tsspace.Algorithms(); !slices.Equal(names, want) {
+		return fmt.Errorf("catalog lists %v, registry has %v", names, want)
+	}
+
+	const nsA, nsB = "smoke-a", "smoke-b"
+	for _, ns := range []string{nsA, nsB} { // clean slate on a reused daemon
+		if _, err := c.DeprovisionNamespace(ctx, ns); err != nil && !errors.Is(err, tsserve.ErrUnknownNamespace) {
+			return fmt.Errorf("pre-clean %s: %w", ns, err)
+		}
+	}
+	if _, err := c.ProvisionNamespace(ctx, nsA, tsserve.ProvisionRequest{Procs: 8, MaxSessions: 2}); err != nil {
+		return fmt.Errorf("provision %s: %w", nsA, err)
+	}
+	if _, err := c.ProvisionNamespace(ctx, nsB, tsserve.ProvisionRequest{Procs: 8}); err != nil {
+		return fmt.Errorf("provision %s: %w", nsB, err)
+	}
+
+	// HTTP bind into smoke-a: namespace-scoped attach, a batch, and the
+	// scoped health report.
+	ca := c.Namespace(nsA)
+	if h, err := ca.Health(ctx); err != nil || h.Namespace != nsA {
+		return fmt.Errorf("scoped healthz = (%+v, %v), want namespace %q", h, err, nsA)
+	}
+	sa, err := ca.Attach(ctx)
+	if err != nil {
+		return fmt.Errorf("attach %s: %w", nsA, err)
+	}
+	buf := make([]tsspace.Timestamp, 4)
+	if _, err := sa.GetTSBatch(ctx, buf); err != nil {
+		return fmt.Errorf("getts in %s: %w", nsA, err)
+	}
+	// Quota: the second lease fits, the third must answer the typed
+	// quota error.
+	sa2, err := ca.Attach(ctx)
+	if err != nil {
+		return fmt.Errorf("second attach in %s: %w", nsA, err)
+	}
+	if _, err := ca.Attach(ctx); !errors.Is(err, tsserve.ErrQuota) {
+		return fmt.Errorf("third attach in quota-2 %s = %v, want ErrQuota", nsA, err)
+	}
+	if err := sa2.Detach(); err != nil {
+		return fmt.Errorf("detach in %s: %w", nsA, err)
+	}
+
+	// Bind into smoke-b over wire v3 when the listener is up (the
+	// attach_ns frame), over HTTP otherwise.
+	var sb tsspace.SessionAPI
+	if binAddr != "" {
+		bc := tsserve.NewBinaryClient(binAddr)
+		defer bc.Close()
+		if sb, err = bc.AttachNamespace(ctx, nsB); err != nil {
+			return fmt.Errorf("binary attach_ns %s: %w", nsB, err)
+		}
+		if _, err := bc.AttachNamespace(ctx, "smoke-missing"); !errors.Is(err, tsserve.ErrUnknownNamespace) {
+			return fmt.Errorf("binary attach_ns to unknown namespace = %v, want ErrUnknownNamespace", err)
+		}
+	} else if sb, err = c.Namespace(nsB).Attach(ctx); err != nil {
+		return fmt.Errorf("attach %s: %w", nsB, err)
+	}
+	if _, err := sb.GetTSBatch(ctx, buf[:2]); err != nil {
+		return fmt.Errorf("getts in %s: %w", nsB, err)
+	}
+
+	// Unknown namespace over HTTP: typed error plus its own counter.
+	if _, err := c.Namespace("smoke-missing").Attach(ctx); !errors.Is(err, tsserve.ErrUnknownNamespace) {
+		return fmt.Errorf("attach to unknown namespace = %v, want ErrUnknownNamespace", err)
+	}
+
+	// Both /metrics views must report the namespaces, isolated: JSON
+	// first.
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		return fmt.Errorf("metrics: %w", err)
+	}
+	if m.UnknownNamespaces == 0 {
+		return fmt.Errorf("unknown-namespace rejections not counted")
+	}
+	byName := make(map[string]tsserve.NamespaceMetrics, len(m.Namespaces))
+	for _, nm := range m.Namespaces {
+		byName[nm.Name] = nm
+	}
+	ma, okA := byName[nsA]
+	mb, okB := byName[nsB]
+	if !okA || !okB {
+		return fmt.Errorf("metrics namespaces section %v missing %s or %s", m.Namespaces, nsA, nsB)
+	}
+	if ma.Calls != 4 || mb.Calls != 2 {
+		return fmt.Errorf("per-namespace calls (%d, %d), want (4, 2) — cross-namespace bleed?", ma.Calls, mb.Calls)
+	}
+	if ma.QuotaRejections != 1 || ma.MaxSessions != 2 {
+		return fmt.Errorf("%s quota book = %d rejections / cap %d, want 1 / 2", nsA, ma.QuotaRejections, ma.MaxSessions)
+	}
+	// Isolation shows in the op counters: the two namespaces took a
+	// different number of calls, so a meter shared between them would
+	// report identical read/write totals under both names.
+	if ma.Space == nil || mb.Space == nil || ma.Space.Written == 0 ||
+		(ma.Space.Reads == mb.Space.Reads && ma.Space.Writes == mb.Space.Writes) {
+		return fmt.Errorf("per-namespace space gauges missing or shared: %v vs %v", ma.Space, mb.Space)
+	}
+
+	// Prometheus view, scraped while the namespaces are live: the
+	// register-space family must carry their labels.
+	if err := checkNamespaceLabels(ctx, c.BaseURL(), nsA, nsB); err != nil {
+		return err
+	}
+
+	// Session-scoped routes enforce the binding: smoke-a's live lease
+	// must be invisible through smoke-b's routes (capability ids are
+	// namespace-checked on HTTP).
+	crossReq, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		c.BaseURL()+"/ns/"+nsB+"/session/"+sa.ID()+"/getts", strings.NewReader(`{"count":1}`))
+	if err != nil {
+		return err
+	}
+	crossReq.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(crossReq)
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		return fmt.Errorf("cross-namespace getts = %d, want 404 (session leaked across namespaces)", resp.StatusCode)
+	}
+
+	// Teardown: deprovision releases smoke-a's still-live lease;
+	// deprovisioning again answers the typed unknown-namespace error.
+	if err := sb.Detach(); err != nil {
+		return fmt.Errorf("detach in %s: %w", nsB, err)
+	}
+	depA, err := c.DeprovisionNamespace(ctx, nsA)
+	if err != nil {
+		return fmt.Errorf("deprovision %s: %w", nsA, err)
+	}
+	if depA.ReleasedSessions != 1 {
+		return fmt.Errorf("deprovision %s released %d sessions, want 1 (the undetached lease)", nsA, depA.ReleasedSessions)
+	}
+	if _, err := c.DeprovisionNamespace(ctx, nsB); err != nil {
+		return fmt.Errorf("deprovision %s: %w", nsB, err)
+	}
+	if _, err := c.DeprovisionNamespace(ctx, nsA); !errors.Is(err, tsserve.ErrUnknownNamespace) {
+		return fmt.Errorf("double deprovision = %v, want ErrUnknownNamespace", err)
+	}
+	// The scoped route resolves the namespace before the lease, so an op
+	// on a deprovisioned namespace's (force-released) session reports the
+	// namespace as unknown — strictly more informative than a bare
+	// unknown-session.
+	if _, err := sa.GetTS(ctx); !errors.Is(err, tsserve.ErrUnknownNamespace) {
+		return fmt.Errorf("getts on a deprovisioned namespace's lease = %v, want ErrUnknownNamespace", err)
+	}
+	fmt.Printf("smoke: namespace leg ok: catalog %d algorithms; %s and %s provisioned, isolated (%d+%d calls), quota and unknown-namespace errors typed\n",
+		len(catalog), nsA, nsB, ma.Calls, mb.Calls)
+	return nil
+}
+
+// checkNamespaceLabels scrapes the exposition and asserts the
+// namespace-labeled series are present for both live namespaces.
+func checkNamespaceLabels(ctx context.Context, url string, nss ...string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, strings.TrimSuffix(url, "/")+"/metrics/prometheus", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return err
+	}
+	families, err := obs.ParseExposition(body)
+	if err != nil {
+		return fmt.Errorf("malformed exposition: %w", err)
+	}
+	for _, fam := range []string{"tsspace_registers_used", "tsserve_ns_sessions", "tsserve_ns_calls_total"} {
+		f, ok := families[fam]
+		if !ok {
+			return fmt.Errorf("family %s missing while namespaces live", fam)
+		}
+		for _, ns := range nss {
+			if !slices.Contains(f.Labels, `namespace="`+ns+`"`) {
+				return fmt.Errorf("family %s has no namespace=%q sample (labels: %v)", fam, ns, f.Labels)
+			}
+		}
+	}
+	return nil
+}
+
 // requiredFamilies are the metric families every daemon must expose on
 // GET /metrics/prometheus; the smoke (and so CI) fails when one is
 // missing or the exposition is malformed.
@@ -359,6 +579,8 @@ var requiredFamilies = []string{
 	"tsserve_wire_sessions",
 	"tsserve_uptime_seconds",
 	"tsserve_getts_latency_ns",
+	"tsserve_ns_sessions",
+	"tsserve_unknown_namespaces_total",
 	"tsspace_registers_total",
 }
 

@@ -127,8 +127,18 @@ var DefaultLatencyBounds = []int64{
 	1_000_000_000, 2_500_000_000, 10_000_000_000,
 }
 
+// Sample is one labeled observation of a vector family: the value the
+// family's single label takes, and the sampled value for it. The slice
+// a vec function returns is rendered in order, so callers control
+// sample ordering (sort for a deterministic exposition).
+type Sample struct {
+	Label string
+	Value float64
+}
+
 // metric is one registered family: exactly one of the value fields is
-// set, matching kind (fn doubles for derived counters and gauges).
+// set, matching kind (fn doubles for derived counters and gauges, vec
+// for derived labeled families).
 type metric struct {
 	name string
 	help string
@@ -138,6 +148,11 @@ type metric struct {
 	gauge   *Gauge
 	histo   *Histogram
 	fn      func() float64
+
+	// Labeled derived family: label is the single label name, vec is
+	// sampled at exposition time and returns one Sample per label value.
+	label string
+	vec   func() []Sample
 }
 
 // Registry holds registered metrics and renders them. Registration is
@@ -195,6 +210,29 @@ func (r *Registry) CounterFunc(name, help string, fn func() float64) {
 // GaugeFunc registers a derived gauge sampled at exposition time.
 func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
 	r.register(&metric{name: name, help: help, kind: kindGauge, fn: fn})
+}
+
+// CounterVecFunc registers a derived labeled counter family: one label
+// name, and a function sampled at exposition time returning one Sample
+// per label value (e.g. one per namespace). Like CounterFunc, the
+// sampled values must be monotonically non-decreasing per label; label
+// values that disappear (a deprovisioned namespace) simply stop being
+// emitted. The label name must be a valid metric-name-shaped
+// identifier; label values are escaped at exposition time.
+func (r *Registry) CounterVecFunc(name, help, label string, vec func() []Sample) {
+	if !ValidMetricName(label) {
+		panic("obs: invalid label name " + label)
+	}
+	r.register(&metric{name: name, help: help, kind: kindCounter, label: label, vec: vec})
+}
+
+// GaugeVecFunc registers a derived labeled gauge family sampled at
+// exposition time, one Sample per label value.
+func (r *Registry) GaugeVecFunc(name, help, label string, vec func() []Sample) {
+	if !ValidMetricName(label) {
+		panic("obs: invalid label name " + label)
+	}
+	r.register(&metric{name: name, help: help, kind: kindGauge, label: label, vec: vec})
 }
 
 // Histogram registers and returns an owned histogram with the given

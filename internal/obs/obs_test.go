@@ -3,6 +3,7 @@ package obs
 import (
 	"bytes"
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
 )
@@ -113,6 +114,7 @@ func TestZeroAllocInstruments(t *testing.T) {
 		"Gauge.Add":        func() { g.Add(-1) },
 		"Histogram.Record": func() { h.Record(1234) },
 		"Ring.Record":      func() { ring.Record(EventAttach, 0xabcd, 3, 7) },
+		"Ring.RecordNS":    func() { ring.RecordNS(EventAttach, 9, 0xabcd, 3, 7) },
 		"Ring.Snapshot": func() {
 			var dst [8]Event
 			ring.Snapshot(dst[:])
@@ -266,6 +268,95 @@ func BenchmarkWritePrometheus(b *testing.B) {
 		buf.Reset()
 		if err := r.WritePrometheus(&buf); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// TestVecFuncsRenderLabeledSamples covers the sampled single-label
+// vector families the broker's per-namespace metrics ride on: every
+// sample renders as name{label="value"} with the value escaped, the
+// strict parser accepts the body, and Family.Labels surfaces the label
+// blocks in sample order.
+func TestVecFuncsRenderLabeledSamples(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVecFunc("vec_calls_total", "calls per tenant", "namespace", func() []Sample {
+		return []Sample{
+			{Label: "default", Value: 12},
+			{Label: `we"ird\te` + "\nnant", Value: 3},
+		}
+	})
+	r.GaugeVecFunc("vec_depth", "depth per tenant", "namespace", func() []Sample {
+		return []Sample{{Label: "default", Value: -4}}
+	})
+	// An empty vector renders no samples but keeps its HELP/TYPE header.
+	r.GaugeVecFunc("vec_idle", "never sampled", "namespace", func() []Sample { return nil })
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	body := buf.String()
+	families, err := ParseExposition(buf.Bytes())
+	if err != nil {
+		t.Fatalf("exposition does not parse:\n%s\nerror: %v", body, err)
+	}
+
+	calls, ok := families["vec_calls_total"]
+	if !ok || calls.Type != "counter" || calls.Samples != 2 {
+		t.Fatalf("vec_calls_total family = %+v, want a 2-sample counter", calls)
+	}
+	if len(calls.Labels) != 2 || calls.Labels[0] != `namespace="default"` {
+		t.Fatalf("vec_calls_total labels = %q", calls.Labels)
+	}
+	// The quote, backslash and newline must come out escaped, in order.
+	if want := `namespace="we\"ird\\te\nnant"`; calls.Labels[1] != want {
+		t.Fatalf("escaped label block = %q, want %q", calls.Labels[1], want)
+	}
+	if !strings.Contains(body, `vec_calls_total{namespace="default"} 12`) {
+		t.Fatalf("exposition missing the default sample:\n%s", body)
+	}
+	if depth := families["vec_depth"]; depth.Type != "gauge" || depth.Samples != 1 {
+		t.Fatalf("vec_depth family = %+v, want a 1-sample gauge", depth)
+	}
+	if !strings.Contains(body, "vec_depth{namespace=\"default\"} -4") {
+		t.Fatalf("gauge vector sample missing:\n%s", body)
+	}
+	if idle, ok := families["vec_idle"]; !ok || idle.Samples != 0 {
+		t.Fatalf("empty vector family = %+v, want present with 0 samples", idle)
+	}
+}
+
+// TestRingRecordNSRoundTrip pins the namespace-id packing: RecordNS
+// stores the id in the slot's meta word next to kind and pid, Snapshot
+// hands it back intact, Record means namespace 0, and ids are retained
+// modulo the 24-bit field.
+func TestRingRecordNSRoundTrip(t *testing.T) {
+	r := NewRing(16)
+	r.Record(EventAttach, 1, 5, 0)
+	r.RecordNS(EventDetach, 7, 2, -1, 42)
+	r.RecordNS(EventError, 0xffffff, 3, 123, -9)
+	r.RecordNS(EventReap, 0x1abcdef0, 4, 0, 0) // only the low 24 bits survive
+
+	var dst [8]Event
+	n := r.Snapshot(dst[:])
+	if n != 4 {
+		t.Fatalf("snapshot returned %d events, want 4", n)
+	}
+	want := []struct {
+		kind EventKind
+		ns   uint32
+		pid  int32
+	}{
+		{EventAttach, 0, 5},
+		{EventDetach, 7, -1},
+		{EventError, 0xffffff, 123},
+		{EventReap, 0xbcdef0, 0},
+	}
+	for i, w := range want {
+		e := dst[i]
+		if e.Kind != w.kind || e.NS != w.ns || e.Pid != w.pid {
+			t.Errorf("event %d = kind %v ns %#x pid %d, want kind %v ns %#x pid %d",
+				i, e.Kind, e.NS, e.Pid, w.kind, w.ns, w.pid)
 		}
 	}
 }

@@ -11,6 +11,11 @@ type Family struct {
 	Name    string
 	Type    string
 	Samples int
+	// Labels holds, for each non-histogram sample in order, the raw
+	// inner label block of that sample ("" for an unlabeled sample,
+	// `namespace="default"` for a labeled one) — enough for callers to
+	// assert which label values a vector family exposed.
+	Labels  []string
 	Buckets []Bucket // histograms only, finite le bounds ascending
 	Sum     int64
 	Count   uint64
@@ -113,6 +118,7 @@ func ParseExposition(data []byte) (map[string]*Family, error) {
 		}
 		f.Samples++
 		if f.Type != "histogram" {
+			f.Labels = append(f.Labels, strings.TrimSuffix(labels, "}"))
 			continue
 		}
 		switch {

@@ -44,6 +44,17 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			bw.WriteByte(' ')
 			bw.WriteString(formatFloat(m.fn()))
 			bw.WriteByte('\n')
+		case m.vec != nil:
+			for _, s := range m.vec() {
+				bw.WriteString(m.name)
+				bw.WriteByte('{')
+				bw.WriteString(m.label)
+				bw.WriteString(`="`)
+				bw.WriteString(escapeLabelValue(s.Label))
+				bw.WriteString(`"} `)
+				bw.WriteString(formatFloat(s.Value))
+				bw.WriteByte('\n')
+			}
 		case m.histo != nil:
 			writeHistogram(bw, m.name, m.histo)
 		}
@@ -101,5 +112,17 @@ func escapeHelp(s string) string {
 		return s
 	}
 	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabelValue escapes backslashes, double quotes and newlines —
+// the three characters the exposition format requires escaped inside a
+// quoted label value.
+func escapeLabelValue(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
 	return strings.ReplaceAll(s, "\n", `\n`)
 }

@@ -71,14 +71,16 @@ func (k EventKind) String() string {
 // Event is one recorded event, as surfaced by Snapshot. TimeNs is
 // monotonic nanoseconds since the ring was created (diffable between
 // events; not wall time). Session is the 64-bit session id (0 when the
-// event has none), Pid the paper-process (-1 when none), Detail a
-// kind-specific value.
+// event has none), Pid the paper-process (-1 when none), NS the
+// recorder-assigned namespace id the event happened in (0 for the
+// default namespace; 24 bits), Detail a kind-specific value.
 type Event struct {
 	Seq     uint64
 	TimeNs  int64
 	Kind    EventKind
 	Session uint64
 	Pid     int32
+	NS      uint32
 	Detail  int64
 }
 
@@ -87,7 +89,7 @@ type Event struct {
 type ringSlot struct {
 	stamp   atomic.Uint64
 	timeNs  atomic.Int64
-	meta    atomic.Uint64 // kind in bits 0..7, pid (as uint32) in bits 8..39
+	meta    atomic.Uint64 // kind in bits 0..7, pid (as uint32) in bits 8..39, namespace id in bits 40..63
 	session atomic.Uint64
 	detail  atomic.Int64
 }
@@ -125,17 +127,26 @@ func (r *Ring) Cap() int { return len(r.slots) }
 // retains the most recent Cap of them).
 func (r *Ring) Recorded() uint64 { return r.seq.Load() }
 
-// Record appends one event: an atomic sequence claim plus five atomic
-// stores into the claimed slot, no locks and no allocations — safe to
-// call from any request path.
+// Record appends one event in the default namespace (id 0): an atomic
+// sequence claim plus five atomic stores into the claimed slot, no
+// locks and no allocations — safe to call from any request path.
 //
 //tslint:hotpath
 func (r *Ring) Record(kind EventKind, session uint64, pid int32, detail int64) {
+	r.RecordNS(kind, 0, session, pid, detail)
+}
+
+// RecordNS is Record with an explicit namespace id. The id is a
+// recorder-local tag (the server assigns one per provisioned
+// namespace); only the low 24 bits are retained.
+//
+//tslint:hotpath
+func (r *Ring) RecordNS(kind EventKind, ns uint32, session uint64, pid int32, detail int64) {
 	i := r.seq.Add(1) // 1-based: stamp 0 means in-progress/empty
 	s := &r.slots[(i-1)&r.mask]
 	s.stamp.Store(0)
 	s.timeNs.Store(int64(time.Since(r.start)))
-	s.meta.Store(uint64(kind) | uint64(uint32(pid))<<8)
+	s.meta.Store(uint64(kind) | uint64(uint32(pid))<<8 | uint64(ns&0xffffff)<<40)
 	s.session.Store(session)
 	s.detail.Store(detail)
 	s.stamp.Store(i)
@@ -173,6 +184,7 @@ func (r *Ring) Snapshot(dst []Event) int {
 		meta := s.meta.Load()
 		e.Kind = EventKind(meta & 0xff)
 		e.Pid = int32(uint32(meta >> 8))
+		e.NS = uint32(meta >> 40)
 		if s.stamp.Load() != i {
 			continue // a writer lapped us mid-read: the fields are torn
 		}

@@ -37,6 +37,24 @@ type Mix struct {
 	// single-call GetTS. Against one-shot targets the driver forces 1 (a
 	// one-shot paper-process has exactly one timestamp to give).
 	Batch int
+	// Namespaces > 0 makes the run multi-tenant: the driver provisions
+	// that many namespaces ("load-0" ...) on the target before traffic
+	// and routes every new lease to one of them, so hot namespaces and
+	// cold ones share the daemon and interfere the way tenants do. The
+	// target must implement NamespaceProvisioner (ErrBadConfig
+	// otherwise); namespaces are deprovisioned when the run ends.
+	Namespaces int
+	// ZipfS skews namespace popularity: values > 1 draw each lease's
+	// namespace from a Zipf(s=ZipfS) distribution over the namespace
+	// indices — namespace 0 is the hot tenant, the tail stays cold.
+	// Values <= 1 route uniformly.
+	ZipfS float64
+	// NSQuota caps concurrently held leases per provisioned namespace
+	// (NamespaceSpec.MaxSessions; 0 = unlimited). Attaches beyond the
+	// cap fail with tsserve.ErrQuota — an expected error when set, the
+	// same way the crash mix expects ErrDetached: the storm mix uses it
+	// to price typed quota rejection under an attach flood.
+	NSQuota int
 	// AbandonFrac is the probability that a worker ends a lease by
 	// crashing instead of detaching: the session is dropped without
 	// Detach, leaving its pid leased until the target's idle-TTL reaper
@@ -70,6 +88,15 @@ func (m Mix) Kind() string {
 	}
 	if m.AbandonFrac > 0 {
 		parts = append(parts, fmt.Sprintf("abandon=%.0f%%", m.AbandonFrac*100))
+	}
+	if m.Namespaces > 0 {
+		parts = append(parts, fmt.Sprintf("ns=%d", m.Namespaces))
+		if m.ZipfS > 1 {
+			parts = append(parts, fmt.Sprintf("zipf=%.1f", m.ZipfS))
+		}
+		if m.NSQuota > 0 {
+			parts = append(parts, fmt.Sprintf("nsquota=%d", m.NSQuota))
+		}
 	}
 	return strings.Join(parts, "/")
 }
@@ -111,6 +138,21 @@ var builtinMixes = []Mix{
 		Summary:     "crash-recovery churn: workers abandon half their leases without Detach; the target's TTL reaper must keep the namespace circulating",
 		AttachEvery: 4,
 		AbandonFrac: 0.5,
+	},
+	{
+		Name:        "tenants",
+		Summary:     "multi-tenant interference: 8 provisioned namespaces, Zipf-skewed popularity — one hot tenant, a cold tail, one daemon",
+		AttachEvery: 4,
+		Namespaces:  8,
+		ZipfS:       1.5,
+	},
+	{
+		Name:        "storm",
+		Summary:     "flash-crowd attach storm: bursts of single-op leases flood one namespace with a 2-session quota; quota rejections are the expected errors",
+		AttachEvery: 1,
+		BurstSize:   16,
+		Namespaces:  1,
+		NSQuota:     2,
 	},
 }
 

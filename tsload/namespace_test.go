@@ -1,0 +1,187 @@
+package tsload_test
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"tsspace"
+	"tsspace/tsload"
+	"tsspace/tsserve"
+)
+
+// The in-process target's NamespaceProvisioner surface must speak the
+// same typed-error vocabulary as the broker: idempotent re-provision,
+// ErrNamespaceExists on a conflicting spec, ErrUnknownNamespace for
+// names never provisioned, ErrQuota past MaxSessions — and a double
+// Detach releases its quota slot exactly once.
+func TestInProcNamespaceProvisioner(t *testing.T) {
+	ctx := context.Background()
+	target := newInProc(t, "collect", 8)
+	spec := tsload.NamespaceSpec{Algorithm: "collect", Procs: 8, MaxSessions: 1}
+
+	if err := target.ProvisionNamespace(ctx, "ten", spec); err != nil {
+		t.Fatal(err)
+	}
+	if err := target.ProvisionNamespace(ctx, "ten", spec); err != nil {
+		t.Fatalf("idempotent re-provision: %v", err)
+	}
+	if err := target.ProvisionNamespace(ctx, "ten", tsload.NamespaceSpec{Algorithm: "collect", Procs: 4}); !errors.Is(err, tsserve.ErrNamespaceExists) {
+		t.Fatalf("conflicting re-provision = %v, want ErrNamespaceExists", err)
+	}
+	if _, err := target.AttachNamespace(ctx, "nope"); !errors.Is(err, tsserve.ErrUnknownNamespace) {
+		t.Fatalf("attach to unknown namespace = %v, want ErrUnknownNamespace", err)
+	}
+
+	s1, err := target.AttachNamespace(ctx, "ten")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := target.AttachNamespace(ctx, "ten"); !errors.Is(err, tsserve.ErrQuota) {
+		t.Fatalf("attach past MaxSessions=1 = %v, want ErrQuota", err)
+	}
+	if _, err := s1.GetTS(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Double detach must release the slot exactly once: after it, the
+	// quota admits one lease, not two.
+	if err := s1.Detach(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Detach(); err != nil {
+		t.Fatalf("second detach: %v", err)
+	}
+	s2, err := target.AttachNamespace(ctx, "ten")
+	if err != nil {
+		t.Fatalf("attach after release: %v", err)
+	}
+	if _, err := target.AttachNamespace(ctx, "ten"); !errors.Is(err, tsserve.ErrQuota) {
+		t.Fatal("double detach released two quota slots")
+	}
+	s2.Detach()
+
+	if err := target.DeprovisionNamespace(ctx, "ten"); err != nil {
+		t.Fatal(err)
+	}
+	if err := target.DeprovisionNamespace(ctx, "ten"); !errors.Is(err, tsserve.ErrUnknownNamespace) {
+		t.Fatalf("double deprovision = %v, want ErrUnknownNamespace", err)
+	}
+	if _, err := target.AttachNamespace(ctx, "ten"); !errors.Is(err, tsserve.ErrUnknownNamespace) {
+		t.Fatalf("attach after deprovision = %v, want ErrUnknownNamespace", err)
+	}
+}
+
+// The tenants mix provisions its namespaces, partitions every measured
+// getTS op across them, and the Zipf skew makes namespace 0 the hot
+// tenant.
+func TestTenantsMixInProc(t *testing.T) {
+	mix := mustMix(t, "tenants")
+	res, err := tsload.Run(context.Background(), tsload.Config{
+		Mix:      mix,
+		Target:   newInProc(t, "collect", 8),
+		Workers:  4,
+		Duration: 10 * time.Second,
+		MaxOps:   3000,
+		Seed:     21,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, res)
+	if res.Namespaces != mix.Namespaces || len(res.NamespaceOps) != mix.Namespaces {
+		t.Fatalf("run reports %d namespaces with %d op counters, want %d",
+			res.Namespaces, len(res.NamespaceOps), mix.Namespaces)
+	}
+	var sum, hottest uint64
+	for _, v := range res.NamespaceOps {
+		sum += v
+		if v > hottest {
+			hottest = v
+		}
+	}
+	if sum != res.GetTSOps {
+		t.Errorf("namespace ops %v sum to %d, want every getTS op (%d) attributed", res.NamespaceOps, sum, res.GetTSOps)
+	}
+	// Zipf(s=1.5) over 8 namespaces: index 0 draws the bulk of the
+	// leases — it must be the maximum and well above the uniform share.
+	if res.NamespaceOps[0] != hottest {
+		t.Errorf("namespace 0 is not the hot tenant: %v", res.NamespaceOps)
+	}
+	if uniform := sum / uint64(mix.Namespaces); res.NamespaceOps[0] <= uniform {
+		t.Errorf("hot tenant took %d of %d ops, want more than the uniform share %d",
+			res.NamespaceOps[0], sum, uniform)
+	}
+	// The namespaces were torn down when the run ended: re-running
+	// against the same target must not see leftovers as conflicts.
+	if _, err := tsload.Run(context.Background(), tsload.Config{
+		Mix: mix, Target: newInProc(t, "collect", 8), Workers: 2,
+		Duration: 10 * time.Second, MaxOps: 200, Seed: 22,
+	}); err != nil {
+		t.Fatalf("second tenants run: %v", err)
+	}
+}
+
+// The storm mix floods one quota-capped namespace over the wire: quota
+// rejections land in ExpectedErrors (never Unexpected), and the getTS
+// ops still partition into the namespace counters.
+func TestStormMixQuotaRejectionsExpected(t *testing.T) {
+	mix := mustMix(t, "storm")
+	res, err := tsload.Run(context.Background(), tsload.Config{
+		Mix:      mix,
+		Target:   newHTTP(t, "collect", 8),
+		Workers:  4,
+		Duration: 10 * time.Second,
+		MaxOps:   400,
+		Seed:     23,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops == 0 {
+		t.Fatalf("no measured ops under storm mix: %+v", res)
+	}
+	if res.UnexpectedErrors != 0 {
+		t.Errorf("%d unexpected errors under storm (total %d, expected %d)",
+			res.UnexpectedErrors, res.Errors, res.ExpectedErrors)
+	}
+	if res.Errors != res.ExpectedErrors+res.UnexpectedErrors {
+		t.Errorf("error split does not add up: %d != %d + %d",
+			res.Errors, res.ExpectedErrors, res.UnexpectedErrors)
+	}
+	if res.Namespaces != 1 || len(res.NamespaceOps) != 1 || res.NamespaceOps[0] != res.GetTSOps {
+		t.Errorf("storm namespace accounting: %d namespaces, ops %v, getTS %d",
+			res.Namespaces, res.NamespaceOps, res.GetTSOps)
+	}
+	if res.HBViolations != 0 {
+		t.Errorf("%d happens-before violations under the attach storm", res.HBViolations)
+	}
+}
+
+// A namespace mix against a target with no provisioner surface is a
+// configuration error, not a hang or a silent single-tenant run.
+func TestNamespaceMixNeedsProvisioner(t *testing.T) {
+	obj, err := tsspace.New(tsspace.WithAlgorithm("collect"), tsspace.WithProcs(8), tsspace.WithMetering())
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := tsserve.NewServer(obj, tsserve.ServerConfig{})
+	srv := httptest.NewServer(front)
+	t.Cleanup(func() { srv.Close(); front.Close(); obj.Close() })
+	shim, err := tsload.NewHTTPShim(context.Background(), srv.URL, srv.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = tsload.Run(context.Background(), tsload.Config{
+		Mix:      mustMix(t, "tenants"),
+		Target:   shim,
+		Workers:  2,
+		Duration: time.Second,
+		MaxOps:   50,
+		Seed:     24,
+	})
+	if !errors.Is(err, tsload.ErrBadConfig) {
+		t.Fatalf("tenants mix against the shim = %v, want ErrBadConfig", err)
+	}
+}

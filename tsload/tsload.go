@@ -45,6 +45,7 @@ import (
 
 	"tsspace"
 	"tsspace/internal/hist"
+	"tsspace/tsserve"
 )
 
 // Config parameterizes one Run.
@@ -157,6 +158,13 @@ type Result struct {
 	// target's idle-TTL reaper.
 	Abandoned    uint64 `json:"abandoned,omitempty"`
 	HBViolations uint64 `json:"hb_violations"`
+	// Namespaces and NamespaceOps describe a multi-tenant run
+	// (Mix.Namespaces > 0): how many namespaces were provisioned and how
+	// many measured getTS ops routed to each ("load-0" first). The
+	// per-namespace counts sum to GetTSOps; under a Zipf-skewed mix the
+	// first entries carry the hot tenants.
+	Namespaces   int      `json:"namespaces,omitempty"`
+	NamespaceOps []uint64 `json:"namespace_ops,omitempty"`
 	// Dropped counts open-loop arrivals that could not even be queued
 	// (dispatch backlog full). Non-zero means the latency digest
 	// understates the overload — read it as a saturation flag.
@@ -199,6 +207,7 @@ type run struct {
 	warmEnd  time.Time
 	warmCap  int64 // getTS issues that end warmup early (one-shot); -1 = none
 	maxOps   uint64
+	ns       *nsPlan // nil unless the mix is multi-namespace
 	cancel   context.CancelFunc
 
 	phase          atomic.Int32
@@ -225,9 +234,14 @@ type run struct {
 // expectedErr reports whether an operation error is one the mix provokes
 // by design: under a crash mix (AbandonFrac > 0) the target's reaper
 // legitimately kills leases, so ErrDetached on a session the worker still
-// holds is the fault injection working, not the target failing.
+// holds is the fault injection working, not the target failing. Likewise
+// under a quota'd namespace mix (NSQuota > 0) the attach storm is built
+// to overrun the cap, so a typed quota rejection is the scenario working.
 func (r *run) expectedErr(err error) bool {
-	return r.cfg.Mix.AbandonFrac > 0 && errors.Is(err, tsspace.ErrDetached)
+	if r.cfg.Mix.AbandonFrac > 0 && errors.Is(err, tsspace.ErrDetached) {
+		return true
+	}
+	return r.cfg.Mix.NSQuota > 0 && errors.Is(err, tsserve.ErrQuota)
 }
 
 // ErrBadConfig is wrapped by every configuration-validation failure
@@ -274,6 +288,14 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 		r.attachEv = 1
 		r.batch = 1
 		r.warmCap = int64(cfg.Target.Procs()) / 5
+	}
+	if cfg.Mix.Namespaces > 0 {
+		plan, err := provisionNamespaces(ctx, cfg)
+		if err != nil {
+			return Result{}, err
+		}
+		defer plan.teardown()
+		r.ns = plan
 	}
 
 	runCtx, cancel := context.WithCancel(ctx)
@@ -370,6 +392,13 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 		Dropped:          r.dropped.Load(),
 		BudgetSpent:      r.budgetSpent.Load(),
 		LatencyNs:        merged.Summarize(),
+	}
+	if r.ns != nil {
+		res.Namespaces = len(r.ns.names)
+		res.NamespaceOps = make([]uint64, len(r.ns.ops))
+		for i := range r.ns.ops {
+			res.NamespaceOps[i] = r.ns.ops[i].Load()
+		}
 	}
 	if cfg.Rate > 0 {
 		res.Mode = "open"
@@ -609,6 +638,8 @@ func (r *run) worker(ctx context.Context, id int, h *hist.H, tokens <-chan token
 	rng := rand.New(rand.NewSource(r.cfg.Seed*1000003 + int64(id)))
 	var sess tsspace.SessionAPI
 	var leaseCalls int
+	var nsIdx int // namespace of the current lease, when r.ns != nil
+	pickNS := r.nsPicker(rng)
 	var ring tsRing
 	buf := make([]tsspace.Timestamp, r.batch)
 	defer func() {
@@ -655,7 +686,7 @@ func (r *run) worker(ctx context.Context, id int, h *hist.H, tokens <-chan token
 		}
 
 		start := time.Now()
-		issued, err := r.doOp(ctx, rng, &sess, &leaseCalls, &ring, buf, isCompare)
+		issued, err := r.doOp(ctx, rng, &sess, &leaseCalls, &nsIdx, pickNS, &ring, buf, isCompare)
 		end := time.Now()
 		opsInBurst++
 
@@ -689,16 +720,36 @@ func (r *run) worker(ctx context.Context, id int, h *hist.H, tokens <-chan token
 			} else {
 				r.measuredTS.Add(1)
 				r.measuredIssued.Add(uint64(issued))
+				if r.ns != nil {
+					r.ns.ops[nsIdx].Add(1)
+				}
 			}
 		}
 	}
+}
+
+// nsPicker builds a worker's namespace draw: Zipf-skewed over the
+// namespace indices when the mix sets ZipfS > 1 (namespace 0 hottest),
+// uniform otherwise, nil-safe no-op for single-object runs. Each worker
+// derives its picker from its own seeded rng, so routing is
+// deterministic per seed like every other mix decision.
+func (r *run) nsPicker(rng *rand.Rand) func() int {
+	if r.ns == nil {
+		return func() int { return 0 }
+	}
+	n := len(r.ns.names)
+	if r.cfg.Mix.ZipfS > 1 && n > 1 {
+		z := rand.NewZipf(rng, r.cfg.Mix.ZipfS, 1, uint64(n-1))
+		return func() int { return int(z.Uint64()) }
+	}
+	return func() int { return rng.Intn(n) }
 }
 
 // doOp performs one operation: a compare over two previously issued
 // timestamps (asserting their happens-before verdict), or a getTS under
 // the mix's session-lease and batch policy. issued is the number of
 // timestamps a getTS op produced (0 for compare ops).
-func (r *run) doOp(ctx context.Context, rng *rand.Rand, sess *tsspace.SessionAPI, leaseCalls *int, ring *tsRing, buf []tsspace.Timestamp, isCompare bool) (issued int, err error) {
+func (r *run) doOp(ctx context.Context, rng *rand.Rand, sess *tsspace.SessionAPI, leaseCalls *int, nsIdx *int, pickNS func() int, ring *tsRing, buf []tsspace.Timestamp, isCompare bool) (issued int, err error) {
 	if isCompare {
 		older, newer, ok := ring.pair(rng)
 		if !ok {
@@ -719,7 +770,16 @@ func (r *run) doOp(ctx context.Context, rng *rand.Rand, sess *tsspace.SessionAPI
 
 	r.issuedTS.Add(uint64(r.batch))
 	if *sess == nil {
-		s, err := r.cfg.Target.Attach(ctx)
+		var s tsspace.SessionAPI
+		var err error
+		if r.ns != nil {
+			// Multi-tenant routing: each new lease draws its namespace
+			// (Zipf-skewed when the mix says so) and binds into it.
+			*nsIdx = pickNS()
+			s, err = r.ns.prov.AttachNamespace(ctx, r.ns.names[*nsIdx])
+		} else {
+			s, err = r.cfg.Target.Attach(ctx)
+		}
 		if err != nil {
 			return 0, err
 		}

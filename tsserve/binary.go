@@ -16,11 +16,19 @@ package tsserve
 //
 // Request frames (client → server) and their responses:
 //
-//	attach  []                          → attachOK  [id(16)][pid][ttl_ms]
-//	getts   [id(16)][count]             → gettsOK   [pid][n][ts deltas]
-//	detach  [id(16)]                    → detachOK  [calls]
-//	compare [r1][t1][r2][t2]            → compareOK [before(byte)]
-//	any     —                           → error     [code(byte)][message]
+//	attach    []                        → attachOK    [id(16)][pid][ttl_ms]
+//	attach_ns [len][name]               → attachNSOK  [id(16)][pid][ttl_ms]
+//	getts     [id(16)][count]           → gettsOK     [pid][n][ts deltas]
+//	detach    [id(16)]                  → detachOK    [calls]
+//	compare   [r1][t1][r2][t2]          → compareOK   [before(byte)]
+//	any       —                         → error       [code(byte)][message]
+//
+// attach_ns is attach into a named namespace (broker.go): the payload
+// carries the namespace name (uvarint length + raw bytes) and the
+// returned id binds the session into that namespace's Object. Sessions
+// from either attach form are addressed identically afterwards — getts
+// and detach frames carry only the capability id, so the steady-state
+// path is byte-for-byte the same with or without namespaces.
 //
 // Bracketed integers are varints (unsigned for id-adjacent counts, zigzag
 // for timestamp fields); session ids are the same 16-hex-digit
@@ -62,26 +70,30 @@ const binIDLen = 16
 // Frame types. Request types run from 0x01; response types are the
 // request type with the high bit set; frameError answers any request.
 const (
-	frameAttach    byte = 0x01
-	frameGetTS     byte = 0x02
-	frameDetach    byte = 0x03
-	frameCompare   byte = 0x04
-	frameAttachOK  byte = 0x81
-	frameGetTSOK   byte = 0x82
-	frameDetachOK  byte = 0x83
-	frameCompareOK byte = 0x84
-	frameError     byte = 0xFF
+	frameAttach     byte = 0x01
+	frameGetTS      byte = 0x02
+	frameDetach     byte = 0x03
+	frameCompare    byte = 0x04
+	frameAttachNS   byte = 0x05
+	frameAttachOK   byte = 0x81
+	frameGetTSOK    byte = 0x82
+	frameDetachOK   byte = 0x83
+	frameCompareOK  byte = 0x84
+	frameAttachNSOK byte = 0x85
+	frameError      byte = 0xFF
 )
 
 // Binary error codes, one byte each on the wire. They are the wire-v2
 // string codes in fixed form, so both protocols map to the same typed SDK
 // errors client-side.
 const (
-	binCodeBadRequest     byte = 1
-	binCodeExhausted      byte = 2
-	binCodeClosed         byte = 3
-	binCodeInternal       byte = 4
-	binCodeUnknownSession byte = 5
+	binCodeBadRequest       byte = 1
+	binCodeExhausted        byte = 2
+	binCodeClosed           byte = 3
+	binCodeInternal         byte = 4
+	binCodeUnknownSession   byte = 5
+	binCodeUnknownNamespace byte = 6
+	binCodeQuota            byte = 7
 )
 
 // binCodeString maps a wire byte back to the shared string code; unknown
@@ -96,6 +108,10 @@ func binCodeString(b byte) string {
 		return CodeClosed
 	case binCodeUnknownSession:
 		return CodeUnknownSession
+	case binCodeUnknownNamespace:
+		return CodeUnknownNamespace
+	case binCodeQuota:
+		return CodeQuota
 	}
 	return CodeInternal
 }

@@ -211,7 +211,33 @@ func (c *BinaryClient) Attach(ctx context.Context) (*BinarySession, error) {
 	cn.arm(ctx)
 	cn.out = beginFrame(cn.out[:0], frameAttach)
 	cn.out = endFrame(cn.out, 0)
-	p, err := cn.exchange(ctx, frameAttachOK)
+	return c.finishAttach(ctx, cn, frameAttachOK)
+}
+
+// AttachNamespace leases a session bound into the named namespace via
+// the attach_ns frame. The namespace must be provisioned over the
+// daemon's HTTP broker surface first (Client.ProvisionNamespace);
+// attaching into an unprovisioned name fails with ErrUnknownNamespace,
+// and a namespace at its session quota with ErrQuota. The returned
+// session is addressed by capability id exactly like Attach's — its
+// steady-state GetTSBatch path is byte-identical and allocation-free.
+func (c *BinaryClient) AttachNamespace(ctx context.Context, name string) (*BinarySession, error) {
+	cn, err := c.getConn(ctx)
+	if err != nil {
+		return nil, err
+	}
+	cn.arm(ctx)
+	cn.out = beginFrame(cn.out[:0], frameAttachNS)
+	cn.out = binary.AppendUvarint(cn.out, uint64(len(name)))
+	cn.out = append(cn.out, name...)
+	cn.out = endFrame(cn.out, 0)
+	return c.finishAttach(ctx, cn, frameAttachNSOK)
+}
+
+// finishAttach runs the staged attach exchange and decodes the
+// id/pid/ttl response shared by both attach forms.
+func (c *BinaryClient) finishAttach(ctx context.Context, cn *binClientConn, okType byte) (*BinarySession, error) {
+	p, err := cn.exchange(ctx, okType)
 	if err != nil {
 		c.putConn(cn) // broken conns are closed there; error frames leave it pooled
 		return nil, err

@@ -172,7 +172,7 @@ func (st *binServerConn) cleanup() {
 			_ = ws.sess.Detach()
 			ws.mu.Unlock()
 			st.s.met.crashReclaimed.Inc()
-			st.s.met.ring.Record(obs.EventCrash, ws.idNum, int32(pid), int64(calls))
+			st.s.met.ring.RecordNS(obs.EventCrash, ws.ns.id, ws.idNum, int32(pid), int64(calls))
 		}
 	}
 }
@@ -186,6 +186,8 @@ func (st *binServerConn) handle(typ byte, payload []byte) {
 		st.getTS(payload)
 	case frameAttach:
 		st.attach(payload)
+	case frameAttachNS:
+		st.attachNS(payload)
 	case frameDetach:
 		st.detach(payload)
 	case frameCompare:
@@ -219,15 +221,17 @@ func (st *binServerConn) getTS(payload []byte) {
 		st.writeError(binCodeBadRequest, fmt.Sprintf("count %d exceeds the batch cap %d", count, s.maxBatch))
 		return
 	}
-	if s.obj.OneShot() && count > 1 {
-		st.writeError(binCodeBadRequest, fmt.Sprintf("a one-shot object issues one timestamp per process; ask for count 1, not %d", count))
-		return
-	}
 	ws, ok := s.lookupKey(id)
 	if !ok {
 		s.met.unknownSessions.Inc()
 		s.met.ring.Record(obs.EventError, sessionIDNum(string(id)), -1, int64(binCodeUnknownSession))
 		st.writeError(binCodeUnknownSession, fmt.Sprintf("unknown session %q (detached, reaped, or never attached)", id))
+		return
+	}
+	// One-shot-ness is the session's namespace's property, so the check
+	// sits after the lookup (frames carry no namespace; the id binds it).
+	if ws.object().OneShot() && count > 1 {
+		st.writeError(binCodeBadRequest, fmt.Sprintf("a one-shot object issues one timestamp per process; ask for count 1, not %d", count))
 		return
 	}
 	if cap(st.tsBuf) < count {
@@ -252,26 +256,61 @@ func (st *binServerConn) getTS(payload []byte) {
 	d := time.Since(start)
 	st.binGettsLat.Record(d.Nanoseconds())
 	if d > s.slowOp {
-		s.met.ring.Record(obs.EventSlowOp, ws.idNum, int32(pid), d.Nanoseconds())
+		s.met.ring.RecordNS(obs.EventSlowOp, ws.ns.id, ws.idNum, int32(pid), d.Nanoseconds())
 	}
 }
 
 // attach leases a session in the shared wire table and marks it
-// binary-attached for the metrics split.
+// binary-attached for the metrics split. The bare attach frame binds
+// into the default namespace.
 func (st *binServerConn) attach(payload []byte) {
-	s := st.s
 	if len(payload) != 0 {
 		st.writeError(binCodeBadRequest, "attach: unexpected payload")
 		return
 	}
-	sess, err := s.obj.Attach(s.binCtx)
+	st.attachInto(st.s.defaultNS, frameAttachOK)
+}
+
+// attachNS is the wire-v3 namespace-bound attach: the payload names a
+// namespace (uvarint length + raw bytes) and the lease binds into that
+// namespace's Object. An unprovisioned name answers the broker's own
+// unknown_namespace code, never unknown_session.
+func (st *binServerConn) attachNS(payload []byte) {
+	s := st.s
+	l, off, err := uvarint(payload, 0)
+	if err != nil || int(l) != len(payload)-off {
+		st.writeError(binCodeBadRequest, "attach_ns: malformed namespace name")
+		return
+	}
+	name := string(payload[off:])
+	ns, ok := s.resolveNS(name)
+	if !ok {
+		s.rejectUnknownNamespace()
+		st.writeError(binCodeUnknownNamespace, fmt.Sprintf("unknown namespace %q (never provisioned, or already deprovisioned)", name))
+		return
+	}
+	st.attachInto(ns, frameAttachNSOK)
+}
+
+// attachInto leases a session in ns, reserving its quota slot first so
+// a full namespace rejects with the typed quota code instead of
+// queueing for a pid.
+func (st *binServerConn) attachInto(ns *namespace, okType byte) {
+	s := st.s
+	if !ns.reserve() {
+		s.met.ring.RecordNS(obs.EventError, ns.id, 0, -1, int64(binCodeQuota))
+		st.writeError(binCodeQuota, fmt.Sprintf("namespace %q: session quota %d exhausted", ns.name, ns.maxSessions))
+		return
+	}
+	sess, err := ns.obj.Attach(s.binCtx)
 	if err != nil {
+		ns.release()
 		st.writeSDKError(err)
 		return
 	}
-	ws := s.register(sess, true)
+	ws := s.register(ns, sess, true)
 	st.owned[ws.id] = struct{}{}
-	st.out = beginFrame(st.out[:0], frameAttachOK)
+	st.out = beginFrame(st.out[:0], okType)
 	st.out = append(st.out, ws.id...)
 	st.out = binary.AppendUvarint(st.out, uint64(sess.Pid()))
 	st.out = binary.AppendUvarint(st.out, uint64(s.sessionTTL.Milliseconds()))
@@ -320,7 +359,7 @@ func (st *binServerConn) compare(payload []byte) {
 		st.writeError(binCodeBadRequest, "compare: trailing bytes")
 		return
 	}
-	before := s.obj.Compare(
+	before := s.defaultNS.obj.Compare(
 		tsspace.Timestamp{Rnd: vals[0], Turn: vals[1]},
 		tsspace.Timestamp{Rnd: vals[2], Turn: vals[3]},
 	)
@@ -375,7 +414,8 @@ func (s *Server) lookupKey(id []byte) (*wireSession, bool) {
 	return ws, ok
 }
 
-// removeKey is remove for a raw id.
+// removeKey is remove for a raw id, releasing the lease's quota slot
+// like every other removal from the session table.
 func (s *Server) removeKey(id []byte) (*wireSession, bool) {
 	s.sessMu.Lock()
 	ws, ok := s.sessions[string(id)]
@@ -383,5 +423,8 @@ func (s *Server) removeKey(id []byte) (*wireSession, bool) {
 		delete(s.sessions, string(id))
 	}
 	s.sessMu.Unlock()
+	if ok {
+		ws.ns.release()
+	}
 	return ws, ok
 }

@@ -35,9 +35,18 @@ var defaultClient = sync.OnceValue(func() *http.Client {
 
 // Client is the Go client of a tsserved daemon. Batches and comparisons
 // go over the wire exactly as any other client's would.
+//
+// A Client binds to one namespace. NewClient binds the default
+// namespace (the daemon's constructor Object); Namespace derives a
+// client bound to a provisioned one. The broker surface — Catalog,
+// ProvisionNamespace, DeprovisionNamespace, Namespaces, Metrics — is
+// daemon-global and ignores the binding.
 type Client struct {
 	base string
 	hc   *http.Client
+	// prefix scopes the session-plane paths: "" for the default
+	// namespace, "/ns/{name}" for a bound one.
+	prefix string
 }
 
 // NewClient returns a client for the daemon at baseURL (e.g.
@@ -54,6 +63,22 @@ func NewClient(baseURL string, hc *http.Client) *Client {
 
 // BaseURL returns the daemon URL the client talks to.
 func (c *Client) BaseURL() string { return c.base }
+
+// Namespace derives a client bound to the named namespace: its Attach,
+// GetTS and Compare calls route through /ns/{name}/... and its Health
+// reports that namespace. The namespace must be provisioned (see
+// ProvisionNamespace) or "default"; calls against an unprovisioned name
+// fail with ErrUnknownNamespace. The derived client shares the
+// transport.
+func (c *Client) Namespace(name string) *Client {
+	if name == "" || name == DefaultNamespace {
+		return &Client{base: c.base, hc: c.hc}
+	}
+	return &Client{base: c.base, hc: c.hc, prefix: "/ns/" + name}
+}
+
+// scoped maps a session-plane path through the namespace binding.
+func (c *Client) scoped(path string) string { return c.prefix + path }
 
 // APIError is a non-2xx response from the daemon. Is maps the wire codes
 // back to the SDK's typed errors, so errors.Is(err, tsspace.ErrExhausted)
@@ -78,6 +103,12 @@ func (e *APIError) Is(target error) bool {
 		return e.Code == CodeClosed
 	case tsspace.ErrDetached:
 		return e.Code == CodeUnknownSession
+	case ErrUnknownNamespace:
+		return e.Code == CodeUnknownNamespace
+	case ErrNamespaceExists:
+		return e.Code == CodeNamespaceExists
+	case ErrQuota:
+		return e.Code == CodeQuota
 	}
 	return false
 }
@@ -88,7 +119,7 @@ func (e *APIError) Is(target error) bool {
 // handle's calls report tsspace.ErrDetached.
 func (c *Client) Attach(ctx context.Context) (*RemoteSession, error) {
 	var resp AttachResponse
-	if err := c.post(ctx, "/session", struct{}{}, &resp); err != nil {
+	if err := c.post(ctx, c.scoped("/session"), struct{}{}, &resp); err != nil {
 		return nil, err
 	}
 	return &RemoteSession{c: c, id: resp.SessionID, pid: resp.Pid}, nil
@@ -139,7 +170,7 @@ func (s *RemoteSession) GetTSBatch(ctx context.Context, dst []tsspace.Timestamp)
 		return 0, tsspace.ErrDetached
 	}
 	var resp GetTSResponse
-	if err := s.c.post(ctx, "/session/"+s.id+"/getts", GetTSRequest{Count: len(dst)}, &resp); err != nil {
+	if err := s.c.post(ctx, s.c.scoped("/session/"+s.id+"/getts"), GetTSRequest{Count: len(dst)}, &resp); err != nil {
 		return 0, err
 	}
 	if len(resp.Timestamps) > len(dst) {
@@ -166,7 +197,7 @@ func (s *RemoteSession) Detach() error {
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	var resp DetachResponse
-	err := s.c.del(ctx, "/session/"+s.id, &resp)
+	err := s.c.del(ctx, s.c.scoped("/session/"+s.id), &resp)
 	if err != nil {
 		if apiErr, ok := err.(*APIError); ok && apiErr.Code == CodeUnknownSession {
 			return nil // reaped (or raced another detach): the lease is gone either way
@@ -186,7 +217,7 @@ func (s *RemoteSession) Detach() error {
 // paper-process identity — across batches.
 func (c *Client) GetTS(ctx context.Context, count int) ([]tsspace.Timestamp, error) {
 	var resp GetTSResponse
-	if err := c.post(ctx, "/getts", GetTSRequest{Count: count}, &resp); err != nil {
+	if err := c.post(ctx, c.scoped("/getts"), GetTSRequest{Count: count}, &resp); err != nil {
 		return nil, err
 	}
 	out := make([]tsspace.Timestamp, len(resp.Timestamps))
@@ -199,22 +230,62 @@ func (c *Client) GetTS(ctx context.Context, count int) ([]tsspace.Timestamp, err
 // Compare asks the daemon whether t1 is ordered before t2.
 func (c *Client) Compare(ctx context.Context, t1, t2 tsspace.Timestamp) (bool, error) {
 	var resp CompareResponse
-	err := c.post(ctx, "/compare", CompareRequest{T1: FromTimestamp(t1), T2: FromTimestamp(t2)}, &resp)
+	err := c.post(ctx, c.scoped("/compare"), CompareRequest{T1: FromTimestamp(t1), T2: FromTimestamp(t2)}, &resp)
 	return resp.Before, err
 }
 
 // Health fetches /healthz.
 func (c *Client) Health(ctx context.Context) (Health, error) {
 	var h Health
-	err := c.get(ctx, "/healthz", &h)
+	err := c.get(ctx, c.scoped("/healthz"), &h)
 	return h, err
 }
 
-// Metrics fetches /metrics.
+// Metrics fetches /metrics. The body is daemon-global: it carries the
+// per-namespace section regardless of the client's binding.
 func (c *Client) Metrics(ctx context.Context) (Metrics, error) {
 	var m Metrics
 	err := c.get(ctx, "/metrics", &m)
 	return m, err
+}
+
+// Catalog fetches GET /catalog: the daemon's registered algorithms, the
+// broker's "what can be provisioned" surface.
+func (c *Client) Catalog(ctx context.Context) ([]CatalogEntry, error) {
+	var resp CatalogResponse
+	if err := c.get(ctx, "/catalog", &resp); err != nil {
+		return nil, err
+	}
+	return resp.Algorithms, nil
+}
+
+// Namespaces fetches GET /ns: every live namespace name, sorted,
+// "default" included.
+func (c *Client) Namespaces(ctx context.Context) ([]string, error) {
+	var resp NamespaceList
+	if err := c.get(ctx, "/ns", &resp); err != nil {
+		return nil, err
+	}
+	return resp.Namespaces, nil
+}
+
+// ProvisionNamespace PUTs /ns/{name}: provision a named Object to bind
+// sessions into (see Namespace). Re-provisioning an identical spec is
+// idempotent (Created false in the response); a conflicting spec fails
+// with ErrNamespaceExists, and the server's namespace cap with ErrQuota.
+func (c *Client) ProvisionNamespace(ctx context.Context, name string, req ProvisionRequest) (ProvisionResponse, error) {
+	var resp ProvisionResponse
+	err := c.put(ctx, "/ns/"+name, req, &resp)
+	return resp, err
+}
+
+// DeprovisionNamespace DELETEs /ns/{name}: force-detach the namespace's
+// live leases and close its Object. Deleting an absent namespace fails
+// with ErrUnknownNamespace.
+func (c *Client) DeprovisionNamespace(ctx context.Context, name string) (DeprovisionResponse, error) {
+	var resp DeprovisionResponse
+	err := c.del(ctx, "/ns/"+name, &resp)
+	return resp, err
 }
 
 func (c *Client) post(ctx context.Context, path string, body, out any) error {
@@ -223,6 +294,19 @@ func (c *Client) post(ctx context.Context, path string, body, out any) error {
 		return err
 	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(payload))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return c.do(req, out)
+}
+
+func (c *Client) put(ctx context.Context, path string, body, out any) error {
+	payload, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, c.base+path, bytes.NewReader(payload))
 	if err != nil {
 		return err
 	}

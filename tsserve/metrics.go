@@ -40,11 +40,16 @@ type serverMetrics struct {
 	binBytesIn     *obs.Counter
 	binBytesOut    *obs.Counter
 	// Rejection counters: frames over MaxBinaryFrame, connections whose
-	// first bytes were not the wire-v3 magic, and session-scoped
-	// requests against an id that is not (or no longer) leased.
-	oversizedFrames *obs.Counter
-	badMagicConns   *obs.Counter
-	unknownSessions *obs.Counter
+	// first bytes were not the wire-v3 magic, session-scoped requests
+	// against an id that is not (or no longer) leased, and
+	// namespace-scoped requests against a name that is not (or no
+	// longer) provisioned — the last two deliberately separate
+	// families, so a namespace typo never masquerades as a reaped
+	// session.
+	oversizedFrames   *obs.Counter
+	badMagicConns     *obs.Counter
+	unknownSessions   *obs.Counter
+	unknownNamespaces *obs.Counter
 
 	// lat holds the per-endpoint latency histograms, keyed by the
 	// /metrics JSON latency keys; the same histograms render to
@@ -73,9 +78,10 @@ func newServerMetrics(s *Server) *serverMetrics {
 		binBytesIn:  r.Counter("tsserve_binary_bytes_in_total", "Wire-v3 bytes read, framing included."),
 		binBytesOut: r.Counter("tsserve_binary_bytes_out_total", "Wire-v3 bytes written, framing included."),
 
-		oversizedFrames: r.Counter("tsserve_rejected_frames_oversized_total", "Wire-v3 frames rejected for exceeding the size cap."),
-		badMagicConns:   r.Counter("tsserve_rejected_conns_bad_magic_total", "Binary connections dropped for a bad magic prefix."),
-		unknownSessions: r.Counter("tsserve_unknown_sessions_total", "Session-scoped requests against an unknown or reaped session id."),
+		oversizedFrames:   r.Counter("tsserve_rejected_frames_oversized_total", "Wire-v3 frames rejected for exceeding the size cap."),
+		badMagicConns:     r.Counter("tsserve_rejected_conns_bad_magic_total", "Binary connections dropped for a bad magic prefix."),
+		unknownSessions:   r.Counter("tsserve_unknown_sessions_total", "Session-scoped requests against an unknown or reaped session id."),
+		unknownNamespaces: r.Counter("tsserve_unknown_namespaces_total", "Namespace-scoped requests against an unprovisioned or deprovisioned namespace."),
 
 		lat: make(map[string]*obs.Histogram, len(latencyEndpoints)),
 	}
@@ -84,37 +90,94 @@ func newServerMetrics(s *Server) *serverMetrics {
 			"Server-side latency of the "+ep+" endpoint, nanoseconds.", nil)
 	}
 
-	// Derived series: sampled from the SDK object and the session table
-	// at scrape time. The object's counters are the bookkeeping; these
-	// closures only read them.
-	r.CounterFunc("tsserve_calls_total", "Timestamps issued by the object (getTS calls).",
-		func() float64 { return float64(s.obj.Stats().Calls) })
-	r.CounterFunc("tsserve_attaches_total", "Sessions handed out by the object, wire and in-process.",
-		func() float64 { return float64(s.obj.Stats().Attaches) })
-	r.GaugeFunc("tsserve_active_sessions", "Currently attached SDK sessions.",
-		func() float64 { return float64(s.obj.Stats().ActiveSessions) })
-	r.GaugeFunc("tsserve_wire_sessions", "Live wire leases, HTTP and binary.",
+	// Derived series: sampled from the SDK objects and the session table
+	// at scrape time. The objects' counters are the bookkeeping; these
+	// closures only read them. The unlabeled tsserve_* families keep
+	// their pre-broker meaning — the default namespace's object — so
+	// dashboards built against a single-object daemon read unchanged.
+	r.CounterFunc("tsserve_calls_total", "Timestamps issued by the default namespace's object (getTS calls).",
+		func() float64 { return float64(s.defaultNS.obj.Stats().Calls) })
+	r.CounterFunc("tsserve_attaches_total", "Sessions handed out by the default namespace's object, wire and in-process.",
+		func() float64 { return float64(s.defaultNS.obj.Stats().Attaches) })
+	r.GaugeFunc("tsserve_active_sessions", "Currently attached SDK sessions on the default namespace.",
+		func() float64 { return float64(s.defaultNS.obj.Stats().ActiveSessions) })
+	r.GaugeFunc("tsserve_wire_sessions", "Live wire leases, HTTP and binary, all namespaces.",
 		func() float64 { wire, _ := s.sessionCounts(); return float64(wire) })
-	r.GaugeFunc("tsserve_binary_sessions", "Live wire leases attached over the binary transport.",
+	r.GaugeFunc("tsserve_binary_sessions", "Live wire leases attached over the binary transport, all namespaces.",
 		func() float64 { _, bin := s.sessionCounts(); return float64(bin) })
 	r.GaugeFunc("tsserve_uptime_seconds", "Seconds since the server was constructed.",
 		func() float64 { return time.Since(s.start).Seconds() })
 
-	// Register-space metering, the paper's live space measure. The
-	// budget is always known; the used/read/write series exist only when
-	// the object meters (they would read as constant zero otherwise and
-	// invite bogus dashboards).
-	r.GaugeFunc("tsspace_registers_total", "Allocated registers (the space budget).",
-		func() float64 { t, _ := s.obj.SpaceTotals(); return float64(t.Registers) })
-	if _, metered := s.obj.SpaceTotals(); metered {
-		r.GaugeFunc("tsspace_registers_used", "Distinct registers written — the paper's used-register count.",
-			func() float64 { t, _ := s.obj.SpaceTotals(); return float64(t.Written) })
-		r.CounterFunc("tsspace_register_reads_total", "Register read operations.",
-			func() float64 { t, _ := s.obj.SpaceTotals(); return float64(t.Reads) })
-		r.CounterFunc("tsspace_register_writes_total", "Register write operations.",
-			func() float64 { t, _ := s.obj.SpaceTotals(); return float64(t.Writes) })
-	}
+	// Per-namespace series, one sample per provisioned namespace labeled
+	// namespace="...". Sampled over the live namespace table at scrape
+	// time, so a PUT /ns/{name} shows up on the very next scrape with no
+	// re-registration.
+	r.GaugeVecFunc("tsserve_ns_sessions", "Live wire leases per namespace.", "namespace",
+		func() []obs.Sample {
+			return s.sampleNamespaces(func(ns *namespace) (float64, bool) { return float64(ns.active.Load()), true })
+		})
+	r.CounterVecFunc("tsserve_ns_calls_total", "Timestamps issued per namespace.", "namespace",
+		func() []obs.Sample {
+			return s.sampleNamespaces(func(ns *namespace) (float64, bool) { return float64(ns.obj.Stats().Calls), true })
+		})
+	r.CounterVecFunc("tsserve_ns_reaped_total", "Idle wire sessions detached by the TTL reaper, per namespace.", "namespace",
+		func() []obs.Sample {
+			return s.sampleNamespaces(func(ns *namespace) (float64, bool) { return float64(ns.reaped.Load()), true })
+		})
+	r.CounterVecFunc("tsserve_ns_quota_rejections_total", "Attaches rejected by the per-namespace session quota.", "namespace",
+		func() []obs.Sample {
+			return s.sampleNamespaces(func(ns *namespace) (float64, bool) { return float64(ns.quotaRejections.Load()), true })
+		})
+
+	// Register-space metering, the paper's live space measure, labeled by
+	// namespace. The budget is always known; the used/read/write samples
+	// exist only for namespaces that meter (they would read as constant
+	// zero otherwise and invite bogus dashboards).
+	r.GaugeVecFunc("tsspace_registers_total", "Allocated registers (the space budget), per namespace.", "namespace",
+		func() []obs.Sample {
+			return s.sampleNamespaces(func(ns *namespace) (float64, bool) {
+				t, _ := ns.obj.SpaceTotals()
+				return float64(t.Registers), true
+			})
+		})
+	r.GaugeVecFunc("tsspace_registers_used", "Distinct registers written — the paper's used-register count — per metered namespace.", "namespace",
+		func() []obs.Sample {
+			return s.sampleNamespaces(func(ns *namespace) (float64, bool) {
+				t, metered := ns.obj.SpaceTotals()
+				return float64(t.Written), metered
+			})
+		})
+	r.CounterVecFunc("tsspace_register_reads_total", "Register read operations per metered namespace.", "namespace",
+		func() []obs.Sample {
+			return s.sampleNamespaces(func(ns *namespace) (float64, bool) {
+				t, metered := ns.obj.SpaceTotals()
+				return float64(t.Reads), metered
+			})
+		})
+	r.CounterVecFunc("tsspace_register_writes_total", "Register write operations per metered namespace.", "namespace",
+		func() []obs.Sample {
+			return s.sampleNamespaces(func(ns *namespace) (float64, bool) {
+				t, metered := ns.obj.SpaceTotals()
+				return float64(t.Writes), metered
+			})
+		})
 	return m
+}
+
+// sampleNamespaces renders one labeled sample per live namespace, default
+// first then the rest in name order (namespaceList's canonical order, so
+// repeated scrapes diff cleanly). sample returns (value, include); a
+// false include drops the namespace from this family — how the metered-
+// only register series skip unmetered namespaces.
+func (s *Server) sampleNamespaces(sample func(*namespace) (float64, bool)) []obs.Sample {
+	nss := s.namespaceList()
+	out := make([]obs.Sample, 0, len(nss))
+	for _, ns := range nss {
+		if v, ok := sample(ns); ok {
+			out = append(out, obs.Sample{Label: ns.name, Value: v})
+		}
+	}
+	return out
 }
 
 // sessionCounts sizes the wire session table: total live leases and the
@@ -135,33 +198,55 @@ func (s *Server) sessionCounts() (wire, binary int) {
 // registry handles and SDK counters the Prometheus exposition samples —
 // the two endpoints are two renderings of one set of books.
 func (s *Server) MetricsSnapshot() Metrics {
-	st := s.obj.Stats()
+	st := s.defaultNS.obj.Stats()
 	uptime := time.Since(s.start).Seconds()
 	wire, binSessions := s.sessionCounts()
 	m := Metrics{
-		Algorithm:       s.obj.Algorithm(),
-		Procs:           s.obj.Procs(),
-		Calls:           st.Calls,
-		Batches:         s.met.batches.Value(),
-		Attaches:        st.Attaches,
-		ActiveSessions:  st.ActiveSessions,
-		WireSessions:    wire,
-		BinarySessions:  binSessions,
-		ReapedSessions:  s.met.reaped.Value(),
-		CrashReclaimed:  s.met.crashReclaimed.Value(),
-		BinaryFrames:    s.met.binFrames.Value(),
-		BinaryBytesIn:   s.met.binBytesIn.Value(),
-		BinaryBytesOut:  s.met.binBytesOut.Value(),
-		OversizedFrames: s.met.oversizedFrames.Value(),
-		BadMagicConns:   s.met.badMagicConns.Value(),
-		UnknownSessions: s.met.unknownSessions.Value(),
-		UptimeSeconds:   uptime,
+		Algorithm:         s.defaultNS.obj.Algorithm(),
+		Procs:             s.defaultNS.obj.Procs(),
+		Calls:             st.Calls,
+		Batches:           s.met.batches.Value(),
+		Attaches:          st.Attaches,
+		ActiveSessions:    st.ActiveSessions,
+		WireSessions:      wire,
+		BinarySessions:    binSessions,
+		ReapedSessions:    s.met.reaped.Value(),
+		CrashReclaimed:    s.met.crashReclaimed.Value(),
+		BinaryFrames:      s.met.binFrames.Value(),
+		BinaryBytesIn:     s.met.binBytesIn.Value(),
+		BinaryBytesOut:    s.met.binBytesOut.Value(),
+		OversizedFrames:   s.met.oversizedFrames.Value(),
+		BadMagicConns:     s.met.badMagicConns.Value(),
+		UnknownSessions:   s.met.unknownSessions.Value(),
+		UnknownNamespaces: s.met.unknownNamespaces.Value(),
+		UptimeSeconds:     uptime,
 	}
 	if uptime > 0 {
 		m.CallsPerSecond = float64(st.Calls) / uptime
 	}
-	if t, metered := s.obj.SpaceTotals(); metered {
+	if t, metered := s.defaultNS.obj.SpaceTotals(); metered {
 		m.Space = &Space{Registers: t.Registers, Written: t.Written, Reads: t.Reads, Writes: t.Writes}
+	}
+	// Per-namespace section, same sources and order as the Prometheus
+	// tsserve_ns_* / tsspace_registers* vec families — the two /metrics
+	// views stay two renderings of one set of books.
+	for _, ns := range s.namespaceList() {
+		nst := ns.obj.Stats()
+		nm := NamespaceMetrics{
+			Name:            ns.name,
+			Algorithm:       ns.obj.Algorithm(),
+			Procs:           ns.obj.Procs(),
+			OneShot:         ns.obj.OneShot(),
+			MaxSessions:     ns.maxSessions,
+			Calls:           nst.Calls,
+			WireSessions:    ns.active.Load(),
+			ReapedSessions:  ns.reaped.Load(),
+			QuotaRejections: ns.quotaRejections.Load(),
+		}
+		if t, metered := ns.obj.SpaceTotals(); metered {
+			nm.Space = &Space{Registers: t.Registers, Written: t.Written, Reads: t.Reads, Writes: t.Writes}
+		}
+		m.Namespaces = append(m.Namespaces, nm)
 	}
 	m.Latency = make(map[string]Latency, len(s.met.lat))
 	for endpoint, h := range s.met.lat {
@@ -225,6 +310,8 @@ func marshalEvent(e obs.Event, sess string) []byte {
 	b = append(b, sess...)
 	b = append(b, `","pid":`...)
 	b = strconv.AppendInt(b, int64(e.Pid), 10)
+	b = append(b, `,"ns":`...)
+	b = strconv.AppendUint(b, uint64(e.NS), 10)
 	b = append(b, `,"detail":`...)
 	b = strconv.AppendInt(b, e.Detail, 10)
 	b = append(b, '}')

@@ -24,6 +24,7 @@ type debugEvent struct {
 	Kind    string `json:"kind"`
 	Session string `json:"session"`
 	Pid     int    `json:"pid"`
+	NS      int    `json:"ns"`
 	Detail  int64  `json:"detail"`
 }
 
@@ -202,24 +203,42 @@ func TestMetricsTwoViewsOneRegistry(t *testing.T) {
 	}
 
 	for _, want := range []struct {
-		name string
-		json uint64
+		family string
+		sample string // exposition sample name; "" means the bare family
+		json   uint64
 	}{
-		{"tsserve_calls_total", m.Calls},
-		{"tsserve_batches_total", m.Batches},
-		{"tsserve_attaches_total", m.Attaches},
-		{"tsserve_unknown_sessions_total", m.UnknownSessions},
-		{"tsserve_rejected_frames_oversized_total", m.OversizedFrames},
-		{"tsserve_rejected_conns_bad_magic_total", m.BadMagicConns},
-		{"tsspace_registers_used", uint64(m.Space.Written)},
+		{"tsserve_calls_total", "", m.Calls},
+		{"tsserve_batches_total", "", m.Batches},
+		{"tsserve_attaches_total", "", m.Attaches},
+		{"tsserve_unknown_sessions_total", "", m.UnknownSessions},
+		{"tsserve_unknown_namespaces_total", "", m.UnknownNamespaces},
+		{"tsserve_rejected_frames_oversized_total", "", m.OversizedFrames},
+		{"tsserve_rejected_conns_bad_magic_total", "", m.BadMagicConns},
+		// The register-space families are namespace-labeled; the default
+		// namespace's sample must agree with the JSON space block.
+		{"tsspace_registers_used", `tsspace_registers_used{namespace="default"}`, uint64(m.Space.Written)},
+		{"tsserve_ns_calls_total", `tsserve_ns_calls_total{namespace="default"}`, m.Calls},
 	} {
-		if _, ok := families[want.name]; !ok {
-			t.Errorf("exposition missing family %s", want.name)
+		if _, ok := families[want.family]; !ok {
+			t.Errorf("exposition missing family %s", want.family)
 			continue
 		}
-		if got := promValue(t, body.Bytes(), want.name); got != want.json {
-			t.Errorf("%s: prometheus %d != json %d", want.name, got, want.json)
+		sample := want.sample
+		if sample == "" {
+			sample = want.family
 		}
+		if got := promValue(t, body.Bytes(), sample); got != want.json {
+			t.Errorf("%s: prometheus %d != json %d", sample, got, want.json)
+		}
+	}
+	// The JSON namespaces section must mirror the labeled families: one
+	// entry, the default namespace, same space numbers.
+	if len(m.Namespaces) != 1 || m.Namespaces[0].Name != tsserve.DefaultNamespace {
+		t.Fatalf("namespaces section = %+v, want exactly the default namespace", m.Namespaces)
+	}
+	if nsm := m.Namespaces[0]; nsm.Space == nil || nsm.Space.Written != m.Space.Written || nsm.Calls != m.Calls {
+		t.Errorf("default-namespace metrics %+v disagree with the top-level view (calls %d, written %d)",
+			nsm, m.Calls, m.Space.Written)
 	}
 	if m.UnknownSessions == 0 {
 		t.Error("unknown-session counter did not move")

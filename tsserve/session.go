@@ -29,11 +29,14 @@ import (
 // unknown id gets 404/unknown_session, which the Go client maps to
 // tsspace.ErrDetached.
 
-// AttachResponse is the body of POST /session: a leased server-side
-// session. The lease is renewed by every session-scoped request; after
-// IdleTTLMs without one it may be reaped.
+// AttachResponse is the body of POST /session and POST
+// /ns/{name}/session: a leased server-side session, bound into the
+// named namespace ("default" on the un-prefixed route). The lease is
+// renewed by every session-scoped request; after IdleTTLMs without one
+// it may be reaped.
 type AttachResponse struct {
 	SessionID string `json:"session_id"`
+	Namespace string `json:"namespace"`
 	Pid       int    `json:"pid"`
 	IdleTTLMs int64  `json:"idle_ttl_ms"`
 }
@@ -52,6 +55,10 @@ type wireSession struct {
 	// hex-encodes), the form the flight recorder stores per event.
 	idNum uint64
 	sess  *tsspace.Session
+	// ns is the namespace the lease is bound into (the broker released
+	// its quota slot when the session leaves the table). Set at
+	// register time, never changed.
+	ns *namespace
 	// binary marks a lease attached over the wire-v3 transport, for the
 	// /metrics session split.
 	binary bool
@@ -61,6 +68,13 @@ type wireSession struct {
 	mu   sync.Mutex
 	last atomic.Int64 // unix nanos of the last completed request; drives reaping
 }
+
+// object resolves the Object the lease is bound into — the
+// namespace-routing step on the batch hot path of both transports.
+// Annotated as a tslint hotpath root so the analyzer guards it.
+//
+//tslint:hotpath
+func (ws *wireSession) object() *tsspace.Object { return ws.ns.obj }
 
 // newSessionID returns a 16-hex-digit random id, both as the wire
 // string and as its numeric value (for the flight recorder). Ids are
@@ -88,30 +102,40 @@ func sessionIDNum(id string) uint64 {
 	return binary.BigEndian.Uint64(b[:])
 }
 
-// register stores a freshly attached session, records the attach in the
+// register stores a freshly attached session bound into ns (whose
+// quota slot the caller already reserved), records the attach in the
 // flight recorder, and returns the wire form. binary marks leases
 // attached over the wire-v3 transport.
-func (s *Server) register(sess *tsspace.Session, binary bool) *wireSession {
+func (s *Server) register(ns *namespace, sess *tsspace.Session, binary bool) *wireSession {
 	id, idNum := newSessionID()
-	ws := &wireSession{id: id, idNum: idNum, sess: sess, binary: binary}
+	ws := &wireSession{id: id, idNum: idNum, sess: sess, ns: ns, binary: binary}
 	ws.last.Store(time.Now().UnixNano())
 	s.sessMu.Lock()
 	s.sessions[ws.id] = ws
 	s.sessMu.Unlock()
-	s.met.ring.Record(obs.EventAttach, ws.idNum, int32(sess.Pid()), 0)
+	s.met.ring.RecordNS(obs.EventAttach, ns.id, ws.idNum, int32(sess.Pid()), 0)
 	return ws
 }
 
-// lookup resolves a session id; the boolean is false for unknown (or
-// already reaped/detached) ids.
-func (s *Server) lookup(id string) (*wireSession, bool) {
+// lookupIn resolves a session id addressed through ns; the boolean is
+// false for unknown (or already reaped/detached) ids AND for ids bound
+// into a different namespace — a capability presented on the wrong
+// namespace's routes is indistinguishable from an unknown one, which
+// is what keeps namespaces isolated.
+func (s *Server) lookupIn(ns *namespace, id string) (*wireSession, bool) {
 	s.sessMu.Lock()
 	ws, ok := s.sessions[id]
 	s.sessMu.Unlock()
+	if !ok || ws.ns != ns {
+		return nil, false
+	}
 	return ws, ok
 }
 
-// remove deletes a session id; the boolean is false if it was not present.
+// remove deletes a session id regardless of namespace (the binary
+// transport and connection cleanup address leases purely by
+// capability), releasing its quota slot. The boolean is false if it
+// was not present.
 func (s *Server) remove(id string) (*wireSession, bool) {
 	s.sessMu.Lock()
 	ws, ok := s.sessions[id]
@@ -119,6 +143,27 @@ func (s *Server) remove(id string) (*wireSession, bool) {
 		delete(s.sessions, id)
 	}
 	s.sessMu.Unlock()
+	if ok {
+		ws.ns.release()
+	}
+	return ws, ok
+}
+
+// removeIn is remove constrained to ns, for the namespace-scoped HTTP
+// detach: an id bound elsewhere reads as unknown.
+func (s *Server) removeIn(ns *namespace, id string) (*wireSession, bool) {
+	s.sessMu.Lock()
+	ws, ok := s.sessions[id]
+	if ok && ws.ns != ns {
+		ws, ok = nil, false
+	}
+	if ok {
+		delete(s.sessions, id)
+	}
+	s.sessMu.Unlock()
+	if ok {
+		ws.ns.release()
+	}
 	return ws, ok
 }
 
@@ -166,16 +211,19 @@ func (s *Server) reapIdle(now time.Time) {
 		pid := ws.sess.Pid()
 		_ = ws.sess.Detach()
 		ws.mu.Unlock()
+		ws.ns.release()
+		ws.ns.reaped.Add(1)
 		s.met.reaped.Inc()
-		s.met.ring.Record(obs.EventReap, ws.idNum, int32(pid), int64(calls))
+		s.met.ring.RecordNS(obs.EventReap, ws.ns.id, ws.idNum, int32(pid), int64(calls))
 	}
 }
 
 // Close stops the idle reaper, shuts the binary listeners and
-// connections (after a short grace for in-flight frames), and detaches
-// every live wire session, recycling their pids. It does not close the
-// underlying object (the caller owns it) and is idempotent. Close the
-// server before the object on shutdown.
+// connections (after a short grace for in-flight frames), detaches
+// every live wire session in every namespace (recycling their pids),
+// and closes every provisioned namespace's Object. It does not close
+// the default namespace's object (the caller owns it) and is
+// idempotent. Close the server before that object on shutdown.
 func (s *Server) Close() error {
 	s.stopOnce.Do(func() { close(s.stop) })
 	s.binCancel()
@@ -191,25 +239,51 @@ func (s *Server) Close() error {
 		ws.mu.Lock()
 		_ = ws.sess.Detach()
 		ws.mu.Unlock()
+		ws.ns.release()
+	}
+	s.nsMu.Lock()
+	provisioned := s.namespaces
+	s.namespaces = make(map[string]*namespace)
+	s.nsMu.Unlock()
+	for _, ns := range provisioned {
+		if ns.owned {
+			_ = ns.obj.Close()
+		}
 	}
 	return nil
 }
 
-// handleAttach is POST /session: lease an SDK session for this caller.
+// handleAttach is POST /session and POST /ns/{name}/session: lease an
+// SDK session in the resolved namespace for this caller. The quota
+// slot is reserved before the Object attach, so a full namespace
+// answers quota_exhausted immediately instead of queueing on the pid
+// pool.
 func (s *Server) handleAttach(w http.ResponseWriter, r *http.Request) {
+	ns, ok := s.requestNS(w, r)
+	if !ok {
+		return
+	}
 	var req struct{} // attach takes no parameters; reject unknown fields
 	if err := decode(r, &req); err != nil {
 		writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
 		return
 	}
-	sess, err := s.obj.Attach(r.Context())
-	if err != nil {
-		s.writeSDKError(w, r, err)
+	if !ns.reserve() {
+		s.met.ring.RecordNS(obs.EventError, ns.id, 0, -1, int64(binCodeQuota))
+		writeError(w, http.StatusTooManyRequests, CodeQuota,
+			fmt.Sprintf("namespace %q: session quota %d exhausted", ns.name, ns.maxSessions))
 		return
 	}
-	ws := s.register(sess, false)
+	sess, err := ns.obj.Attach(r.Context())
+	if err != nil {
+		ns.release()
+		s.writeSDKError(w, r, ns, err)
+		return
+	}
+	ws := s.register(ns, sess, false)
 	writeJSON(w, http.StatusOK, AttachResponse{
 		SessionID: ws.id,
+		Namespace: ns.name,
 		Pid:       sess.Pid(),
 		IdleTTLMs: s.sessionTTL.Milliseconds(),
 	})
@@ -219,10 +293,14 @@ func (s *Server) handleAttach(w http.ResponseWriter, r *http.Request) {
 // caller's leased session. Requests against the same id serialize, so a
 // pipelining client sees the SDK's sequential-session semantics.
 func (s *Server) handleSessionGetTS(w http.ResponseWriter, r *http.Request) {
-	ws, ok := s.lookup(r.PathValue("id"))
+	ns, ok := s.requestNS(w, r)
+	if !ok {
+		return
+	}
+	ws, ok := s.lookupIn(ns, r.PathValue("id"))
 	if !ok {
 		s.met.unknownSessions.Inc()
-		s.met.ring.Record(obs.EventError, sessionIDNum(r.PathValue("id")), -1, int64(binCodeUnknownSession))
+		s.met.ring.RecordNS(obs.EventError, ns.id, sessionIDNum(r.PathValue("id")), -1, int64(binCodeUnknownSession))
 		writeError(w, http.StatusNotFound, CodeUnknownSession,
 			fmt.Sprintf("unknown session %q (detached, reaped, or never attached)", r.PathValue("id")))
 		return
@@ -241,7 +319,7 @@ func (s *Server) handleSessionGetTS(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("count %d exceeds the batch cap %d", count, s.maxBatch))
 		return
 	}
-	if s.obj.OneShot() && count > 1 {
+	if ns.obj.OneShot() && count > 1 {
 		writeError(w, http.StatusBadRequest, CodeBadRequest,
 			fmt.Sprintf("a one-shot object issues one timestamp per process; ask for count 1, not %d", count))
 		return
@@ -257,7 +335,7 @@ func (s *Server) handleSessionGetTS(w http.ResponseWriter, r *http.Request) {
 		// A short batch burns nothing the caller can recover over the wire:
 		// report the failure (with how far the batch got) and let the
 		// client retry on a fresh request.
-		s.writeSDKError(w, r, fmt.Errorf("timestamp %d/%d: %w", n+1, count, err))
+		s.writeSDKError(w, r, ns, fmt.Errorf("timestamp %d/%d: %w", n+1, count, err))
 		return
 	}
 	resp := GetTSResponse{Pid: ws.sess.Pid(), Timestamps: make([]TS, n)}
@@ -268,12 +346,17 @@ func (s *Server) handleSessionGetTS(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// handleDetach is DELETE /session/{id}: return the lease explicitly.
+// handleDetach is DELETE /session/{id} (and its /ns/{name} form):
+// return the lease explicitly.
 func (s *Server) handleDetach(w http.ResponseWriter, r *http.Request) {
-	ws, ok := s.remove(r.PathValue("id"))
+	ns, ok := s.requestNS(w, r)
+	if !ok {
+		return
+	}
+	ws, ok := s.removeIn(ns, r.PathValue("id"))
 	if !ok {
 		s.met.unknownSessions.Inc()
-		s.met.ring.Record(obs.EventError, sessionIDNum(r.PathValue("id")), -1, int64(binCodeUnknownSession))
+		s.met.ring.RecordNS(obs.EventError, ns.id, sessionIDNum(r.PathValue("id")), -1, int64(binCodeUnknownSession))
 		writeError(w, http.StatusNotFound, CodeUnknownSession,
 			fmt.Sprintf("unknown session %q (detached, reaped, or never attached)", r.PathValue("id")))
 		return
@@ -283,6 +366,6 @@ func (s *Server) handleDetach(w http.ResponseWriter, r *http.Request) {
 	pid := ws.sess.Pid()
 	_ = ws.sess.Detach()
 	ws.mu.Unlock()
-	s.met.ring.Record(obs.EventDetach, ws.idNum, int32(pid), int64(calls))
+	s.met.ring.RecordNS(obs.EventDetach, ws.ns.id, ws.idNum, int32(pid), int64(calls))
 	writeJSON(w, http.StatusOK, DetachResponse{Calls: calls})
 }

@@ -90,9 +90,11 @@ type CompareResponse struct {
 	Before bool `json:"before"`
 }
 
-// Health is the /healthz body.
+// Health is the /healthz body (also served per namespace at
+// /ns/{name}/healthz, reporting that namespace's Object).
 type Health struct {
 	Status    string `json:"status"`
+	Namespace string `json:"namespace"`
 	Algorithm string `json:"algorithm"`
 	Summary   string `json:"summary,omitempty"`
 	Procs     int    `json:"procs"`
@@ -159,13 +161,40 @@ type Metrics struct {
 	// tsserve_rejected_frames_oversized_total,
 	// tsserve_rejected_conns_bad_magic_total and
 	// tsserve_unknown_sessions_total.
-	OversizedFrames uint64             `json:"oversized_frames"`
-	BadMagicConns   uint64             `json:"bad_magic_conns"`
-	UnknownSessions uint64             `json:"unknown_sessions"`
-	UptimeSeconds   float64            `json:"uptime_seconds"`
-	CallsPerSecond  float64            `json:"calls_per_second"`
-	Space           *Space             `json:"space,omitempty"`
-	Latency         map[string]Latency `json:"latency,omitempty"`
+	OversizedFrames uint64 `json:"oversized_frames"`
+	BadMagicConns   uint64 `json:"bad_magic_conns"`
+	UnknownSessions uint64 `json:"unknown_sessions"`
+	// UnknownNamespaces counts namespace-scoped requests against names
+	// that are not (or no longer) provisioned — the broker's own
+	// rejection class, deliberately separate from UnknownSessions.
+	UnknownNamespaces uint64  `json:"unknown_namespaces"`
+	UptimeSeconds     float64 `json:"uptime_seconds"`
+	CallsPerSecond    float64 `json:"calls_per_second"`
+	Space             *Space  `json:"space,omitempty"`
+	// Namespaces reports every live namespace, default first then
+	// sorted by name — the JSON rendering of the same per-namespace
+	// series the Prometheus view exposes as {namespace="..."} labels.
+	Namespaces []NamespaceMetrics `json:"namespaces"`
+	Latency    map[string]Latency `json:"latency,omitempty"`
+}
+
+// NamespaceMetrics is one namespace's slice of /metrics: identity,
+// session accounting and (when the namespace's Object meters) its
+// register-space report. The same numbers render in the Prometheus
+// view as the namespace-labeled families tsserve_ns_sessions,
+// tsserve_ns_calls_total, tsserve_ns_reaped_total,
+// tsserve_ns_quota_rejections_total and tsspace_registers_*.
+type NamespaceMetrics struct {
+	Name            string `json:"name"`
+	Algorithm       string `json:"algorithm"`
+	Procs           int    `json:"procs"`
+	OneShot         bool   `json:"one_shot"`
+	MaxSessions     int    `json:"max_sessions,omitempty"`
+	Calls           uint64 `json:"calls"`
+	WireSessions    int64  `json:"wire_sessions"`
+	ReapedSessions  uint64 `json:"reaped_sessions"`
+	QuotaRejections uint64 `json:"quota_rejections"`
+	Space           *Space `json:"space,omitempty"`
 }
 
 // Error codes carried in error bodies, so clients can map failures back to
@@ -179,6 +208,17 @@ const (
 	// (or no longer) leased: detached, idle-reaped, or never attached.
 	// The Go client maps it to tsspace.ErrDetached.
 	CodeUnknownSession = "unknown_session"
+	// CodeUnknownNamespace marks a namespace-scoped request against a
+	// name that was never provisioned or is already deprovisioned —
+	// deliberately distinct from unknown_session, so namespace typos
+	// keep their own rejection family. Maps to ErrUnknownNamespace.
+	CodeUnknownNamespace = "unknown_namespace"
+	// CodeNamespaceExists marks a PUT /ns/{name} whose name is already
+	// provisioned with a different spec. Maps to ErrNamespaceExists.
+	CodeNamespaceExists = "namespace_exists"
+	// CodeQuota marks an attach beyond the namespace's session quota or
+	// a provision beyond the server's namespace cap. Maps to ErrQuota.
+	CodeQuota = "quota_exhausted"
 )
 
 // ErrorBody is the JSON body of every non-2xx response.
@@ -199,14 +239,20 @@ type ServerConfig struct {
 	// flight recorder as a slow-op event (see EventsHandler). Values <= 0
 	// mean 10ms.
 	SlowOp time.Duration
+	// MaxNamespaces caps how many namespaces may be provisioned at once
+	// (the default namespace not counted). Values < 1 mean 64; a PUT
+	// /ns/{name} beyond the cap is rejected with quota_exhausted.
+	MaxNamespaces int
 }
 
-// Server is the HTTP front end over one tsspace.Object. It implements
-// http.Handler. Call Close on shutdown (before closing the object) to
-// stop the idle reaper and release live wire sessions.
+// Server is the HTTP front end over a broker of tsspace Objects: the
+// constructor's Object serves as the always-present "default"
+// namespace, and PUT /ns/{name} provisions further named Objects next
+// to it (see broker.go). It implements http.Handler. Call Close on
+// shutdown (before closing the default object) to stop the idle
+// reaper, release live wire sessions, and close every provisioned
+// namespace's Object.
 type Server struct {
-	obj        *tsspace.Object
-	summary    string
 	maxBatch   int
 	sessionTTL time.Duration
 	slowOp     time.Duration
@@ -217,6 +263,21 @@ type Server struct {
 	// /metrics view and the Prometheus exposition both render from it.
 	met *serverMetrics
 
+	// The namespace table. defaultNS wraps the constructor's Object and
+	// is resolvable but never in the map; nsSeq hands out
+	// flight-recorder namespace ids.
+	nsMu          sync.RWMutex
+	namespaces    map[string]*namespace
+	defaultNS     *namespace
+	nsSeq         uint32
+	maxNamespaces int
+
+	// sessions is the one capability-addressed lease table both
+	// transports and all namespaces share: ids are unguessable, so the
+	// flat map is equivalent to a per-namespace table while keeping the
+	// hot-path lookup a single allocation-free map access. Each
+	// wireSession carries its namespace; namespace-scoped HTTP routes
+	// additionally check the binding.
 	sessMu   sync.Mutex
 	sessions map[string]*wireSession
 	stop     chan struct{}
@@ -234,8 +295,10 @@ type Server struct {
 	binBusy      atomic.Int64
 }
 
-// NewServer builds the front end for obj. The caller keeps ownership of
-// obj (and closes it on shutdown, after Close-ing the server).
+// NewServer builds the front end for obj, which becomes the "default"
+// namespace. The caller keeps ownership of obj (and closes it on
+// shutdown, after Close-ing the server); Objects provisioned later via
+// PUT /ns/{name} are broker-owned and closed by Close.
 func NewServer(obj *tsspace.Object, cfg ServerConfig) *Server {
 	maxBatch := cfg.MaxBatch
 	if maxBatch < 1 {
@@ -249,20 +312,27 @@ func NewServer(obj *tsspace.Object, cfg ServerConfig) *Server {
 	if slowOp <= 0 {
 		slowOp = 10 * time.Millisecond
 	}
+	maxNamespaces := cfg.MaxNamespaces
+	if maxNamespaces < 1 {
+		maxNamespaces = 64
+	}
+	_, metered := obj.SpaceTotals()
 	s := &Server{
-		obj: obj, maxBatch: maxBatch, sessionTTL: ttl, slowOp: slowOp,
+		maxBatch: maxBatch, sessionTTL: ttl, slowOp: slowOp,
 		start: time.Now(), mux: http.NewServeMux(),
-		sessions: make(map[string]*wireSession),
-		stop:     make(chan struct{}),
-		binConns: make(map[net.Conn]struct{}),
+		namespaces:    make(map[string]*namespace),
+		maxNamespaces: maxNamespaces,
+		sessions:      make(map[string]*wireSession),
+		stop:          make(chan struct{}),
+		binConns:      make(map[net.Conn]struct{}),
+	}
+	s.defaultNS = &namespace{
+		name: DefaultNamespace, obj: obj,
+		summary:   algorithmSummary(obj.Algorithm()),
+		algorithm: obj.Algorithm(), procs: obj.Procs(), metered: metered,
 	}
 	s.met = newServerMetrics(s)
 	s.binCtx, s.binCancel = context.WithCancel(context.Background())
-	for _, e := range tsspace.Catalog() {
-		if e.Name == obj.Algorithm() {
-			s.summary = e.Summary
-		}
-	}
 	s.mux.HandleFunc("POST /session", s.timed("attach", s.handleAttach))
 	s.mux.HandleFunc("POST /session/{id}/getts", s.timed("getts", s.handleSessionGetTS))
 	s.mux.HandleFunc("DELETE /session/{id}", s.handleDetach)
@@ -271,6 +341,19 @@ func NewServer(obj *tsspace.Object, cfg ServerConfig) *Server {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /metrics/prometheus", s.handlePrometheus)
+	// The broker surface (broker.go) plus the wire-v2 session routes
+	// replicated per namespace; {name} resolves through requestNS, the
+	// un-prefixed routes above serve the default namespace.
+	s.mux.HandleFunc("GET /catalog", s.handleCatalog)
+	s.mux.HandleFunc("GET /ns", s.handleNamespaces)
+	s.mux.HandleFunc("PUT /ns/{name}", s.handleProvision)
+	s.mux.HandleFunc("DELETE /ns/{name}", s.handleDeprovision)
+	s.mux.HandleFunc("POST /ns/{name}/session", s.timed("attach", s.handleAttach))
+	s.mux.HandleFunc("POST /ns/{name}/session/{id}/getts", s.timed("getts", s.handleSessionGetTS))
+	s.mux.HandleFunc("DELETE /ns/{name}/session/{id}", s.handleDetach)
+	s.mux.HandleFunc("POST /ns/{name}/getts", s.timed("getts", s.handleGetTS))
+	s.mux.HandleFunc("POST /ns/{name}/compare", s.timed("compare", s.handleCompare))
+	s.mux.HandleFunc("GET /ns/{name}/healthz", s.handleHealthz)
 	go s.reapLoop()
 	return s
 }
@@ -300,6 +383,10 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 // kept so existing clients (and the single-call Client.GetTS) keep
 // working. New callers should hold a session across batches instead.
 func (s *Server) handleGetTS(w http.ResponseWriter, r *http.Request) {
+	ns, ok := s.requestNS(w, r)
+	if !ok {
+		return
+	}
 	var req GetTSRequest
 	if err := decode(r, &req); err != nil {
 		writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
@@ -314,15 +401,15 @@ func (s *Server) handleGetTS(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("count %d exceeds the batch cap %d", count, s.maxBatch))
 		return
 	}
-	if s.obj.OneShot() && count > 1 {
+	if ns.obj.OneShot() && count > 1 {
 		writeError(w, http.StatusBadRequest, CodeBadRequest,
 			fmt.Sprintf("a one-shot object issues one timestamp per process; ask for count 1, not %d", count))
 		return
 	}
 
-	sess, err := s.obj.Attach(r.Context())
+	sess, err := ns.obj.Attach(r.Context())
 	if err != nil {
-		s.writeSDKError(w, r, err)
+		s.writeSDKError(w, r, ns, err)
 		return
 	}
 	defer sess.Detach()
@@ -330,7 +417,7 @@ func (s *Server) handleGetTS(w http.ResponseWriter, r *http.Request) {
 	buf := make([]tsspace.Timestamp, count)
 	n, err := sess.GetTSBatch(r.Context(), buf)
 	if err != nil {
-		s.writeSDKError(w, r, fmt.Errorf("timestamp %d/%d: %w", n+1, count, err))
+		s.writeSDKError(w, r, ns, fmt.Errorf("timestamp %d/%d: %w", n+1, count, err))
 		return
 	}
 	resp := GetTSResponse{Pid: sess.Pid(), Timestamps: make([]TS, n)}
@@ -343,49 +430,59 @@ func (s *Server) handleGetTS(w http.ResponseWriter, r *http.Request) {
 
 // writeSDKError maps SDK errors to their wire codes, so clients can
 // recover typed errors via APIError.Is regardless of where in the request
-// the failure happened (attach or mid-batch).
-func (s *Server) writeSDKError(w http.ResponseWriter, r *http.Request, err error) {
+// the failure happened (attach or mid-batch). Flight-recorder events
+// carry the namespace the failure happened in.
+func (s *Server) writeSDKError(w http.ResponseWriter, r *http.Request, ns *namespace, err error) {
 	switch {
 	case errors.Is(err, tsspace.ErrExhausted) || errors.Is(err, tsspace.ErrOneShot):
-		s.met.ring.Record(obs.EventError, 0, -1, int64(binCodeExhausted))
+		s.met.ring.RecordNS(obs.EventError, ns.id, 0, -1, int64(binCodeExhausted))
 		writeError(w, http.StatusConflict, CodeExhausted, err.Error())
 	case errors.Is(err, tsspace.ErrDetached):
 		// The lease vanished between lookup and execution (reaper or a
 		// concurrent DELETE won the race): same verdict as an unknown id.
 		s.met.unknownSessions.Inc()
-		s.met.ring.Record(obs.EventError, 0, -1, int64(binCodeUnknownSession))
+		s.met.ring.RecordNS(obs.EventError, ns.id, 0, -1, int64(binCodeUnknownSession))
 		writeError(w, http.StatusNotFound, CodeUnknownSession, err.Error())
 	case errors.Is(err, tsspace.ErrClosed):
-		s.met.ring.Record(obs.EventError, 0, -1, int64(binCodeClosed))
+		s.met.ring.RecordNS(obs.EventError, ns.id, 0, -1, int64(binCodeClosed))
 		writeError(w, http.StatusServiceUnavailable, CodeClosed, err.Error())
 	case r.Context().Err() != nil:
 		// The client went away while queued or mid-batch; any status works.
 		writeError(w, http.StatusServiceUnavailable, CodeInternal, err.Error())
 	default:
-		s.met.ring.Record(obs.EventError, 0, -1, int64(binCodeInternal))
+		s.met.ring.RecordNS(obs.EventError, ns.id, 0, -1, int64(binCodeInternal))
 		writeError(w, http.StatusInternalServerError, CodeInternal, err.Error())
 	}
 }
 
 func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
+	ns, ok := s.requestNS(w, r)
+	if !ok {
+		return
+	}
 	var req CompareRequest
 	if err := decode(r, &req); err != nil {
 		writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
 		return
 	}
 	writeJSON(w, http.StatusOK, CompareResponse{
-		Before: s.obj.Compare(req.T1.Timestamp(), req.T2.Timestamp()),
+		Before: ns.obj.Compare(req.T1.Timestamp(), req.T2.Timestamp()),
 	})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	ns, ok := s.requestNS(w, r)
+	if !ok {
+		return
+	}
 	writeJSON(w, http.StatusOK, Health{
 		Status:    "ok",
-		Algorithm: s.obj.Algorithm(),
-		Summary:   s.summary,
-		Procs:     s.obj.Procs(),
-		Registers: s.obj.Registers(),
-		OneShot:   s.obj.OneShot(),
+		Namespace: ns.name,
+		Algorithm: ns.obj.Algorithm(),
+		Summary:   ns.summary,
+		Procs:     ns.obj.Procs(),
+		Registers: ns.obj.Registers(),
+		OneShot:   ns.obj.OneShot(),
 	})
 }
 

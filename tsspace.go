@@ -79,23 +79,31 @@ var (
 )
 
 // AlgorithmInfo describes one catalog entry for discovery surfaces (flag
-// help, service health endpoints).
+// help, service health endpoints, the broker's GET /catalog).
 type AlgorithmInfo struct {
 	Name    string // as accepted by WithAlgorithm
 	Summary string // one line
+	// OneShot marks algorithms whose sessions issue exactly one
+	// timestamp (the paper's Θ(√n)-space regime); long-lived algorithms
+	// leave it false.
+	OneShot bool
+	// MinProcs is the smallest proc count the implementation supports
+	// (always ≥ 1).
+	MinProcs int
 }
 
 // Algorithms returns the names of the registered (correct) algorithm
 // implementations, sorted.
 func Algorithms() []string { return timestamp.Names() }
 
-// Catalog returns name and one-line summary for every registered (correct)
-// implementation, sorted by name.
+// Catalog returns name, one-line summary, one-shot-ness and minimum
+// proc count for every registered (correct) implementation, sorted by
+// name.
 func Catalog() []AlgorithmInfo {
 	all := timestamp.All()
 	out := make([]AlgorithmInfo, len(all))
 	for i, info := range all {
-		out[i] = AlgorithmInfo{Name: info.Name, Summary: info.Summary}
+		out[i] = AlgorithmInfo{Name: info.Name, Summary: info.Summary, OneShot: info.OneShot, MinProcs: info.MinProcs}
 	}
 	return out
 }
